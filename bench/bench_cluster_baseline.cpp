@@ -1,0 +1,95 @@
+// Experiment T4 [reconstructed]: the cluster baseline the paper replaces.
+//
+// Prior work (TINGe-classic) needed a distributed-memory cluster for
+// whole-genome MI networks; the paper's contribution is doing it on one
+// chip. This harness runs the actual ring-pipelined distributed algorithm
+// (on a simulated in-process transport with real data movement) and reports
+// what the cluster costs beyond the computation itself: bytes moved around
+// the ring, messages, load balance — and extrapolates the communication
+// volume to the paper's full problem.
+#include "bench_common.h"
+#include "cluster/ring_mi.h"
+#include "core/mi_engine.h"
+#include "parallel/thread_pool.h"
+#include "util/args.h"
+
+using namespace tinge;
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add("genes", "genes in the test matrix", "256");
+  args.add("samples", "experiments per gene", "512");
+  args.add("max-ranks", "largest simulated cluster size", "8");
+  args.parse(argc, argv);
+
+  const auto n = static_cast<std::size_t>(args.get_int("genes"));
+  const auto m = static_cast<std::size_t>(args.get_int("samples"));
+  const int max_ranks = static_cast<int>(args.get_int("max-ranks"));
+
+  bench::print_header(
+      "T4: single chip vs simulated cluster (TINGe-classic baseline)",
+      strprintf("all-pairs MI over %zu genes x %zu samples; ring-pipelined "
+                "block distribution, real buffer movement",
+                n, m));
+
+  const bench::RandomRanks data(n, m);
+  const BsplineMi estimator(10, 3, m);
+  TingeConfig config;
+  const double threshold = 0.033;  // ~1% tail of the m=512 null
+
+  // Reference: the single-chip engine (what the paper builds). One warmup
+  // pass first so the timed run is not paying page faults and ramp-up.
+  const MiEngine engine(estimator, data.ranked());
+  par::ThreadPool pool(1);
+  TingeConfig single_config;
+  single_config.threads = 1;
+  EngineStats single_stats;
+  engine.compute_network(threshold, single_config, pool, &single_stats);
+  const GeneNetwork reference =
+      engine.compute_network(threshold, single_config, pool, &single_stats);
+
+  Table table({"configuration", "ring MB moved", "messages", "imbalance",
+               "edges", "seconds"});
+  table.add_row({"single chip (paper)", "0.0", "0", "1.00",
+                 std::to_string(reference.n_edges()),
+                 strprintf("%.3f", single_stats.seconds)});
+
+  for (int ranks = 2; ranks <= max_ranks; ranks *= 2) {
+    cluster::ClusterStats stats;
+    const GeneNetwork network = cluster::cluster_compute_network(
+        estimator, data.ranked(), threshold, ranks, config, &stats);
+    table.add_row(
+        {strprintf("%d-rank cluster", ranks),
+         strprintf("%.1f", static_cast<double>(stats.bytes_transferred) / 1e6),
+         std::to_string(stats.messages),
+         strprintf("%.2f", stats.imbalance()),
+         std::to_string(network.n_edges()),
+         strprintf("%.3f", stats.seconds)});
+  }
+  table.print();
+  std::printf(
+      "(wall times on this single-core container measure arithmetic plus\n"
+      "transport copies only — no real network latency; the informative\n"
+      "columns are MB moved, messages, and imbalance)\n");
+
+  // Communication volume at the paper's scale: each of the P blocks of
+  // n/P genes x m u32 ranks traverses P-1 hops, plus the edge gather.
+  std::printf("\nextrapolated ring volume at 15,575 genes x 3,137 arrays:\n");
+  Table extra({"cluster size", "block data", "total ring traffic"});
+  for (const int p : {16, 64, 256}) {
+    const double block_bytes = 15575.0 / p * 3137.0 * 4.0;
+    const double ring_bytes = block_bytes * p * (p - 1);
+    extra.add_row({std::to_string(p),
+                   strprintf("%.1f MB", block_bytes / 1e6),
+                   strprintf("%.1f GB", ring_bytes / 1e9)});
+  }
+  extra.print();
+
+  std::printf(
+      "\nShape to compare: the distributed baseline produces the identical\n"
+      "network (test-enforced) but pays ring traffic that grows linearly\n"
+      "with cluster size — hundreds of GB at the scale prior work used —\n"
+      "plus scheduling imbalance. The paper's single-chip solution makes\n"
+      "all of it disappear; that is its whole argument.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Every binary prints a provenance header (ISA, topology, build) so recorded
+// numbers are interpretable, then one or more paper-style tables. Defaults
+// are sized to finish in seconds; flags scale any experiment up to paper
+// scale.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "data/expression_matrix.h"
+#include "parallel/topology.h"
+#include "preprocess/rank_transform.h"
+#include "simd/feature.h"
+#include "stats/rng.h"
+#include "synth/expression.h"
+#include "util/str.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace tinge::bench {
+
+inline void print_header(const std::string& title, const std::string& what) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("isa: %s\n", simd::isa_report().c_str());
+  std::printf("host: %s\n", par::detect_host_topology().to_string().c_str());
+  std::printf("==================================================================\n\n");
+}
+
+/// Random-permutation rank profiles — the exact data shape the MI engine
+/// consumes — without the cost of simulating expression first. Suitable for
+/// all performance experiments (MI cost is data-independent).
+class RandomRanks {
+ public:
+  RandomRanks(std::size_t n_genes, std::size_t m, std::uint64_t seed = 99) {
+    ExpressionMatrix matrix(n_genes, m);
+    Xoshiro256 rng(seed);
+    for (std::size_t g = 0; g < n_genes; ++g) {
+      auto row = matrix.row(g);
+      for (std::size_t s = 0; s < m; ++s)
+        row[s] = static_cast<float>(rng.normal());
+    }
+    ranked_ = RankedMatrix(matrix);
+  }
+
+  const RankedMatrix& ranked() const { return ranked_; }
+
+ private:
+  RankedMatrix ranked_;
+};
+
+/// Synthetic GRN-backed expression dataset for accuracy experiments.
+inline SyntheticDataset accuracy_dataset(std::size_t genes, std::size_t samples,
+                                         std::uint64_t seed = 7) {
+  GrnParams grn_params;
+  grn_params.n_genes = genes;
+  grn_params.mean_regulators = 1.5;
+  grn_params.seed = seed;
+  ExpressionParams expr;
+  expr.n_samples = samples;
+  expr.noise_sd = 1.0;
+  // A third of the regulatory edges respond non-monotonically: the
+  // dependency class correlation misses and MI exists to catch.
+  expr.nonmonotone_fraction = 0.35;
+  expr.seed = seed + 1;
+  return make_synthetic_dataset(grn_params, expr);
+}
+
+/// pairs/s formatted for tables.
+inline std::string rate_str(double pairs_per_second) {
+  if (pairs_per_second >= 1e6)
+    return strprintf("%.2fM", pairs_per_second / 1e6);
+  if (pairs_per_second >= 1e3)
+    return strprintf("%.1fk", pairs_per_second / 1e3);
+  return strprintf("%.0f", pairs_per_second);
+}
+
+}  // namespace tinge::bench

@@ -1,0 +1,70 @@
+// Experiment T1 [reconstructed]: per-stage time breakdown of one full
+// network construction — the table that shows the O(n^2) MI pass dominating
+// and preprocessing/null-building amortized to noise, which is what makes
+// the paper's kernel-level optimization effort worthwhile.
+#include "bench_common.h"
+#include "core/network_builder.h"
+#include "util/args.h"
+
+using namespace tinge;
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add("genes", "genes to simulate", "400");
+  args.add("samples", "experiments per gene", "512");
+  args.add("permutations", "null-distribution draws", "2000");
+  args.add("alpha", "significance level", "0.001");
+  args.add_flag("dpi", "apply the DPI post-processing stage");
+  args.parse(argc, argv);
+
+  const auto n = static_cast<std::size_t>(args.get_int("genes"));
+  const auto m = static_cast<std::size_t>(args.get_int("samples"));
+
+  bench::print_header(
+      "T1: pipeline stage breakdown",
+      strprintf("synthetic GRN dataset, %zu genes x %zu samples", n, m));
+
+  const SyntheticDataset dataset = bench::accuracy_dataset(n, m);
+
+  TingeConfig config;
+  config.permutations = static_cast<std::size_t>(args.get_int("permutations"));
+  config.alpha = args.get_double("alpha");
+  config.apply_dpi = args.get_flag("dpi");
+  NetworkBuilder builder(config);
+  const BuildResult result = builder.build(dataset.expression);
+
+  Table table({"stage", "seconds", "share"});
+  const auto share = [&](double t) {
+    return strprintf("%.1f%%", 100.0 * t / result.times.total);
+  };
+  table.add_row({"preprocess (impute+filter+rank)",
+                 strprintf("%.3f", result.times.preprocess),
+                 share(result.times.preprocess)});
+  table.add_row({"B-spline weight table",
+                 strprintf("%.3f", result.times.weight_table),
+                 share(result.times.weight_table)});
+  table.add_row({strprintf("permutation null (q=%zu)", config.permutations),
+                 strprintf("%.3f", result.times.null_build),
+                 share(result.times.null_build)});
+  table.add_row({"all-pairs MI + threshold",
+                 strprintf("%.3f", result.times.mi_pass),
+                 share(result.times.mi_pass)});
+  if (config.apply_dpi) {
+    table.add_row({"DPI filtering", strprintf("%.3f", result.times.dpi),
+                   share(result.times.dpi)});
+  }
+  table.add_row({"total", strprintf("%.3f", result.times.total), "100%"});
+  table.print();
+
+  std::printf("\nthreshold I_alpha = %.5f nats (H_marginal = %.4f)\n",
+              result.threshold, result.marginal_entropy);
+  std::printf("edges kept: %zu of %zu pairs (%.3f%%)\n",
+              result.network.n_edges(), result.engine.pairs_computed,
+              100.0 * static_cast<double>(result.network.n_edges()) /
+                  static_cast<double>(result.engine.pairs_computed));
+  std::printf(
+      "\nPaper shape to compare: the MI pass owns the overwhelming share at\n"
+      "whole-genome n; the null is O(q*m), independent of n, so its share\n"
+      "vanishes as n grows.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Experiment F1 [reconstructed]: strong scaling of the all-pairs MI engine
+// with thread count — the paper's core-level/thread-level parallelism figure
+// (1..240 threads on the Phi, 1..32 on the Xeon).
+//
+// Two panels:
+//   1. MEASURED on this host (honest: this container may have very few
+//      cores, in which case the curve flattens at the physical count and
+//      the oversubscribed tail shows scheduler overhead, not the Phi SMT
+//      effect);
+//   2. MODELED for the paper's two machines via the calibrated device model
+//      (see DESIGN.md §2), which reproduces the published scaling shape.
+#include "bench_common.h"
+#include "core/mi_engine.h"
+#include "device/perf_model.h"
+#include "mi/bspline_mi.h"
+#include "parallel/thread_pool.h"
+#include "util/args.h"
+
+using namespace tinge;
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add("genes", "genes in the test matrix", "192");
+  args.add("samples", "experiments per gene", "512");
+  args.add("max-threads", "largest thread count to sweep", "16");
+  args.add("schedule", "static|dynamic|guided", "dynamic");
+  args.parse(argc, argv);
+
+  const auto n = static_cast<std::size_t>(args.get_int("genes"));
+  const auto m = static_cast<std::size_t>(args.get_int("samples"));
+  const int max_threads = static_cast<int>(args.get_int("max-threads"));
+
+  bench::print_header(
+      "F1: strong scaling vs thread count",
+      strprintf("all-pairs MI over %zu genes x %zu samples (%zu pairs)", n, m,
+                n * (n - 1) / 2));
+
+  const bench::RandomRanks data(n, m);
+  const BsplineMi estimator(10, 3, m);
+  const MiEngine engine(estimator, data.ranked());
+
+  par::Schedule schedule = par::Schedule::Dynamic;
+  if (args.get("schedule") == "static") schedule = par::Schedule::Static;
+  if (args.get("schedule") == "guided") schedule = par::Schedule::Guided;
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  Table measured({"threads", "seconds", "pairs/s", "speedup", "efficiency"});
+  double t1 = 0.0;
+  double single_thread_rate = 0.0;
+  for (const int threads : thread_counts) {
+    par::ThreadPool pool(threads);
+    TingeConfig config;
+    config.threads = threads;
+    config.tile_size = 32;
+    config.schedule = schedule;
+    EngineStats stats;
+    engine.compute_network(/*threshold=*/10.0, config, pool, &stats);
+    if (threads == 1) {
+      t1 = stats.seconds;
+      single_thread_rate =
+          static_cast<double>(stats.pairs_computed) / stats.seconds;
+    }
+    const double speedup = t1 / stats.seconds;
+    measured.add_row(
+        {std::to_string(threads), strprintf("%.3f", stats.seconds),
+         bench::rate_str(static_cast<double>(stats.pairs_computed) /
+                         stats.seconds),
+         strprintf("%.2fx", speedup),
+         strprintf("%.0f%%", 100.0 * speedup / threads)});
+  }
+  std::printf("measured on this host (schedule: %s):\n",
+              par::schedule_name(schedule));
+  measured.print();
+
+  // Scheduling-policy ablation at a fixed thread count: dynamic scheduling
+  // is the paper's choice because edge tiles and cache effects make tile
+  // cost non-uniform; static suffers when costs skew, guided splits the
+  // difference.
+  {
+    Table sched_table({"schedule", "seconds", "pairs/s"});
+    const int sched_threads = std::min(4, max_threads);
+    par::ThreadPool pool(sched_threads);
+    for (const par::Schedule s : {par::Schedule::Static, par::Schedule::Dynamic,
+                                  par::Schedule::Guided}) {
+      TingeConfig config;
+      config.threads = sched_threads;
+      config.tile_size = 32;
+      config.schedule = s;
+      EngineStats stats;
+      engine.compute_network(10.0, config, pool, &stats);
+      sched_table.add_row({par::schedule_name(s),
+                           strprintf("%.3f", stats.seconds),
+                           bench::rate_str(
+                               static_cast<double>(stats.pairs_computed) /
+                               stats.seconds)});
+    }
+    std::printf("\nschedule ablation (%d threads, T=32):\n", sched_threads);
+    sched_table.print();
+  }
+
+  // Team mode (the Phi's threads-of-a-core cooperating on one tile). On a
+  // machine with private-cache pressure the teamed variant wins by sharing
+  // a tile's gene blocks; measured here for structural comparison.
+  {
+    Table teamed({"threads", "team size", "seconds", "pairs/s"});
+    const int team_threads = std::max(4, max_threads);
+    par::ThreadPool pool(team_threads);
+    for (const int team_size : {1, 2, 4}) {
+      if (team_threads % team_size != 0) continue;
+      TingeConfig config;
+      config.threads = team_threads;
+      config.tile_size = 32;
+      EngineStats stats;
+      engine.compute_network_teamed(10.0, config, pool, team_size, &stats);
+      teamed.add_row({std::to_string(team_threads), std::to_string(team_size),
+                      strprintf("%.3f", stats.seconds),
+                      bench::rate_str(
+                          static_cast<double>(stats.pairs_computed) /
+                          stats.seconds)});
+    }
+    std::printf("\nteam mode (one tile per team, pairs split among members):\n");
+    teamed.print();
+  }
+
+  // ---- modeled panels for the paper's machines ---------------------------
+  const double measured_gflops = single_thread_rate *
+                                 MiWorkload{1, m, 3, 10}.flops();
+  const PerfModel model(host_device(), measured_gflops / 1e9);
+  const MiWorkload workload = MiWorkload::all_pairs(n, m, 3, 10);
+
+  const auto print_modeled = [&](const DeviceSpec& spec,
+                                 const std::vector<int>& threads) {
+    Table modeled({"threads", "seconds", "speedup"});
+    const double base = model.predict_seconds(spec, workload, 1);
+    for (const int t : threads) {
+      const double seconds = model.predict_seconds(spec, workload, t);
+      modeled.add_row({std::to_string(t), strprintf("%.4f", seconds),
+                       strprintf("%.1fx", base / seconds)});
+    }
+    std::printf("\nmodeled: %s (calibrated eff=%.1f%% of peak)\n",
+                spec.name.c_str(), 100.0 * model.efficiency());
+    modeled.print();
+  };
+  print_modeled(dual_xeon_e5_2670(), {1, 2, 4, 8, 16, 32});
+  print_modeled(xeon_phi_5110p(), {1, 15, 30, 60, 120, 180, 240});
+
+  std::printf(
+      "\nPaper shape to compare: near-linear scaling to the core count;\n"
+      "on the Phi, throughput keeps growing from 60 to 120 threads (the\n"
+      "in-order core needs 2 threads to saturate its VPU) and flattens\n"
+      "from 120 to 240.\n");
+  return 0;
+}

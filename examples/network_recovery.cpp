@@ -1,0 +1,105 @@
+// Network recovery study: generate a GRN with known ground truth, infer
+// networks with the B-spline MI pipeline and the baseline estimators, and
+// compare precision/recall/AUPR — including the effect of DPI filtering.
+#include <cmath>
+#include <cstdio>
+
+#include "core/network_builder.h"
+#include "graph/metrics.h"
+#include "mi/correlation.h"
+#include "synth/expression.h"
+#include "util/args.h"
+#include "util/str.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace tinge;
+
+  ArgParser args;
+  args.add("genes", "genes in the GRN", "120");
+  args.add("samples", "microarray experiments", "400");
+  args.add("alpha", "significance level", "0.001");
+  args.parse(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("genes"));
+  const auto m = static_cast<std::size_t>(args.get_int("samples"));
+
+  GrnParams grn;
+  grn.n_genes = n;
+  grn.mean_regulators = 1.5;
+  ExpressionParams arrays;
+  arrays.n_samples = m;
+  arrays.noise_sd = 1.0;
+  // 35% of edges respond non-monotonically (dosage-style): informative for
+  // MI, nearly invisible to Pearson/Spearman.
+  arrays.nonmonotone_fraction = 0.35;
+  const SyntheticDataset dataset = make_synthetic_dataset(grn, arrays);
+  const double chance = static_cast<double>(dataset.truth.n_edges()) /
+                        static_cast<double>(n * (n - 1) / 2);
+
+  std::printf("network_recovery: %zu genes x %zu samples, %zu true edges "
+              "(chance AUPR %.4f)\n\n",
+              n, m, dataset.truth.n_edges(), chance);
+
+  Table table({"method", "edges", "precision", "recall", "F1", "AUPR", "AUROC"});
+  const auto score = [&](const char* name, const GeneNetwork& network) {
+    const Confusion c = compare_networks(network, dataset.truth);
+    table.add_row({name, std::to_string(network.n_edges()),
+                   strprintf("%.3f", c.precision()),
+                   strprintf("%.3f", c.recall()), strprintf("%.3f", c.f1()),
+                   strprintf("%.4f", average_precision(network, dataset.truth)),
+                   strprintf("%.3f", auroc(network, dataset.truth))});
+  };
+
+  // 1. Full pipeline, no DPI.
+  TingeConfig config;
+  config.alpha = args.get_double("alpha");
+  config.permutations = 3000;
+  score("B-spline MI + permutation test",
+        NetworkBuilder(config).build(dataset.expression).network);
+
+  // 2. Full pipeline with DPI.
+  config.apply_dpi = true;
+  config.dpi_tolerance = 0.15;
+  score("  + DPI filtering",
+        NetworkBuilder(config).build(dataset.expression).network);
+
+  // 3. Correlation baselines thresholded to the same edge budget as (1).
+  config.apply_dpi = false;
+  const std::size_t budget =
+      NetworkBuilder(config).build(dataset.expression).network.n_edges();
+  const auto correlation_network = [&](bool spearman) {
+    GeneNetwork network(dataset.expression.gene_names());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double r =
+            spearman ? spearman_correlation(dataset.expression.row(i),
+                                            dataset.expression.row(j))
+                     : pearson_correlation(dataset.expression.row(i),
+                                           dataset.expression.row(j));
+        network.add_edge(static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(j),
+                         static_cast<float>(std::fabs(r)));
+      }
+    }
+    network.finalize();
+    // Keep the strongest `budget` edges for a like-for-like comparison.
+    std::vector<Edge> edges(network.edges().begin(), network.edges().end());
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& a, const Edge& b) { return a.weight > b.weight; });
+    if (edges.size() > budget) edges.resize(budget);
+    GeneNetwork top(dataset.expression.gene_names());
+    for (const Edge& e : edges) top.add_edge(e.u, e.v, e.weight);
+    top.finalize();
+    return top;
+  };
+  score("|Pearson| (same edge budget)", correlation_network(false));
+  score("|Spearman| (same edge budget)", correlation_network(true));
+
+  table.print();
+  std::printf(
+      "\nReading: MI matches the monotone baselines where they are strong\n"
+      "and wins where the tanh regulatory response bends relationships out\n"
+      "of the linear regime; DPI trades recall for precision by removing\n"
+      "indirect (distance-2) edges.\n");
+  return 0;
+}

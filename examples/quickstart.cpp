@@ -1,0 +1,50 @@
+// Quickstart: infer a gene network from expression data in ~30 lines.
+//
+//   1. get an expression matrix (here: simulated; normally read TSV),
+//   2. configure the pipeline,
+//   3. build, inspect, save.
+#include <cstdio>
+
+#include "core/network_builder.h"
+#include "graph/graph_io.h"
+#include "synth/expression.h"
+
+int main() {
+  using namespace tinge;
+
+  // 1. A small synthetic dataset: 200 genes, 300 microarray experiments.
+  GrnParams grn;
+  grn.n_genes = 200;
+  ExpressionParams arrays;
+  arrays.n_samples = 300;
+  SyntheticDataset dataset = make_synthetic_dataset(grn, arrays);
+
+  // 2. TINGe-style configuration: B-spline MI (b=10, k=3), permutation
+  //    threshold at alpha = 1e-3 from 2000 null draws.
+  TingeConfig config;
+  config.alpha = 1e-3;
+  config.permutations = 2000;
+
+  // 3. Run the pipeline.
+  NetworkBuilder builder(config);
+  const BuildResult result = builder.build(std::move(dataset.expression));
+
+  std::printf("built a network over %zu genes: %zu significant edges "
+              "(I_alpha = %.4f nats) in %.2f s\n",
+              result.genes_used, result.network.n_edges(), result.threshold,
+              result.times.total);
+
+  // Inspect the strongest edge and save the network for Cytoscape & co.
+  if (result.network.n_edges() > 0) {
+    const Edge strongest = *std::max_element(
+        result.network.edges().begin(), result.network.edges().end(),
+        [](const Edge& a, const Edge& b) { return a.weight < b.weight; });
+    std::printf("strongest interaction: %s -- %s (MI = %.3f nats)\n",
+                result.network.node_names()[strongest.u].c_str(),
+                result.network.node_names()[strongest.v].c_str(),
+                strongest.weight);
+  }
+  write_edge_list_file(result.network, "quickstart_network.tsv");
+  std::printf("edge list written to quickstart_network.tsv\n");
+  return 0;
+}

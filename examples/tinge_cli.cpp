@@ -1,0 +1,172 @@
+// tinge_cli — production-style command line for the full pipeline:
+//
+//   tinge_cli --in=expression.tsv --out=network.tsv [options]
+//   tinge_cli --synthetic=500 --out=network.tsv           (demo without data)
+//
+// Reads a TSV expression matrix (genes x experiments, NA for missing),
+// constructs the mutual-information network with permutation-test
+// thresholding, and writes a weighted edge list (and optionally SIF).
+#include <cstdio>
+
+#include "core/network_builder.h"
+#include "data/binary_io.h"
+#include "data/series_matrix.h"
+#include "data/tsv_io.h"
+#include "graph/graph_io.h"
+#include "simd/feature.h"
+#include "synth/expression.h"
+#include "util/args.h"
+
+int main(int argc, char** argv) {
+  using namespace tinge;
+
+  ArgParser args;
+  args.add("in", "input expression TSV (gene rows, sample columns)");
+  args.add("binary-in", "input expression matrix in TNGX binary format");
+  args.add("series-matrix", "input NCBI GEO Series Matrix file");
+  args.add("synthetic", "generate a synthetic dataset of N genes instead", "0");
+  args.add("out", "output edge list path", "network.tsv");
+  args.add("sif", "also write a Cytoscape SIF file to this path");
+  args.add("bins", "B-spline histogram bins", "10");
+  args.add("order", "B-spline order", "3");
+  args.add("alpha", "permutation-test significance level", "0.0001");
+  args.add("permutations", "null-distribution draws", "10000");
+  args.add("threads", "worker threads (0 = all)", "0");
+  args.add("tile", "tile size (genes per tile side)", "64");
+  args.add("seed", "RNG seed for the permutation null", "20140519");
+  args.add("min-variance", "drop genes with variance below this", "1e-12");
+  args.add("max-missing", "drop genes with more than this missing fraction",
+           "0.3");
+  args.add("dpi-tolerance", "DPI tolerance (with --dpi)", "0.1");
+  args.add("checkpoint", "journal completed tiles here; resumes if present");
+  args.add_flag("dpi", "apply DPI indirect-edge filtering");
+  args.add_flag("describe", "print a dataset summary and exit (no inference)");
+  args.add_flag("pvalues", "append a null-p-value column to the edge list");
+  args.add_flag("quiet", "suppress progress output");
+  args.add_flag("help", "show this help");
+
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  if (args.get_flag("help")) {
+    std::fputs(
+        args.usage("tinge_cli",
+                   "Mutual-information gene network construction (TINGe "
+                   "pipeline, IPDPS 2014 reproduction).")
+            .c_str(),
+        stdout);
+    return 0;
+  }
+
+  try {
+    // ---- load ---------------------------------------------------------------
+    ExpressionMatrix expression;
+    if (args.has("in")) {
+      if (!args.get_flag("quiet"))
+        std::printf("reading %s...\n", args.get("in").c_str());
+      expression = read_expression_tsv_file(args.get("in"));
+    } else if (args.has("binary-in")) {
+      expression = read_expression_binary_file(args.get("binary-in"));
+    } else if (args.has("series-matrix")) {
+      SeriesMatrix series = read_series_matrix_file(args.get("series-matrix"));
+      expression = std::move(series.expression);
+      if (!args.get_flag("quiet")) {
+        const auto title = series.metadata.find("Series_title");
+        std::printf("series: %s (%zu probes x %zu samples)\n",
+                    title != series.metadata.end() ? title->second.c_str()
+                                                   : "untitled",
+                    expression.n_genes(), expression.n_samples());
+      }
+    } else if (args.get_int("synthetic") > 0) {
+      GrnParams grn;
+      grn.n_genes = static_cast<std::size_t>(args.get_int("synthetic"));
+      ExpressionParams arrays;
+      arrays.n_samples = 400;
+      expression = simulate_expression(generate_grn(grn), arrays);
+      if (!args.get_flag("quiet"))
+        std::printf("generated synthetic dataset: %zu genes x %zu samples\n",
+                    expression.n_genes(), expression.n_samples());
+    } else {
+      std::fprintf(stderr,
+                   "error: provide --in=<tsv>, --binary-in=<tngx>, --series-matrix=<txt> "
+                   "or --synthetic=<genes> (see --help)\n");
+      return 2;
+    }
+
+    if (args.get_flag("describe")) {
+      std::printf("dataset: %zu genes x %zu samples\n", expression.n_genes(),
+                  expression.n_samples());
+      const std::size_t missing = expression.count_missing();
+      std::printf("missing spots: %zu (%.3f%%)\n", missing,
+                  expression.n_genes() * expression.n_samples() > 0
+                      ? 100.0 * static_cast<double>(missing) /
+                            static_cast<double>(expression.n_genes() *
+                                                 expression.n_samples())
+                      : 0.0);
+      const FilterResult filtered =
+          filter_genes(expression, TingeConfig{}.filter);
+      std::printf("usable genes at default filters: %zu (%zu low-variance, "
+                  "%zu too-missing)\n",
+                  filtered.matrix.n_genes(), filtered.dropped_low_variance,
+                  filtered.dropped_missing);
+      std::printf("suggested bins for m=%zu: %d\n", expression.n_samples(),
+                  suggest_bins(std::max<std::size_t>(expression.n_samples(), 2)));
+      return 0;
+    }
+
+    // ---- configure ------------------------------------------------------------
+    TingeConfig config;
+    config.bins = static_cast<int>(args.get_int("bins"));
+    config.spline_order = static_cast<int>(args.get_int("order"));
+    config.alpha = args.get_double("alpha");
+    config.permutations =
+        static_cast<std::size_t>(args.get_int("permutations"));
+    config.threads = static_cast<int>(args.get_int("threads"));
+    config.tile_size = static_cast<std::size_t>(args.get_int("tile"));
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    config.apply_dpi = args.get_flag("dpi");
+    config.dpi_tolerance = args.get_double("dpi-tolerance");
+    if (args.has("checkpoint")) config.checkpoint_path = args.get("checkpoint");
+    config.filter.min_variance = args.get_double("min-variance");
+    config.filter.max_missing_fraction = args.get_double("max-missing");
+
+    NetworkBuilder builder(config);
+    if (!args.get_flag("quiet")) {
+      std::printf("simd: %s\n", simd::isa_report().c_str());
+      builder.set_logger([](std::string_view message) {
+        std::printf("  %.*s\n", static_cast<int>(message.size()),
+                    message.data());
+      });
+    }
+
+    // ---- run ---------------------------------------------------------------------
+    const BuildResult result = builder.build(std::move(expression));
+
+    // ---- write ----------------------------------------------------------------
+    if (args.get_flag("pvalues")) {
+      const auto null = result.null;
+      write_edge_list_with_pvalues_file(
+          result.network,
+          [null](float mi) { return null->p_value(static_cast<double>(mi)); },
+          args.get("out"));
+    } else {
+      write_edge_list_file(result.network, args.get("out"));
+    }
+    if (args.has("sif")) write_sif_file(result.network, args.get("sif"));
+
+    if (!args.get_flag("quiet")) {
+      std::printf(
+          "done: %zu genes, %zu edges, threshold %.5f nats, %.2f s total\n",
+          result.genes_used, result.network.n_edges(), result.threshold,
+          result.times.total);
+      std::printf("network written to %s\n", args.get("out").c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

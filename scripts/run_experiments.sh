@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table (DESIGN.md §4) into results/.
+# Usage: scripts/run_experiments.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$RESULTS_DIR"
+status=0
+for bench in "$BUILD_DIR"/bench/*; do
+  [[ -f "$bench" && -x "$bench" ]] || continue
+  name="$(basename "$bench")"
+  echo "=== $name"
+  if ! "$bench" >"$RESULTS_DIR/$name.txt" 2>&1; then
+    echo "    FAILED (see $RESULTS_DIR/$name.txt)" >&2
+    status=1
+  fi
+done
+
+echo
+echo "results written to $RESULTS_DIR/"
+exit $status

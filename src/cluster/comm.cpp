@@ -1,0 +1,100 @@
+#include "cluster/comm.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+namespace tinge::cluster {
+
+void Comm::send(int dest, const void* data, std::size_t bytes, int tag) {
+  TINGE_EXPECTS(dest >= 0 && dest < size_);
+  InProcessCluster::Message message;
+  message.src = rank_;
+  message.tag = tag;
+  message.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(message.payload.data(), data, bytes);
+  cluster_->deliver(dest, std::move(message));
+}
+
+std::vector<std::byte> Comm::recv(int src, int tag) {
+  TINGE_EXPECTS(src >= 0 && src < size_);
+  return cluster_->wait_for(rank_, src, tag);
+}
+
+void Comm::barrier() { cluster_->barrier_wait(); }
+
+InProcessCluster::InProcessCluster(int size) : size_(size) {
+  TINGE_EXPECTS(size >= 1);
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void InProcessCluster::deliver(int dest, Message message) {
+  bytes_transferred_.fetch_add(message.payload.size(),
+                               std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(std::move(message));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> InProcessCluster::wait_for(int rank, int src, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  while (true) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        std::vector<std::byte> payload = std::move(it->payload);
+        box.messages.erase(it);
+        return payload;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void InProcessCluster::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_arrived_ == size_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock,
+                     [&] { return barrier_generation_ != my_generation; });
+  }
+}
+
+void InProcessCluster::run(const std::function<void(Comm&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &body, &error_mutex, &first_error] {
+      Comm comm(this, r, size_);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Drain leftover messages so a failed run cannot poison the next one.
+  if (first_error) {
+    for (auto& box : mailboxes_) {
+      std::lock_guard<std::mutex> lock(box->mutex);
+      box->messages.clear();
+    }
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace tinge::cluster

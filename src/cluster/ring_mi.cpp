@@ -1,0 +1,204 @@
+#include "cluster/ring_mi.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace tinge::cluster {
+
+double ClusterStats::imbalance() const {
+  if (pairs_per_rank.empty()) return 1.0;
+  const auto [lo, hi] =
+      std::minmax_element(pairs_per_rank.begin(), pairs_per_rank.end());
+  if (*lo == 0) return static_cast<double>(*hi);
+  return static_cast<double>(*hi) / static_cast<double>(*lo);
+}
+
+int block_pair_owner(int a, int b, int ranks) {
+  TINGE_EXPECTS(0 <= a && a <= b && b < ranks);
+  if (a == b) return a;
+  return (a + b) % 2 == 0 ? a : b;
+}
+
+namespace {
+
+constexpr int kTagRing = 1;       // + step
+constexpr int kTagEdges = 10000;
+constexpr int kTagPairCount = 10001;
+
+struct Block {
+  std::uint32_t id = 0;
+  std::size_t first_gene = 0;
+  std::size_t gene_count = 0;
+  std::vector<std::uint32_t> ranks;  // gene_count x m, row-major
+};
+
+std::size_t block_begin(std::size_t n, int ranks, int block) {
+  const std::size_t per = (n + static_cast<std::size_t>(ranks) - 1) /
+                          static_cast<std::size_t>(ranks);
+  return std::min(n, per * static_cast<std::size_t>(block));
+}
+
+Block load_block(const RankedMatrix& ranked, int ranks, std::uint32_t id) {
+  Block block;
+  block.id = id;
+  block.first_gene = block_begin(ranked.n_genes(), ranks, static_cast<int>(id));
+  const std::size_t end =
+      block_begin(ranked.n_genes(), ranks, static_cast<int>(id) + 1);
+  block.gene_count = end - block.first_gene;
+  const std::size_t m = ranked.n_samples();
+  block.ranks.resize(block.gene_count * m);
+  for (std::size_t g = 0; g < block.gene_count; ++g) {
+    const auto row = ranked.ranks(block.first_gene + g);
+    std::copy(row.begin(), row.end(), block.ranks.begin() + g * m);
+  }
+  return block;
+}
+
+// Wire format: [id, first_gene, gene_count] as u32 then the rank data.
+std::vector<std::uint32_t> pack_block(const Block& block) {
+  std::vector<std::uint32_t> wire;
+  wire.reserve(3 + block.ranks.size());
+  wire.push_back(block.id);
+  wire.push_back(static_cast<std::uint32_t>(block.first_gene));
+  wire.push_back(static_cast<std::uint32_t>(block.gene_count));
+  wire.insert(wire.end(), block.ranks.begin(), block.ranks.end());
+  return wire;
+}
+
+Block unpack_block(const std::vector<std::uint32_t>& wire) {
+  TINGE_EXPECTS(wire.size() >= 3);
+  Block block;
+  block.id = wire[0];
+  block.first_gene = wire[1];
+  block.gene_count = wire[2];
+  block.ranks.assign(wire.begin() + 3, wire.end());
+  TINGE_ENSURES(block.gene_count == 0 ||
+                block.ranks.size() % block.gene_count == 0);
+  return block;
+}
+
+}  // namespace
+
+GeneNetwork cluster_compute_network(const BsplineMi& estimator,
+                                    const RankedMatrix& ranked,
+                                    double threshold, int ranks,
+                                    const TingeConfig& config,
+                                    ClusterStats* stats) {
+  TINGE_EXPECTS(ranks >= 1);
+  TINGE_EXPECTS(estimator.n_samples() == ranked.n_samples());
+  const Stopwatch watch;
+  const std::size_t m = ranked.n_samples();
+  const float threshold_f = static_cast<float>(threshold);
+
+  InProcessCluster cluster(ranks);
+  std::vector<std::vector<Edge>> merged_edges(static_cast<std::size_t>(ranks));
+  std::vector<std::size_t> pairs_per_rank(static_cast<std::size_t>(ranks), 0);
+
+  cluster.run([&](Comm& comm) {
+    const int r = comm.rank();
+    const int p = comm.size();
+    // "Local load" of the resident block (not communication).
+    const Block resident =
+        load_block(ranked, p, static_cast<std::uint32_t>(r));
+
+    JointHistogram scratch = estimator.make_scratch();
+    std::vector<Edge> edges;
+    std::size_t pairs = 0;
+
+    const auto compute_cross = [&](const Block& a, const Block& b) {
+      for (std::size_t i = 0; i < a.gene_count; ++i) {
+        const std::uint32_t* ri = a.ranks.data() + i * m;
+        const auto gi = static_cast<std::uint32_t>(a.first_gene + i);
+        for (std::size_t j = 0; j < b.gene_count; ++j) {
+          const std::uint32_t* rj = b.ranks.data() + j * m;
+          const auto gj = static_cast<std::uint32_t>(b.first_gene + j);
+          // Kernel arguments in global gene order: the joint histogram is
+          // mathematically symmetric but its float summation order is not,
+          // and results must be bit-identical to the single-chip engine.
+          const double h =
+              gi < gj ? joint_entropy(estimator.table(), ri, rj, m, scratch,
+                                      config.kernel)
+                      : joint_entropy(estimator.table(), rj, ri, m, scratch,
+                                      config.kernel);
+          const float mi =
+              static_cast<float>(2.0 * estimator.marginal_entropy() - h);
+          ++pairs;
+          if (mi >= threshold_f) {
+            edges.push_back(gi < gj ? Edge{gi, gj, mi} : Edge{gj, gi, mi});
+          }
+        }
+      }
+    };
+
+    // Diagonal (within-block) pairs.
+    for (std::size_t i = 0; i < resident.gene_count; ++i) {
+      const std::uint32_t* ri = resident.ranks.data() + i * m;
+      const auto gi = static_cast<std::uint32_t>(resident.first_gene + i);
+      for (std::size_t j = i + 1; j < resident.gene_count; ++j) {
+        const std::uint32_t* rj = resident.ranks.data() + j * m;
+        const auto gj = static_cast<std::uint32_t>(resident.first_gene + j);
+        const double h = joint_entropy(estimator.table(), ri, rj, m, scratch,
+                                       config.kernel);
+        const float mi =
+            static_cast<float>(2.0 * estimator.marginal_entropy() - h);
+        ++pairs;
+        if (mi >= threshold_f) edges.push_back(Edge{gi, gj, mi});
+      }
+    }
+
+    // Ring pipeline: forward the traveling block, compute owned pairs.
+    Block traveling = resident;
+    for (int step = 1; step < p; ++step) {
+      const int next = (r + 1) % p;
+      const int prev = (r - 1 + p) % p;
+      comm.send_vector(next, pack_block(traveling), kTagRing + step);
+      traveling = unpack_block(
+          comm.recv_vector<std::uint32_t>(prev, kTagRing + step));
+      const int a = std::min(r, static_cast<int>(traveling.id));
+      const int b = std::max(r, static_cast<int>(traveling.id));
+      if (a != b && block_pair_owner(a, b, p) == r)
+        compute_cross(resident, traveling);
+    }
+
+    // Results to rank 0 (rank 0 keeps its own in place).
+    if (r == 0) {
+      merged_edges[0] = std::move(edges);
+      pairs_per_rank[0] = pairs;
+      for (int src = 1; src < p; ++src) {
+        merged_edges[static_cast<std::size_t>(src)] =
+            comm.recv_vector<Edge>(src, kTagEdges);
+        const auto count = comm.recv_vector<std::uint64_t>(src, kTagPairCount);
+        pairs_per_rank[static_cast<std::size_t>(src)] =
+            static_cast<std::size_t>(count.at(0));
+      }
+    } else {
+      comm.send_vector(0, edges, kTagEdges);
+      comm.send_vector(
+          0, std::vector<std::uint64_t>{static_cast<std::uint64_t>(pairs)},
+          kTagPairCount);
+    }
+  });
+
+  GeneNetwork network(ranked.gene_names());
+  std::size_t total_pairs = 0;
+  for (std::size_t r = 0; r < merged_edges.size(); ++r) {
+    network.add_edges(merged_edges[r]);
+    total_pairs += pairs_per_rank[r];
+  }
+  network.finalize();
+  TINGE_ENSURES(total_pairs ==
+                ranked.n_genes() * (ranked.n_genes() - 1) / 2);
+
+  if (stats != nullptr) {
+    stats->ranks = ranks;
+    stats->bytes_transferred = cluster.bytes_transferred();
+    stats->messages = cluster.messages_sent();
+    stats->pairs_per_rank = pairs_per_rank;
+    stats->pairs_total = total_pairs;
+    stats->seconds = watch.seconds();
+  }
+  return network;
+}
+
+}  // namespace tinge::cluster

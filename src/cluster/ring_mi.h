@@ -1,0 +1,58 @@
+// TINGe-classic's distributed all-pairs MI — the cluster baseline the
+// paper's single-chip solution replaces.
+//
+// Algorithm (owner-computes with a ring pipeline, as in Zola et al.):
+//   * genes are split into P contiguous blocks, one per rank ("loaded
+//     locally": each rank's block is materialized on that rank only);
+//   * every unordered block pair {a, b} (a < b) is assigned to exactly one
+//     rank by the classic balanced rule: rank a if (a + b) is even, rank b
+//     otherwise; diagonal pairs (within-block) belong to the owner;
+//   * blocks circulate around the ring for P-1 steps; at each step a rank
+//     forwards the traveling block and computes the block-pair it owns, if
+//     any, between its resident block and the arrival;
+//   * every rank ships its surviving edges to rank 0, which merges them.
+//
+// The communication cost this incurs — each block traverses the whole ring,
+// so ~(P-1) * (n*m*4 bytes / P) per step schedule — is the quantity
+// bench_cluster_baseline reports against the paper's "zero, it's one chip".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/comm.h"
+#include "core/config.h"
+#include "graph/network.h"
+#include "mi/bspline_mi.h"
+#include "preprocess/rank_transform.h"
+
+namespace tinge::cluster {
+
+struct ClusterStats {
+  int ranks = 0;
+  std::uint64_t bytes_transferred = 0;  ///< payload bytes through the ring
+  std::uint64_t messages = 0;
+  std::vector<std::size_t> pairs_per_rank;
+  std::size_t pairs_total = 0;
+  double seconds = 0.0;
+
+  /// max/min computed pairs across ranks (1.0 = perfectly balanced).
+  double imbalance() const;
+};
+
+/// Runs the distributed computation on `ranks` simulated ranks and returns
+/// the merged thresholded network (identical, up to edge order, to
+/// MiEngine::compute_network on the same inputs — test-enforced).
+/// `config` supplies the kernel choice; threading inside a rank is not used
+/// (one thread per rank, as in the classic flat-MPI TINGe).
+GeneNetwork cluster_compute_network(const BsplineMi& estimator,
+                                    const RankedMatrix& ranked,
+                                    double threshold, int ranks,
+                                    const TingeConfig& config,
+                                    ClusterStats* stats = nullptr);
+
+/// The block-pair ownership rule, exposed for tests: which rank computes
+/// unordered block pair {a, b} (a <= b) among `ranks` blocks.
+int block_pair_owner(int a, int b, int ranks);
+
+}  // namespace tinge::cluster

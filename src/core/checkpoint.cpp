@@ -1,0 +1,185 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "data/tsv_io.h"  // IoError
+#include "util/contracts.h"
+
+namespace tinge {
+
+namespace {
+constexpr char kMagic[4] = {'T', 'N', 'G', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+struct PackedSignature {
+  std::uint64_t n_genes;
+  std::uint64_t n_samples;
+  std::uint64_t tile_size;
+  std::uint32_t bins;
+  std::uint32_t order;
+  double threshold;
+};
+static_assert(sizeof(PackedSignature) == 40);
+
+PackedSignature pack(const RunSignature& s) {
+  return PackedSignature{s.n_genes, s.n_samples, s.tile_size,
+                         s.bins, s.order, s.threshold};
+}
+
+RunSignature unpack(const PackedSignature& p) {
+  RunSignature s;
+  s.n_genes = p.n_genes;
+  s.n_samples = p.n_samples;
+  s.tile_size = p.tile_size;
+  s.bins = p.bins;
+  s.order = p.order;
+  s.threshold = p.threshold;
+  return s;
+}
+
+struct PackedEdge {
+  std::uint32_t u;
+  std::uint32_t v;
+  float weight;
+};
+static_assert(sizeof(PackedEdge) == 12);
+}  // namespace
+
+struct CheckpointWriter::Impl {
+  std::FILE* file = nullptr;
+  std::mutex mutex;
+  std::string path;
+};
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   const RunSignature& signature)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->path = path;
+  impl_->file = std::fopen(path.c_str(), "wb");
+  if (impl_->file == nullptr)
+    throw IoError("cannot create checkpoint " + path);
+  const PackedSignature packed = pack(signature);
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), impl_->file) != sizeof(kMagic) ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, impl_->file) != 1 ||
+      std::fwrite(&packed, sizeof(packed), 1, impl_->file) != 1) {
+    std::fclose(impl_->file);
+    impl_->file = nullptr;
+    throw IoError("cannot write checkpoint header to " + path);
+  }
+  std::fflush(impl_->file);
+}
+
+CheckpointWriter::~CheckpointWriter() { close(); }
+
+void CheckpointWriter::append_tile(std::size_t tile_index,
+                                   std::span<const Edge> edges) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  TINGE_EXPECTS(impl_->file != nullptr);
+  const auto index = static_cast<std::uint64_t>(tile_index);
+  const auto count = static_cast<std::uint32_t>(edges.size());
+  bool ok = std::fwrite(&index, sizeof(index), 1, impl_->file) == 1 &&
+            std::fwrite(&count, sizeof(count), 1, impl_->file) == 1;
+  for (const Edge& e : edges) {
+    if (!ok) break;
+    const PackedEdge packed{e.u, e.v, e.weight};
+    ok = std::fwrite(&packed, sizeof(packed), 1, impl_->file) == 1;
+  }
+  if (!ok) throw IoError("checkpoint append failed: " + impl_->path);
+  std::fflush(impl_->file);
+}
+
+void CheckpointWriter::close() {
+  if (impl_ && impl_->file != nullptr) {
+    std::fclose(impl_->file);
+    impl_->file = nullptr;
+  }
+}
+
+CheckpointState load_checkpoint(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) throw IoError("cannot open checkpoint " + path);
+  const auto fail = [&](const std::string& what) {
+    std::fclose(file);
+    throw IoError(what + ": " + path);
+  };
+
+  char magic[4];
+  std::uint32_t version = 0;
+  PackedSignature packed{};
+  if (std::fread(magic, 1, sizeof(magic), file) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    fail("not a TNGC checkpoint");
+  if (std::fread(&version, sizeof(version), 1, file) != 1 ||
+      version != kVersion)
+    fail("unsupported checkpoint version");
+  if (std::fread(&packed, sizeof(packed), 1, file) != 1)
+    fail("truncated checkpoint header");
+
+  CheckpointState state;
+  state.signature = unpack(packed);
+  std::vector<bool> seen_tile;
+  while (true) {
+    std::uint64_t tile_index = 0;
+    std::uint32_t count = 0;
+    if (std::fread(&tile_index, sizeof(tile_index), 1, file) != 1) break;
+    if (std::fread(&count, sizeof(count), 1, file) != 1) {
+      state.tail_truncated = true;
+      break;
+    }
+    TileRecord record;
+    record.tile_index = tile_index;
+    record.edges.reserve(count);
+    bool torn = false;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      PackedEdge e{};
+      if (std::fread(&e, sizeof(e), 1, file) != 1) {
+        torn = true;
+        break;
+      }
+      record.edges.push_back(Edge{e.u, e.v, e.weight});
+    }
+    if (torn) {
+      state.tail_truncated = true;
+      break;
+    }
+    if (tile_index < (1u << 30)) {
+      if (seen_tile.size() <= tile_index)
+        seen_tile.resize(static_cast<std::size_t>(tile_index) + 1, false);
+      if (seen_tile[static_cast<std::size_t>(tile_index)]) continue;
+      seen_tile[static_cast<std::size_t>(tile_index)] = true;
+    }
+    state.records.push_back(std::move(record));
+  }
+  std::fclose(file);
+  return state;
+}
+
+std::vector<std::uint64_t> CheckpointState::completed_tiles() const {
+  std::vector<std::uint64_t> tiles;
+  tiles.reserve(records.size());
+  for (const TileRecord& record : records) tiles.push_back(record.tile_index);
+  std::sort(tiles.begin(), tiles.end());
+  tiles.erase(std::unique(tiles.begin(), tiles.end()), tiles.end());
+  return tiles;
+}
+
+std::vector<Edge> CheckpointState::all_edges() const {
+  std::vector<Edge> edges;
+  for (const TileRecord& record : records)
+    edges.insert(edges.end(), record.edges.begin(), record.edges.end());
+  return edges;
+}
+
+bool checkpoint_matches(const std::string& path, const RunSignature& signature) {
+  try {
+    return load_checkpoint(path).signature == signature;
+  } catch (const IoError&) {
+    return false;
+  }
+}
+
+}  // namespace tinge

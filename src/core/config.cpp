@@ -1,0 +1,18 @@
+#include "core/config.h"
+
+#include "util/contracts.h"
+
+namespace tinge {
+
+void TingeConfig::validate() const {
+  TINGE_EXPECTS(spline_order >= 1);
+  TINGE_EXPECTS(spline_order <= BsplineBasis::kMaxOrder);
+  TINGE_EXPECTS(bins >= spline_order);
+  TINGE_EXPECTS(alpha > 0.0 && alpha < 1.0);
+  TINGE_EXPECTS(permutations >= 10);
+  TINGE_EXPECTS(tile_size >= 1);
+  TINGE_EXPECTS(threads >= 0);
+  TINGE_EXPECTS(dpi_tolerance >= 0.0 && dpi_tolerance < 1.0);
+}
+
+}  // namespace tinge

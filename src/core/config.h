@@ -1,0 +1,48 @@
+// Configuration of the TINGe-style network construction pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mi/bspline_kernels.h"
+#include "parallel/parallel_for.h"
+#include "preprocess/filter.h"
+
+namespace tinge {
+
+struct TingeConfig {
+  // --- estimator (Daub et al. defaults used by TINGe) ------------------
+  int bins = 10;          ///< B-spline histogram bins b
+  int spline_order = 3;   ///< B-spline order k (degree k-1)
+
+  // --- significance ------------------------------------------------------
+  double alpha = 1e-3;           ///< permutation-test significance level
+  std::size_t permutations = 2000;  ///< null-distribution sample size q
+
+  // --- parallel execution ------------------------------------------------
+  std::size_t tile_size = 64;  ///< genes per tile side (cache blocking)
+  int threads = 0;             ///< 0 = all hardware threads
+  MiKernel kernel = MiKernel::Auto;
+  par::Schedule schedule = par::Schedule::Dynamic;
+
+  // --- reproducibility ----------------------------------------------------
+  std::uint64_t seed = 20140519;  ///< drives the permutation null
+
+  // --- fault tolerance ------------------------------------------------------
+  /// When non-empty, the MI pass journals completed tiles to this file and
+  /// resumes from it if a matching checkpoint exists (crash recovery for
+  /// whole-genome runs). Removed automatically on success.
+  std::string checkpoint_path;
+
+  // --- post-processing ----------------------------------------------------
+  bool apply_dpi = false;      ///< ARACNE-style indirect-edge removal
+  double dpi_tolerance = 0.1;  ///< DPI tolerance epsilon
+
+  // --- preprocessing -------------------------------------------------------
+  FilterCriteria filter;
+
+  /// Throws ContractViolation on inconsistent settings.
+  void validate() const;
+};
+
+}  // namespace tinge

@@ -1,0 +1,78 @@
+#include "core/dpi.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/contracts.h"
+
+namespace tinge {
+
+namespace {
+std::uint64_t edge_key(std::uint32_t u, std::uint32_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+}  // namespace
+
+GeneNetwork apply_dpi(const GeneNetwork& network, double tolerance,
+                      DpiStats* stats) {
+  TINGE_EXPECTS(network.finalized());
+  TINGE_EXPECTS(tolerance >= 0.0 && tolerance < 1.0);
+
+  const Adjacency adjacency(network);
+  std::unordered_set<std::uint64_t> removed;
+  DpiStats local_stats;
+  const float keep_factor = static_cast<float>(1.0 - tolerance);
+
+  // Enumerate each triangle once: for edge (u, v) with u < v, intersect the
+  // neighbor lists and keep only witnesses z > v.
+  for (const Edge& e : network.edges()) {
+    const auto nu = adjacency.neighbors(e.u);
+    const auto nv = adjacency.neighbors(e.v);
+    std::size_t iu = 0, iv = 0;
+    while (iu < nu.size() && iv < nv.size()) {
+      if (nu[iu].node < nv[iv].node) {
+        ++iu;
+      } else if (nu[iu].node > nv[iv].node) {
+        ++iv;
+      } else {
+        const std::uint32_t z = nu[iu].node;
+        if (z > e.v) {
+          ++local_stats.triangles_examined;
+          const float w_uv = e.weight;
+          const float w_uz = nu[iu].weight;
+          const float w_vz = nv[iv].weight;
+          // Find the strictly weakest edge of the triangle and remove it if
+          // dominated by the other two beyond the tolerance.
+          const float weakest = std::min({w_uv, w_uz, w_vz});
+          const float second = std::min(std::max(w_uv, w_uz),
+                                        std::max(std::min(w_uv, w_uz), w_vz));
+          if (weakest < second * keep_factor) {
+            if (w_uv == weakest) {
+              removed.insert(edge_key(e.u, e.v));
+            } else if (w_uz == weakest) {
+              removed.insert(edge_key(e.u, z));
+            } else {
+              removed.insert(edge_key(e.v, z));
+            }
+          }
+        }
+        ++iu;
+        ++iv;
+      }
+    }
+  }
+
+  GeneNetwork filtered(network.node_names());
+  for (const Edge& e : network.edges()) {
+    if (removed.count(edge_key(e.u, e.v)) == 0) {
+      filtered.add_edge(e.u, e.v, e.weight);
+    }
+  }
+  filtered.finalize();
+  local_stats.edges_removed = network.n_edges() - filtered.n_edges();
+  if (stats != nullptr) *stats = local_stats;
+  return filtered;
+}
+
+}  // namespace tinge

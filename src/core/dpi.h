@@ -1,0 +1,25 @@
+// Data Processing Inequality filtering (ARACNE; Margolin et al. 2006).
+//
+// If x -> z -> y is the true path, information theory bounds
+// MI(x, y) <= min(MI(x, z), MI(z, y)); the direct (x, y) edge is then
+// likely an indirect artifact. For every triangle in the thresholded
+// network the weakest edge is removed when it is weaker than
+// (1 - tolerance) * min(other two). TINGe offers this as a post-processing
+// step and so do we (TingeConfig::apply_dpi).
+#pragma once
+
+#include "graph/network.h"
+
+namespace tinge {
+
+struct DpiStats {
+  std::size_t triangles_examined = 0;
+  std::size_t edges_removed = 0;
+};
+
+/// Returns the DPI-filtered network. `tolerance` in [0, 1): 0 is the strict
+/// inequality, larger values keep more borderline edges.
+GeneNetwork apply_dpi(const GeneNetwork& network, double tolerance,
+                      DpiStats* stats = nullptr);
+
+}  // namespace tinge

@@ -1,0 +1,301 @@
+#include "core/mi_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <cstdio>
+#include <mutex>
+
+#include "core/checkpoint.h"
+
+#include "parallel/barrier.h"
+#include "parallel/parallel_for.h"
+#include "parallel/reduction.h"
+#include "util/timer.h"
+
+namespace tinge {
+
+MiEngine::MiEngine(const BsplineMi& estimator, const RankedMatrix& ranks)
+    : estimator_(estimator), ranks_(ranks) {
+  TINGE_EXPECTS(estimator.n_samples() == ranks.n_samples());
+  TINGE_EXPECTS(ranks.n_genes() >= 2);
+}
+
+GeneNetwork MiEngine::compute_network(double threshold,
+                                      const TingeConfig& config,
+                                      par::ThreadPool& pool,
+                                      EngineStats* stats) const {
+  config.validate();
+  const Stopwatch watch;
+  const std::size_t n = ranks_.n_genes();
+  const TileSet tiles(n, config.tile_size);
+  const int threads = config.threads > 0
+                          ? std::min(config.threads, pool.max_threads())
+                          : pool.max_threads();
+
+  struct ThreadState {
+    std::vector<Edge> edges;
+    std::size_t pairs = 0;
+  };
+  par::PerThread<ThreadState> state(threads);
+
+  par::parallel_for(
+      pool, threads, 0, tiles.count(), 1, config.schedule,
+      [&](std::size_t tile_begin, std::size_t tile_end, int tid) {
+        JointHistogram scratch = estimator_.make_scratch();
+        ThreadState& local = state.local(tid);
+        const float threshold_f = static_cast<float>(threshold);
+        for (std::size_t t = tile_begin; t < tile_end; ++t) {
+          const Tile& tile = tiles.tile(t);
+          for_each_pair(tile, [&](std::size_t i, std::size_t j) {
+            const double mi = estimator_.mi(ranks_.ranks(i), ranks_.ranks(j),
+                                            scratch, config.kernel);
+            ++local.pairs;
+            const float mi_f = static_cast<float>(mi);
+            if (mi_f >= threshold_f) {
+              local.edges.push_back(Edge{static_cast<std::uint32_t>(i),
+                                         static_cast<std::uint32_t>(j), mi_f});
+            }
+          });
+        }
+      });
+
+  GeneNetwork network(ranks_.gene_names());
+  std::size_t pairs = 0;
+  for (int t = 0; t < state.size(); ++t) {
+    network.add_edges(state.local(t).edges);
+    pairs += state.local(t).pairs;
+  }
+  network.finalize();
+
+  if (stats != nullptr) {
+    stats->pairs_computed = pairs;
+    stats->edges_emitted = network.n_edges();
+    stats->tiles = tiles.count();
+    stats->seconds = watch.seconds();
+  }
+  TINGE_ENSURES(pairs == tiles.total_pairs());
+  return network;
+}
+
+GeneNetwork MiEngine::compute_network_checkpointed(
+    double threshold, const TingeConfig& config, par::ThreadPool& pool,
+    const std::string& checkpoint_path, EngineStats* stats,
+    const std::function<void(std::size_t, std::size_t)>& progress) const {
+  config.validate();
+  const Stopwatch watch;
+  const std::size_t n = ranks_.n_genes();
+  const TileSet tiles(n, config.tile_size);
+  const int threads = config.threads > 0
+                          ? std::min(config.threads, pool.max_threads())
+                          : pool.max_threads();
+
+  const RunSignature signature{
+      n, ranks_.n_samples(), config.tile_size,
+      static_cast<std::uint32_t>(estimator_.basis().bins()),
+      static_cast<std::uint32_t>(estimator_.basis().order()), threshold};
+
+  // Resume state: tiles already journaled by a previous attempt.
+  std::vector<char> done(tiles.count(), 0);
+  std::vector<TileRecord> prior_records;
+  if (checkpoint_matches(checkpoint_path, signature)) {
+    CheckpointState state = load_checkpoint(checkpoint_path);
+    for (TileRecord& record : state.records) {
+      if (record.tile_index < tiles.count() &&
+          !done[static_cast<std::size_t>(record.tile_index)]) {
+        done[static_cast<std::size_t>(record.tile_index)] = 1;
+        prior_records.push_back(std::move(record));
+      }
+    }
+  }
+
+  // Rewrite the journal fresh (drops any torn tail), replaying prior tiles.
+  CheckpointWriter writer(checkpoint_path, signature);
+  for (const TileRecord& record : prior_records)
+    writer.append_tile(record.tile_index, record.edges);
+
+  std::mutex progress_mutex;
+  std::atomic<std::size_t> tiles_done{prior_records.size()};
+  std::atomic<std::size_t> pairs_computed{0};
+  std::atomic<std::size_t> edges_found{0};
+
+  par::parallel_for(
+      pool, threads, 0, tiles.count(), 1, config.schedule,
+      [&](std::size_t tile_begin, std::size_t tile_end, int /*tid*/) {
+        JointHistogram scratch = estimator_.make_scratch();
+        std::vector<Edge> tile_edges;
+        const float threshold_f = static_cast<float>(threshold);
+        for (std::size_t t = tile_begin; t < tile_end; ++t) {
+          if (done[t]) continue;
+          tile_edges.clear();
+          std::size_t tile_pairs = 0;
+          for_each_pair(tiles.tile(t), [&](std::size_t i, std::size_t j) {
+            const float mi = static_cast<float>(estimator_.mi(
+                ranks_.ranks(i), ranks_.ranks(j), scratch, config.kernel));
+            ++tile_pairs;
+            if (mi >= threshold_f) {
+              tile_edges.push_back(Edge{static_cast<std::uint32_t>(i),
+                                        static_cast<std::uint32_t>(j), mi});
+            }
+          });
+          writer.append_tile(t, tile_edges);
+          pairs_computed.fetch_add(tile_pairs, std::memory_order_relaxed);
+          edges_found.fetch_add(tile_edges.size(), std::memory_order_relaxed);
+          const std::size_t completed =
+              tiles_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+          if (progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            progress(completed, tiles.count());
+          }
+        }
+      });
+
+  writer.close();
+
+  // All tiles journaled: assemble the network from the (now complete) file
+  // so the result is exactly what a resume would produce.
+  const CheckpointState final_state = load_checkpoint(checkpoint_path);
+  TINGE_ENSURES(final_state.completed_tiles().size() == tiles.count());
+  GeneNetwork network(ranks_.gene_names());
+  const std::vector<Edge> edges = final_state.all_edges();
+  network.add_edges(edges);
+  network.finalize();
+  std::remove(checkpoint_path.c_str());
+
+  if (stats != nullptr) {
+    stats->pairs_computed = pairs_computed.load();
+    stats->edges_emitted = network.n_edges();
+    stats->tiles = tiles.count();
+    stats->seconds = watch.seconds();
+  }
+  return network;
+}
+
+GeneNetwork MiEngine::compute_network_teamed(double threshold,
+                                             const TingeConfig& config,
+                                             par::ThreadPool& pool,
+                                             int team_size,
+                                             EngineStats* stats) const {
+  config.validate();
+  TINGE_EXPECTS(team_size >= 1);
+  const Stopwatch watch;
+  const std::size_t n = ranks_.n_genes();
+  const TileSet tiles(n, config.tile_size);
+  const int threads = config.threads > 0
+                          ? std::min(config.threads, pool.max_threads())
+                          : pool.max_threads();
+  TINGE_EXPECTS(threads % team_size == 0);
+  const int n_teams = threads / team_size;
+
+  struct ThreadState {
+    std::vector<Edge> edges;
+    std::size_t pairs = 0;
+  };
+  par::PerThread<ThreadState> state(threads);
+
+  // Per-team coordination: the leader claims the next tile from the global
+  // counter; a team barrier publishes it to the members; every member then
+  // walks the tile's pairs and takes those congruent to its member id.
+  std::atomic<std::size_t> next_tile{0};
+  struct alignas(kSimdAlignment) TeamSlot {
+    std::size_t tile = 0;
+    std::unique_ptr<par::SpinBarrier> barrier;
+  };
+  std::vector<TeamSlot> teams(static_cast<std::size_t>(n_teams));
+  for (auto& team : teams)
+    team.barrier = std::make_unique<par::SpinBarrier>(team_size);
+
+  pool.run(threads, [&](int tid, int /*width*/) {
+    const int team_id = tid / team_size;
+    const int member = tid % team_size;
+    TeamSlot& team = teams[static_cast<std::size_t>(team_id)];
+    JointHistogram scratch = estimator_.make_scratch();
+    ThreadState& local = state.local(tid);
+    const float threshold_f = static_cast<float>(threshold);
+
+    while (true) {
+      if (member == 0)
+        team.tile = next_tile.fetch_add(1, std::memory_order_relaxed);
+      team.barrier->arrive_and_wait();
+      const std::size_t t = team.tile;
+      if (t >= tiles.count()) break;
+      std::size_t pair_index = 0;
+      for_each_pair(tiles.tile(t), [&](std::size_t i, std::size_t j) {
+        if (static_cast<int>(pair_index++ % static_cast<std::size_t>(
+                                 team_size)) != member)
+          return;
+        const double mi = estimator_.mi(ranks_.ranks(i), ranks_.ranks(j),
+                                        scratch, config.kernel);
+        ++local.pairs;
+        const float mi_f = static_cast<float>(mi);
+        if (mi_f >= threshold_f) {
+          local.edges.push_back(Edge{static_cast<std::uint32_t>(i),
+                                     static_cast<std::uint32_t>(j), mi_f});
+        }
+      });
+      // Second barrier keeps members in lock-step with the leader's next
+      // claim (the leader must not overwrite team.tile early).
+      team.barrier->arrive_and_wait();
+    }
+  });
+
+  GeneNetwork network(ranks_.gene_names());
+  std::size_t pairs = 0;
+  for (int t = 0; t < state.size(); ++t) {
+    network.add_edges(state.local(t).edges);
+    pairs += state.local(t).pairs;
+  }
+  network.finalize();
+
+  if (stats != nullptr) {
+    stats->pairs_computed = pairs;
+    stats->edges_emitted = network.n_edges();
+    stats->tiles = tiles.count();
+    stats->seconds = watch.seconds();
+  }
+  TINGE_ENSURES(pairs == tiles.total_pairs());
+  return network;
+}
+
+std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
+                                           par::ThreadPool& pool,
+                                           EngineStats* stats) const {
+  config.validate();
+  const Stopwatch watch;
+  const std::size_t n = ranks_.n_genes();
+  TINGE_EXPECTS(n <= 1u << 15);  // dense mode is for study-sized problems
+  std::vector<float> mi_matrix(n * n, 0.0f);
+  const TileSet tiles(n, config.tile_size);
+  const int threads = config.threads > 0
+                          ? std::min(config.threads, pool.max_threads())
+                          : pool.max_threads();
+  std::atomic<std::size_t> pairs{0};
+
+  par::parallel_for(
+      pool, threads, 0, tiles.count(), 1, config.schedule,
+      [&](std::size_t tile_begin, std::size_t tile_end, int /*tid*/) {
+        JointHistogram scratch = estimator_.make_scratch();
+        std::size_t local_pairs = 0;
+        for (std::size_t t = tile_begin; t < tile_end; ++t) {
+          for_each_pair(tiles.tile(t), [&](std::size_t i, std::size_t j) {
+            const double mi = estimator_.mi(ranks_.ranks(i), ranks_.ranks(j),
+                                            scratch, config.kernel);
+            const float mi_f = static_cast<float>(mi);
+            mi_matrix[i * n + j] = mi_f;
+            mi_matrix[j * n + i] = mi_f;
+            ++local_pairs;
+          });
+        }
+        pairs.fetch_add(local_pairs, std::memory_order_relaxed);
+      });
+
+  if (stats != nullptr) {
+    stats->pairs_computed = pairs.load();
+    stats->edges_emitted = 0;
+    stats->tiles = tiles.count();
+    stats->seconds = watch.seconds();
+  }
+  return mi_matrix;
+}
+
+}  // namespace tinge

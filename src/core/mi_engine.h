@@ -1,0 +1,89 @@
+// The tiled, multithreaded all-pairs mutual-information engine — the
+// component the paper parallelizes across the Phi's cores, hardware threads
+// and vector units.
+//
+// Work decomposition: the upper-triangular pair space is tiled (core/tile.h);
+// tiles are distributed over the thread pool with the configured schedule
+// (dynamic by default, as in the paper). Each thread owns a joint-histogram
+// scratch and an edge buffer; inside a tile the x-gene's table pointers are
+// hoisted and the kernel (mi/bspline_kernels.h) runs per pair. Edges at or
+// above the significance threshold are kept; everything else is discarded
+// immediately — at whole-genome scale the dense MI matrix (15,575^2 floats
+// ~ 1 GB) is never materialized.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/tile.h"
+#include "graph/network.h"
+#include "mi/bspline_mi.h"
+#include "parallel/thread_pool.h"
+#include "preprocess/rank_transform.h"
+
+namespace tinge {
+
+struct EngineStats {
+  std::size_t pairs_computed = 0;
+  std::size_t edges_emitted = 0;
+  std::size_t tiles = 0;
+  double seconds = 0.0;
+
+  /// Pair-sample throughput: pairs * m / seconds.
+  double cell_rate(std::size_t m) const {
+    return seconds > 0.0 ? static_cast<double>(pairs_computed) *
+                               static_cast<double>(m) / seconds
+                         : 0.0;
+  }
+};
+
+class MiEngine {
+ public:
+  /// Both references must outlive the engine. The ranked matrix must have
+  /// the same sample count as the estimator.
+  MiEngine(const BsplineMi& estimator, const RankedMatrix& ranks);
+
+  /// All-pairs MI with thresholding: returns the network of pairs with
+  /// MI >= threshold (weights are MI in nats).
+  GeneNetwork compute_network(double threshold, const TingeConfig& config,
+                              par::ThreadPool& pool,
+                              EngineStats* stats = nullptr) const;
+
+  /// Dense n x n MI matrix (row-major, diagonal = 0). For small n only —
+  /// used by tests, the DPI baseline and estimator studies.
+  std::vector<float> compute_dense(const TingeConfig& config,
+                                   par::ThreadPool& pool,
+                                   EngineStats* stats = nullptr) const;
+
+  /// Checkpointed variant of compute_network: journals each completed tile
+  /// to `checkpoint_path`; if a checkpoint with the identical run signature
+  /// already exists there, completed tiles are loaded instead of recomputed.
+  /// The checkpoint file is removed on successful completion.
+  ///
+  /// `progress(done, total)` is called after every newly computed tile
+  /// (from worker threads, serialized); an exception thrown from it aborts
+  /// the run exactly like a crash would — which is how the failure-injection
+  /// tests exercise resume.
+  GeneNetwork compute_network_checkpointed(
+      double threshold, const TingeConfig& config, par::ThreadPool& pool,
+      const std::string& checkpoint_path, EngineStats* stats = nullptr,
+      const std::function<void(std::size_t, std::size_t)>& progress = {}) const;
+
+  /// Team-mode variant: threads are grouped into teams of `team_size` (the
+  /// Phi's hardware threads of one core); a team claims a tile together and
+  /// its members split the tile's pairs round-robin, so the tile's two gene
+  /// blocks are shared in the core's cache instead of each thread streaming
+  /// its own tile. team_size must divide config.threads (or the pool width
+  /// when config.threads is 0). Results are identical to compute_network.
+  GeneNetwork compute_network_teamed(double threshold,
+                                     const TingeConfig& config,
+                                     par::ThreadPool& pool, int team_size,
+                                     EngineStats* stats = nullptr) const;
+
+ private:
+  const BsplineMi& estimator_;
+  const RankedMatrix& ranks_;
+};
+
+}  // namespace tinge

@@ -1,0 +1,112 @@
+#include "core/network_builder.h"
+
+#include <memory>
+
+#include "core/dpi.h"
+#include "parallel/thread_pool.h"
+#include "util/str.h"
+#include "util/timer.h"
+
+namespace tinge {
+
+NetworkBuilder::NetworkBuilder(TingeConfig config) : config_(config) {
+  config_.validate();
+}
+
+void NetworkBuilder::log(const std::string& message) const {
+  if (logger_) logger_(message);
+}
+
+BuildResult NetworkBuilder::build(const ExpressionMatrix& expression) const {
+  return run(expression.clone());
+}
+
+BuildResult NetworkBuilder::build(ExpressionMatrix&& expression) const {
+  return run(std::move(expression));
+}
+
+BuildResult NetworkBuilder::run(ExpressionMatrix working) const {
+  const Stopwatch total_watch;
+  BuildResult result;
+  result.genes_in = working.n_genes();
+
+  const int pool_threads = config_.threads > 0
+                               ? config_.threads
+                               : par::detect_host_topology().total_threads();
+  par::ThreadPool pool(pool_threads);
+
+  // Stage 1: preprocessing -------------------------------------------------
+  RankedMatrix ranked;
+  {
+    const ScopedAccumulator timer(result.times.preprocess);
+    result.imputed_cells = impute_missing_with_median(working);
+    FilterResult filtered = filter_genes(working, config_.filter);
+    result.genes_used = filtered.matrix.n_genes();
+    log(strprintf("preprocess: %zu/%zu genes kept (%zu low-variance, %zu "
+                  "missing dropped), %zu cells imputed",
+                  result.genes_used, result.genes_in,
+                  filtered.dropped_low_variance, filtered.dropped_missing,
+                  result.imputed_cells));
+    TINGE_EXPECTS(filtered.matrix.n_genes() >= 2);
+    ranked = RankedMatrix(filtered.matrix);
+  }
+
+  // Stage 2: shared B-spline weight table -----------------------------------
+  std::unique_ptr<BsplineMi> estimator;
+  {
+    const ScopedAccumulator timer(result.times.weight_table);
+    estimator = std::make_unique<BsplineMi>(config_.bins, config_.spline_order,
+                                            ranked.n_samples());
+    result.marginal_entropy = estimator->marginal_entropy();
+    log(strprintf("weight table: b=%d k=%d m=%zu, H_marginal=%.4f nats",
+                  config_.bins, config_.spline_order, ranked.n_samples(),
+                  result.marginal_entropy));
+  }
+
+  // Stage 3: universal permutation null -------------------------------------
+  {
+    const ScopedAccumulator timer(result.times.null_build);
+    result.null = std::make_shared<EmpiricalDistribution>(
+        build_null_distribution(*estimator, config_.permutations, config_.seed,
+                                pool, config_.threads, config_.kernel));
+    const EmpiricalDistribution& null = *result.null;
+    result.threshold = threshold_for_alpha(null, config_.alpha);
+    log(strprintf("null: q=%zu draws, I_alpha(%.2e)=%.5f nats",
+                  config_.permutations, config_.alpha, result.threshold));
+  }
+
+  // Stage 4: all-pairs MI with thresholding ---------------------------------
+  {
+    const ScopedAccumulator timer(result.times.mi_pass);
+    const MiEngine engine(*estimator, ranked);
+    if (config_.checkpoint_path.empty()) {
+      result.network = engine.compute_network(result.threshold, config_, pool,
+                                              &result.engine);
+    } else {
+      result.network = engine.compute_network_checkpointed(
+          result.threshold, config_, pool, config_.checkpoint_path,
+          &result.engine);
+    }
+    log(strprintf("mi pass: %zu pairs, %zu significant edges (%.2f%%)",
+                  result.engine.pairs_computed, result.network.n_edges(),
+                  result.engine.pairs_computed > 0
+                      ? 100.0 * static_cast<double>(result.network.n_edges()) /
+                            static_cast<double>(result.engine.pairs_computed)
+                      : 0.0));
+  }
+
+  // Stage 5: DPI (optional) --------------------------------------------------
+  if (config_.apply_dpi) {
+    const ScopedAccumulator timer(result.times.dpi);
+    result.network =
+        apply_dpi(result.network, config_.dpi_tolerance, &result.dpi_stats);
+    log(strprintf("dpi: %zu triangles, %zu edges removed, %zu edges remain",
+                  result.dpi_stats.triangles_examined,
+                  result.dpi_stats.edges_removed, result.network.n_edges()));
+  }
+
+  result.times.total = total_watch.seconds();
+  return result;
+}
+
+}  // namespace tinge

@@ -1,0 +1,68 @@
+// End-to-end network construction: the public entry point reproducing the
+// paper's full pipeline (preprocess -> shared weight table -> universal
+// permutation null -> tiled parallel MI with thresholding -> optional DPI).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "core/config.h"
+#include "core/dpi.h"
+#include "core/mi_engine.h"
+#include "core/null_distribution.h"
+#include "data/expression_matrix.h"
+#include "graph/network.h"
+
+namespace tinge {
+
+/// Wall-clock seconds per pipeline stage (Table T1).
+struct StageTimes {
+  double preprocess = 0.0;    ///< impute + filter + rank transform
+  double weight_table = 0.0;  ///< B-spline table + marginal entropy
+  double null_build = 0.0;    ///< universal permutation null
+  double mi_pass = 0.0;       ///< all-pairs MI + thresholding
+  double dpi = 0.0;           ///< indirect-edge filtering (if enabled)
+  double total = 0.0;
+};
+
+struct BuildResult {
+  GeneNetwork network;
+  /// The universal permutation null the threshold came from; usable for
+  /// per-edge p-values (write_edge_list_with_pvalues).
+  std::shared_ptr<const EmpiricalDistribution> null;
+  StageTimes times;
+  double threshold = 0.0;          ///< I_alpha actually applied (nats)
+  double marginal_entropy = 0.0;   ///< shared H(X) (nats)
+  EngineStats engine;
+  std::size_t genes_in = 0;        ///< before filtering
+  std::size_t genes_used = 0;      ///< after filtering
+  std::size_t imputed_cells = 0;
+  DpiStats dpi_stats;
+};
+
+class NetworkBuilder {
+ public:
+  explicit NetworkBuilder(TingeConfig config);
+
+  const TingeConfig& config() const { return config_; }
+
+  /// Optional progress sink (stage announcements); defaults to silent.
+  void set_logger(std::function<void(std::string_view)> logger) {
+    logger_ = std::move(logger);
+  }
+
+  /// Runs the full pipeline. The input is copied (preprocessing mutates);
+  /// use the rvalue overload to avoid the copy for large matrices.
+  BuildResult build(const ExpressionMatrix& expression) const;
+  BuildResult build(ExpressionMatrix&& expression) const;
+
+ private:
+  BuildResult run(ExpressionMatrix working) const;
+  void log(const std::string& message) const;
+
+  TingeConfig config_;
+  std::function<void(std::string_view)> logger_;
+};
+
+}  // namespace tinge

@@ -1,0 +1,59 @@
+#include "core/null_distribution.h"
+
+#include <algorithm>
+
+#include "parallel/parallel_for.h"
+#include "stats/rng.h"
+
+namespace tinge {
+
+EmpiricalDistribution build_null_distribution(const BsplineMi& estimator,
+                                              std::size_t q, std::uint64_t seed,
+                                              par::ThreadPool& pool, int threads,
+                                              MiKernel kernel) {
+  TINGE_EXPECTS(q >= 1);
+  const std::size_t m = estimator.n_samples();
+  std::vector<double> null_sample(q, 0.0);
+
+  // Deterministic independent of the thread count: draw i always uses the
+  // stream obtained by i long-jumps from the seed... that would cost O(q)
+  // jumps. Instead, fixed chunks of draws own fixed streams: draw i uses
+  // stream i / kDrawsPerStream, which is also how work is distributed.
+  constexpr std::size_t kDrawsPerStream = 64;
+  const std::size_t n_streams = (q + kDrawsPerStream - 1) / kDrawsPerStream;
+
+  threads = threads > 0 ? std::min(threads, pool.max_threads())
+                        : pool.max_threads();
+
+  par::parallel_for(
+      pool, threads, 0, n_streams, 1, par::Schedule::Dynamic,
+      [&](std::size_t stream_begin, std::size_t stream_end, int /*tid*/) {
+        JointHistogram scratch = estimator.make_scratch();
+        std::vector<std::uint32_t> perm_x(m), perm_y(m);
+        for (std::size_t stream = stream_begin; stream < stream_end; ++stream) {
+          Xoshiro256 rng(seed + 0x9e3779b97f4a7c15ULL * (stream + 1));
+          const std::size_t draw_begin = stream * kDrawsPerStream;
+          const std::size_t draw_end = std::min(draw_begin + kDrawsPerStream, q);
+          for (std::size_t draw = draw_begin; draw < draw_end; ++draw) {
+            for (std::size_t s = 0; s < m; ++s) {
+              perm_x[s] = static_cast<std::uint32_t>(s);
+              perm_y[s] = static_cast<std::uint32_t>(s);
+            }
+            shuffle(perm_x, rng);
+            shuffle(perm_y, rng);
+            null_sample[draw] = estimator.mi(perm_x, perm_y, scratch, kernel);
+          }
+        }
+      });
+
+  return EmpiricalDistribution(std::move(null_sample));
+}
+
+double threshold_for_alpha(const EmpiricalDistribution& null, double alpha) {
+  TINGE_EXPECTS(alpha > 0.0 && alpha < 1.0);
+  const double q_size = static_cast<double>(null.size());
+  if (alpha < 1.0 / (q_size + 1.0)) return null.max();
+  return null.quantile(1.0 - alpha);
+}
+
+}  // namespace tinge

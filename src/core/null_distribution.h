@@ -1,0 +1,38 @@
+// The universal permutation null distribution — TINGe's trick for making
+// permutation testing affordable at whole-genome scale.
+//
+// A naive permutation test permutes y against x for *every* pair: q extra
+// MI evaluations per pair, turning an O(n^2 m) computation into
+// O(q n^2 m). But after the rank transform, every gene is a permutation of
+// the same multiset, so "MI between gene x and a random permutation of
+// gene y" has one and the same distribution for ALL pairs — the
+// distribution of MI between two independent uniform-random permutations
+// of 0..m-1. Sampling it once with q draws gives a dataset-wide threshold
+//   I_alpha = (1 - alpha) quantile of the null,
+// and the per-pair cost of significance testing drops to a comparison.
+// bench_permutation (experiment T3) quantifies exactly this gap.
+#pragma once
+
+#include <cstdint>
+
+#include "mi/bspline_mi.h"
+#include "parallel/thread_pool.h"
+#include "stats/quantile.h"
+
+namespace tinge {
+
+/// Draws `q` null MI values (parallel over `threads` contexts of `pool`,
+/// deterministic for a given seed regardless of thread count).
+EmpiricalDistribution build_null_distribution(const BsplineMi& estimator,
+                                              std::size_t q,
+                                              std::uint64_t seed,
+                                              par::ThreadPool& pool,
+                                              int threads,
+                                              MiKernel kernel = MiKernel::Auto);
+
+/// Significance threshold at level alpha. If alpha < 1/(q+1) the empirical
+/// quantile saturates; following TINGe we then return the sample maximum
+/// (the most conservative threshold q draws can support).
+double threshold_for_alpha(const EmpiricalDistribution& null, double alpha);
+
+}  // namespace tinge

@@ -1,0 +1,31 @@
+#include "core/permutation_test.h"
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace tinge {
+
+PairTestResult pair_permutation_test(const BsplineMi& estimator,
+                                     std::span<const std::uint32_t> ranks_x,
+                                     std::span<const std::uint32_t> ranks_y,
+                                     std::size_t q, std::uint64_t seed,
+                                     JointHistogram& scratch, MiKernel kernel) {
+  TINGE_EXPECTS(q >= 1);
+  PairTestResult result;
+  result.mi = estimator.mi(ranks_x, ranks_y, scratch, kernel);
+
+  Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> permuted(ranks_y.begin(), ranks_y.end());
+  std::size_t at_least = 0;
+  for (std::size_t draw = 0; draw < q; ++draw) {
+    shuffle(permuted, rng);
+    const double null_mi = estimator.mi(ranks_x, permuted, scratch, kernel);
+    if (null_mi >= result.mi) ++at_least;
+  }
+  result.p_value = (static_cast<double>(at_least) + 1.0) /
+                   (static_cast<double>(q) + 1.0);
+  return result;
+}
+
+}  // namespace tinge

@@ -1,0 +1,28 @@
+// Per-pair permutation testing — the naive baseline that the universal
+// null (core/null_distribution.h) replaces. Kept (a) as the reference the
+// universal null is validated against and (b) for the cost comparison in
+// experiment T3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mi/bspline_mi.h"
+
+namespace tinge {
+
+struct PairTestResult {
+  double mi = 0.0;       ///< observed MI (nats)
+  double p_value = 1.0;  ///< (#{null >= mi} + 1) / (q + 1)
+};
+
+/// Permutes ranks_y against ranks_x `q` times and estimates the p-value of
+/// the observed MI under the independence null.
+PairTestResult pair_permutation_test(const BsplineMi& estimator,
+                                     std::span<const std::uint32_t> ranks_x,
+                                     std::span<const std::uint32_t> ranks_y,
+                                     std::size_t q, std::uint64_t seed,
+                                     JointHistogram& scratch,
+                                     MiKernel kernel = MiKernel::Auto);
+
+}  // namespace tinge

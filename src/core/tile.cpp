@@ -1,0 +1,30 @@
+#include "core/tile.h"
+
+#include <algorithm>
+
+namespace tinge {
+
+TileSet::TileSet(std::size_t n_genes, std::size_t tile_size)
+    : n_genes_(n_genes), tile_size_(tile_size) {
+  TINGE_EXPECTS(tile_size >= 1);
+  const std::size_t blocks = (n_genes + tile_size - 1) / tile_size;
+  tiles_.reserve(blocks * (blocks + 1) / 2);
+  for (std::size_t bi = 0; bi < blocks; ++bi) {
+    for (std::size_t bj = bi; bj < blocks; ++bj) {
+      Tile tile;
+      tile.row_begin = bi * tile_size;
+      tile.row_end = std::min(tile.row_begin + tile_size, n_genes);
+      tile.col_begin = bj * tile_size;
+      tile.col_end = std::min(tile.col_begin + tile_size, n_genes);
+      if (tile.pair_count() > 0) tiles_.push_back(tile);
+    }
+  }
+}
+
+std::size_t TileSet::total_pairs() const {
+  std::size_t total = 0;
+  for (const Tile& tile : tiles_) total += tile.pair_count();
+  return total;
+}
+
+}  // namespace tinge

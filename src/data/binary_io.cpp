@@ -1,0 +1,94 @@
+#include "data/binary_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace tinge {
+
+namespace {
+constexpr char kMagic[4] = {'T', 'N', 'G', 'X'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw IoError("truncated binary matrix (u32)");
+  return v;
+}
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw IoError("truncated binary matrix (u64)");
+  return v;
+}
+void write_name(std::ostream& out, const std::string& name) {
+  write_u32(out, static_cast<std::uint32_t>(name.size()));
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+}
+std::string read_name(std::istream& in) {
+  const std::uint32_t length = read_u32(in);
+  if (length > (1u << 20)) throw IoError("implausible name length in binary matrix");
+  std::string name(length, '\0');
+  in.read(name.data(), length);
+  if (!in) throw IoError("truncated binary matrix (name)");
+  return name;
+}
+}  // namespace
+
+void write_expression_binary_file(const ExpressionMatrix& matrix,
+                                  const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, kVersion);
+  write_u64(out, matrix.n_genes());
+  write_u64(out, matrix.n_samples());
+  for (const auto& name : matrix.gene_names()) write_name(out, name);
+  for (const auto& name : matrix.sample_names()) write_name(out, name);
+  for (std::size_t g = 0; g < matrix.n_genes(); ++g) {
+    const auto values = matrix.row(g);
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(float)));
+  }
+  if (!out) throw IoError("write to " + path + " failed");
+}
+
+ExpressionMatrix read_expression_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open " + path);
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw IoError(path + " is not a TNGX matrix");
+  const std::uint32_t version = read_u32(in);
+  if (version != kVersion)
+    throw IoError("unsupported TNGX version " + std::to_string(version));
+  const std::uint64_t n_genes = read_u64(in);
+  const std::uint64_t n_samples = read_u64(in);
+  std::vector<std::string> gene_names;
+  gene_names.reserve(n_genes);
+  for (std::uint64_t g = 0; g < n_genes; ++g) gene_names.push_back(read_name(in));
+  std::vector<std::string> sample_names;
+  sample_names.reserve(n_samples);
+  for (std::uint64_t s = 0; s < n_samples; ++s)
+    sample_names.push_back(read_name(in));
+
+  ExpressionMatrix matrix(n_genes, n_samples, std::move(gene_names),
+                          std::move(sample_names));
+  for (std::size_t g = 0; g < matrix.n_genes(); ++g) {
+    auto values = matrix.row(g);
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(float)));
+    if (!in) throw IoError("truncated binary matrix (values)");
+  }
+  return matrix;
+}
+
+}  // namespace tinge

@@ -1,0 +1,23 @@
+// Binary expression-matrix format for large runs: loading a
+// 15,575 x 3,137 float matrix from TSV costs more than some analyses.
+//
+// Layout (little-endian):
+//   magic "TNGX" | u32 version | u64 n_genes | u64 n_samples
+//   gene names   (u32 length + bytes, per gene)
+//   sample names (u32 length + bytes, per sample)
+//   raw float32 values, row-major, unpadded
+#pragma once
+
+#include <string>
+
+#include "data/expression_matrix.h"
+#include "data/tsv_io.h"  // IoError
+
+namespace tinge {
+
+void write_expression_binary_file(const ExpressionMatrix& matrix,
+                                  const std::string& path);
+
+ExpressionMatrix read_expression_binary_file(const std::string& path);
+
+}  // namespace tinge

@@ -1,0 +1,130 @@
+#include "data/series_matrix.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "data/tsv_io.h"  // IoError
+#include "util/str.h"
+
+namespace tinge {
+
+namespace {
+/// Strips one layer of double quotes if present.
+std::string_view unquote(std::string_view field) {
+  field = trim(field);
+  if (field.size() >= 2 && field.front() == '"' && field.back() == '"')
+    field = field.substr(1, field.size() - 2);
+  return field;
+}
+
+bool is_missing(std::string_view field) {
+  return field.empty() || field == "null" || field == "NULL" || field == "NA";
+}
+}  // namespace
+
+SeriesMatrix read_series_matrix(std::istream& in) {
+  SeriesMatrix result;
+  std::string line;
+  bool in_table = false;
+  bool saw_table = false;
+  bool table_closed = false;
+
+  std::vector<std::string> sample_names;
+  std::vector<std::string> gene_names;
+  std::vector<float> values;
+  std::size_t line_number = 0;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+
+    if (trimmed.front() == '!') {
+      const std::string_view directive = trimmed.substr(1);
+      if (starts_with(directive, "series_matrix_table_begin")) {
+        if (saw_table)
+          throw IoError("multiple series_matrix tables are not supported");
+        in_table = true;
+        saw_table = true;
+        continue;
+      }
+      if (starts_with(directive, "series_matrix_table_end")) {
+        if (!in_table)
+          throw IoError("series_matrix_table_end without a table begin");
+        in_table = false;
+        table_closed = true;
+        continue;
+      }
+      // Metadata: "!Key<TAB>value[...]" — keep the first value per key.
+      const std::size_t tab = directive.find('\t');
+      if (tab != std::string_view::npos) {
+        const std::string key{directive.substr(0, tab)};
+        const auto fields = split_view(directive.substr(tab + 1), '\t');
+        if (!fields.empty() && result.metadata.count(key) == 0)
+          result.metadata.emplace(key, std::string(unquote(fields[0])));
+      }
+      continue;
+    }
+
+    if (!in_table) continue;  // free text outside the table
+
+    const auto fields = split_view(line, '\t');
+    if (sample_names.empty()) {
+      // Header row: ID_REF + sample accessions.
+      if (fields.size() < 2)
+        throw IoError(strprintf("line %zu: series matrix header needs samples",
+                                line_number));
+      if (unquote(fields[0]) != "ID_REF")
+        throw IoError(strprintf("line %zu: expected ID_REF header, got '%s'",
+                                line_number,
+                                std::string(unquote(fields[0])).c_str()));
+      for (std::size_t i = 1; i < fields.size(); ++i)
+        sample_names.emplace_back(unquote(fields[i]));
+      continue;
+    }
+    if (fields.size() != sample_names.size() + 1)
+      throw IoError(strprintf("line %zu: expected %zu columns, got %zu",
+                              line_number, sample_names.size() + 1,
+                              fields.size()));
+    gene_names.emplace_back(unquote(fields[0]));
+    if (gene_names.back().empty())
+      throw IoError(strprintf("line %zu: empty probe id", line_number));
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const std::string_view cell = unquote(fields[i]);
+      if (is_missing(cell)) {
+        values.push_back(std::nanf(""));
+        continue;
+      }
+      const auto value = parse_float(cell);
+      if (!value)
+        throw IoError(strprintf("line %zu, column %zu: cannot parse '%s'",
+                                line_number, i + 1,
+                                std::string(cell).c_str()));
+      values.push_back(*value);
+    }
+  }
+
+  if (!saw_table) throw IoError("no series_matrix_table_begin found");
+  if (!table_closed) throw IoError("series matrix table is not terminated");
+  if (gene_names.empty()) throw IoError("series matrix table has no rows");
+
+  const std::size_t n_genes = gene_names.size();
+  const std::size_t n_samples = sample_names.size();
+  ExpressionMatrix matrix(n_genes, n_samples, std::move(gene_names),
+                          std::move(sample_names));
+  for (std::size_t g = 0; g < n_genes; ++g) {
+    auto row = matrix.row(g);
+    const float* src = values.data() + g * n_samples;
+    for (std::size_t s = 0; s < n_samples; ++s) row[s] = src[s];
+  }
+  result.expression = std::move(matrix);
+  return result;
+}
+
+SeriesMatrix read_series_matrix_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open " + path);
+  return read_series_matrix(in);
+}
+
+}  // namespace tinge

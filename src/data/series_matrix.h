@@ -1,0 +1,38 @@
+// GEO Series Matrix ingestion.
+//
+// Real microarray compendia (the Arabidopsis data the paper uses came from
+// public repositories of this kind) ship as NCBI GEO "Series Matrix" files:
+// a block of "!key<TAB>value" metadata lines surrounding one expression
+// table:
+//
+//   !Series_title  "..."
+//   ...
+//   !series_matrix_table_begin
+//   "ID_REF"  "GSM1"  "GSM2" ...
+//   "AT1G01010"  7.31  6.90 ...
+//   ...
+//   !series_matrix_table_end
+//
+// This reader extracts the expression table (quoted or bare fields, null /
+// empty cells as missing) plus the metadata keys, making public datasets a
+// drop-in input for the pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "data/expression_matrix.h"
+
+namespace tinge {
+
+struct SeriesMatrix {
+  ExpressionMatrix expression;
+  /// First value of each metadata key (without the leading '!').
+  std::map<std::string, std::string> metadata;
+};
+
+SeriesMatrix read_series_matrix(std::istream& in);
+SeriesMatrix read_series_matrix_file(const std::string& path);
+
+}  // namespace tinge

@@ -1,0 +1,100 @@
+#include "data/tsv_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/str.h"
+
+namespace tinge {
+
+ExpressionMatrix read_expression_tsv(std::istream& in) {
+  std::string line;
+
+  // Header: first non-comment, non-blank line.
+  std::vector<std::string> sample_names;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = split_view(line, '\t');
+    if (fields.size() < 2)
+      throw IoError("TSV header needs a gene column plus at least one sample");
+    for (std::size_t i = 1; i < fields.size(); ++i)
+      sample_names.emplace_back(trim(fields[i]));
+    break;
+  }
+  if (sample_names.empty()) throw IoError("TSV input has no header line");
+
+  std::vector<std::string> gene_names;
+  std::vector<float> values;  // row-major staging
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = split_view(line, '\t');
+    if (fields.size() != sample_names.size() + 1)
+      throw IoError(strprintf("line %zu: expected %zu columns, got %zu",
+                              line_number, sample_names.size() + 1,
+                              fields.size()));
+    gene_names.emplace_back(trim(fields[0]));
+    if (gene_names.back().empty())
+      throw IoError(strprintf("line %zu: empty gene name", line_number));
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const auto value = parse_float(fields[i]);
+      if (!value)
+        throw IoError(strprintf("line %zu, column %zu: cannot parse '%.*s'",
+                                line_number, i + 1,
+                                static_cast<int>(fields[i].size()),
+                                fields[i].data()));
+      values.push_back(*value);
+    }
+  }
+
+  const std::size_t n_genes = gene_names.size();
+  const std::size_t n_samples = sample_names.size();
+  ExpressionMatrix matrix(n_genes, n_samples, std::move(gene_names),
+                          std::move(sample_names));
+  for (std::size_t g = 0; g < matrix.n_genes(); ++g) {
+    auto dst = matrix.row(g);
+    const float* src = values.data() + g * matrix.n_samples();
+    for (std::size_t s = 0; s < matrix.n_samples(); ++s) dst[s] = src[s];
+  }
+  return matrix;
+}
+
+ExpressionMatrix read_expression_tsv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open " + path);
+  return read_expression_tsv(in);
+}
+
+void write_expression_tsv(const ExpressionMatrix& matrix, std::ostream& out) {
+  out << "gene";
+  for (const auto& name : matrix.sample_names()) out << '\t' << name;
+  out << '\n';
+  std::ostringstream row_buffer;
+  for (std::size_t g = 0; g < matrix.n_genes(); ++g) {
+    row_buffer.str("");
+    row_buffer << matrix.gene_name(g);
+    for (const float v : matrix.row(g)) {
+      if (std::isnan(v)) {
+        row_buffer << "\tNA";
+      } else {
+        row_buffer << '\t' << strprintf("%.9g", static_cast<double>(v));
+      }
+    }
+    row_buffer << '\n';
+    out << row_buffer.str();
+  }
+}
+
+void write_expression_tsv_file(const ExpressionMatrix& matrix,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  write_expression_tsv(matrix, out);
+  if (!out) throw IoError("write to " + path + " failed");
+}
+
+}  // namespace tinge

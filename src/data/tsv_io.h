@@ -1,0 +1,31 @@
+// TSV expression-matrix I/O in the layout TINGe and most microarray
+// compendia use:
+//
+//   # optional comment lines
+//   gene <tab> sample_1 <tab> sample_2 ... sample_m
+//   AT1G01010 <tab> 7.31 <tab> NA <tab> 6.90 ...
+//
+// Empty cells, "NA", "NaN" load as missing values (quiet NaN).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/expression_matrix.h"
+
+namespace tinge {
+
+/// Thrown on malformed input (wrong column count, unparsable number, ...).
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+ExpressionMatrix read_expression_tsv(std::istream& in);
+ExpressionMatrix read_expression_tsv_file(const std::string& path);
+
+void write_expression_tsv(const ExpressionMatrix& matrix, std::ostream& out);
+void write_expression_tsv_file(const ExpressionMatrix& matrix,
+                               const std::string& path);
+
+}  // namespace tinge

@@ -1,0 +1,87 @@
+#include "device/device_spec.h"
+
+#include <fstream>
+
+#include "simd/simd.h"
+#include "util/contracts.h"
+#include "util/str.h"
+
+namespace tinge {
+
+double DeviceSpec::core_sp_gflops(int threads_on_core) const {
+  TINGE_EXPECTS(threads_on_core >= 1 && threads_on_core <= 4);
+  return freq_ghz * vector_lanes_f32() * fma_per_cycle * 2.0 *
+         smt_throughput[static_cast<std::size_t>(threads_on_core - 1)];
+}
+
+DeviceSpec xeon_phi_5110p() {
+  DeviceSpec spec;
+  spec.name = "Xeon Phi 5110P";
+  spec.cores = 60;  // 61 physical; one is reserved for the uOS
+  spec.threads_per_core = 4;
+  spec.freq_ghz = 1.053;
+  spec.vector_bits = 512;
+  spec.fma_per_cycle = 1;
+  // In-order core: a single thread issues a vector op at most every other
+  // cycle; two or more resident threads saturate the VPU.
+  spec.smt_throughput = {0.5, 1.0, 1.0, 1.0};
+  return spec;
+}
+
+DeviceSpec dual_xeon_e5_2670() {
+  DeviceSpec spec;
+  spec.name = "2x Xeon E5-2670";
+  spec.cores = 16;
+  spec.threads_per_core = 2;
+  spec.freq_ghz = 2.6;
+  spec.vector_bits = 256;
+  spec.fma_per_cycle = 1;  // separate mul + add ports ~ one 2-flop FMA/cycle
+  spec.smt_throughput = {1.0, 1.1, 1.1, 1.1};
+  return spec;
+}
+
+DeviceSpec xeon_phi_7250_knl() {
+  DeviceSpec spec;
+  spec.name = "Xeon Phi 7250 (KNL)";
+  spec.cores = 68;
+  spec.threads_per_core = 4;
+  spec.freq_ghz = 1.4;
+  spec.vector_bits = 512;
+  spec.fma_per_cycle = 2;  // two VPUs per core
+  // Out-of-order core: one thread sustains ~70% of the dual-VPU issue rate;
+  // two threads saturate.
+  spec.smt_throughput = {0.7, 1.0, 1.0, 1.0};
+  return spec;
+}
+
+namespace {
+double parse_host_freq_ghz() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (starts_with(line, "cpu MHz")) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        const auto mhz = parse_float(trim(std::string_view(line).substr(colon + 1)));
+        if (mhz && *mhz > 100.0f) return static_cast<double>(*mhz) / 1000.0;
+      }
+    }
+  }
+  return 2.5;
+}
+}  // namespace
+
+DeviceSpec host_device() {
+  const par::Topology topo = par::detect_host_topology();
+  DeviceSpec spec;
+  spec.name = "host";
+  spec.cores = topo.cores;
+  spec.threads_per_core = std::min(topo.threads_per_core, 4);
+  spec.freq_ghz = parse_host_freq_ghz();
+  spec.vector_bits = simd::kNativeFloatWidth * 32;
+  spec.fma_per_cycle = 2;  // modern big cores dual-issue FMA
+  spec.smt_throughput = {1.0, 1.1, 1.1, 1.1};
+  return spec;
+}
+
+}  // namespace tinge

@@ -1,0 +1,72 @@
+// Device descriptions for the performance model.
+//
+// The paper's hardware — an Intel Xeon Phi 5110P coprocessor and a
+// dual-socket Xeon E5-2670 host — is long discontinued. DESIGN.md §2
+// documents the substitution: the *code paths* (threading shape, 512-bit
+// kernels) run for real on the host, while the *paper-scale comparisons*
+// (experiment T2) come from an analytic model over these specs, calibrated
+// against measured host throughput (device/perf_model.h).
+//
+// Spec numbers below are the published ones for the two machines in the
+// paper's evaluation.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "parallel/topology.h"
+
+namespace tinge {
+
+struct DeviceSpec {
+  std::string name;
+  int cores = 1;
+  int threads_per_core = 1;
+  double freq_ghz = 1.0;
+  int vector_bits = 128;
+  int fma_per_cycle = 1;  ///< vector FMA issues per core per cycle
+
+  /// Relative core throughput when t in 1..4 hardware threads are resident.
+  /// The Phi's in-order cores cannot issue back-to-back vector ops from one
+  /// thread (mu[0] = 0.5 — the reason the paper needs >= 2 threads/core);
+  /// out-of-order Xeons start at 1.0 and gain a little from SMT.
+  std::array<double, 4> smt_throughput = {1.0, 1.0, 1.0, 1.0};
+
+  int total_threads() const { return cores * threads_per_core; }
+  int vector_lanes_f32() const { return vector_bits / 32; }
+
+  /// Peak single-precision GFLOP/s with every core saturated
+  /// (2 flops per FMA lane).
+  double peak_sp_gflops() const {
+    return cores * freq_ghz * vector_lanes_f32() * fma_per_cycle * 2.0 *
+           smt_throughput[static_cast<std::size_t>(threads_per_core - 1)];
+  }
+
+  /// Peak of a single core running `threads_on_core` hardware threads.
+  double core_sp_gflops(int threads_on_core) const;
+
+  par::Topology topology() const {
+    return par::Topology{cores, threads_per_core};
+  }
+};
+
+/// Intel Xeon Phi 5110P: 60 usable cores x 4 threads, 1.053 GHz, 512-bit.
+DeviceSpec xeon_phi_5110p();
+
+/// Dual-socket Intel Xeon E5-2670 (Sandy Bridge): 16 cores x 2 HT,
+/// 2.6 GHz, 256-bit AVX (mul+add, no FMA — modeled as fma_per_cycle=1 with
+/// the 2-flop convention since mul and add issue in parallel).
+DeviceSpec dual_xeon_e5_2670();
+
+/// Intel Xeon Phi 7250 "Knights Landing" (the 5110P's successor, where this
+/// code line would have migrated next): 68 out-of-order cores x 4 threads,
+/// 1.4 GHz, two 512-bit VPUs per core. Included for the forward-looking
+/// panel of bench_device_model.
+DeviceSpec xeon_phi_7250_knl();
+
+/// The machine this process runs on, with frequency parsed from
+/// /proc/cpuinfo when available (fallback 2.5 GHz) and the vector width the
+/// binary was compiled for.
+DeviceSpec host_device();
+
+}  // namespace tinge

@@ -1,0 +1,143 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/str.h"
+
+namespace tinge {
+
+std::vector<HubInfo> top_hubs(const GeneNetwork& network, std::size_t count) {
+  TINGE_EXPECTS(network.finalized());
+  const auto degrees = network.degrees();
+  std::vector<std::uint32_t> order(degrees.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  count = std::min(count, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(count),
+                    order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                      return degrees[a] != degrees[b] ? degrees[a] > degrees[b]
+                                                      : a < b;
+                    });
+  std::vector<HubInfo> hubs;
+  hubs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    hubs.push_back(HubInfo{order[i], degrees[order[i]],
+                           network.node_names()[order[i]]});
+  }
+  return hubs;
+}
+
+namespace {
+// Counts triangles containing each edge via sorted-adjacency intersection;
+// every triangle is counted once (witness z > v).
+std::size_t count_triangles(const GeneNetwork& network) {
+  const Adjacency adjacency(network);
+  std::size_t triangles = 0;
+  for (const Edge& e : network.edges()) {
+    const auto nu = adjacency.neighbors(e.u);
+    const auto nv = adjacency.neighbors(e.v);
+    std::size_t iu = 0, iv = 0;
+    while (iu < nu.size() && iv < nv.size()) {
+      if (nu[iu].node < nv[iv].node) {
+        ++iu;
+      } else if (nu[iu].node > nv[iv].node) {
+        ++iv;
+      } else {
+        if (nu[iu].node > e.v) ++triangles;
+        ++iu;
+        ++iv;
+      }
+    }
+  }
+  return triangles;
+}
+}  // namespace
+
+double global_clustering_coefficient(const GeneNetwork& network) {
+  TINGE_EXPECTS(network.finalized());
+  const auto degrees = network.degrees();
+  std::size_t triples = 0;
+  for (const std::size_t d : degrees)
+    if (d >= 2) triples += d * (d - 1) / 2;
+  if (triples == 0) return 0.0;
+  return 3.0 * static_cast<double>(count_triangles(network)) /
+         static_cast<double>(triples);
+}
+
+double local_clustering_coefficient(const GeneNetwork& network,
+                                    std::uint32_t node) {
+  TINGE_EXPECTS(network.finalized());
+  TINGE_EXPECTS(node < network.n_nodes());
+  const Adjacency adjacency(network);
+  const auto neighbors = adjacency.neighbors(node);
+  if (neighbors.size() < 2) return 0.0;
+  std::size_t links = 0;
+  for (std::size_t a = 0; a < neighbors.size(); ++a)
+    for (std::size_t b = a + 1; b < neighbors.size(); ++b)
+      if (network.has_edge(neighbors[a].node, neighbors[b].node)) ++links;
+  const std::size_t possible = neighbors.size() * (neighbors.size() - 1) / 2;
+  return static_cast<double>(links) / static_cast<double>(possible);
+}
+
+double powerlaw_exponent_mle(const GeneNetwork& network, std::size_t k_min,
+                             std::size_t min_tail) {
+  TINGE_EXPECTS(network.finalized());
+  TINGE_EXPECTS(k_min >= 1);
+  const auto degrees = network.degrees();
+  // Continuous-approximation Hill estimator with the standard -1/2
+  // discreteness correction (Clauset, Shalizi & Newman 2009, eq. 3.7):
+  //   gamma = 1 + n / sum ln(k_i / (k_min - 1/2))
+  double log_sum = 0.0;
+  std::size_t tail = 0;
+  const double shifted_min = static_cast<double>(k_min) - 0.5;
+  for (const std::size_t k : degrees) {
+    if (k >= k_min) {
+      log_sum += std::log(static_cast<double>(k) / shifted_min);
+      ++tail;
+    }
+  }
+  if (tail < min_tail || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(tail) / log_sum;
+}
+
+NetworkSummary summarize_network(const GeneNetwork& network) {
+  TINGE_EXPECTS(network.finalized());
+  NetworkSummary summary;
+  summary.nodes = network.n_nodes();
+  summary.edges = network.n_edges();
+  summary.components = connected_components(network);
+  const auto degrees = network.degrees();
+  std::size_t degree_sum = 0;
+  for (const std::size_t d : degrees) {
+    if (d == 0) ++summary.isolated_nodes;
+    summary.max_degree = std::max(summary.max_degree, d);
+    degree_sum += d;
+  }
+  summary.mean_degree =
+      summary.nodes > 0
+          ? static_cast<double>(degree_sum) / static_cast<double>(summary.nodes)
+          : 0.0;
+  summary.clustering = global_clustering_coefficient(network);
+  summary.powerlaw_gamma = powerlaw_exponent_mle(network);
+  return summary;
+}
+
+std::string to_string(const NetworkSummary& summary) {
+  std::string out;
+  out += strprintf("nodes:            %zu (%zu isolated)\n", summary.nodes,
+                   summary.isolated_nodes);
+  out += strprintf("edges:            %zu (mean degree %.2f, max %zu)\n",
+                   summary.edges, summary.mean_degree, summary.max_degree);
+  out += strprintf("components:       %zu\n", summary.components);
+  out += strprintf("clustering coeff: %.4f\n", summary.clustering);
+  if (summary.powerlaw_gamma > 0.0) {
+    out += strprintf("power-law gamma:  %.2f (degree tail MLE)\n",
+                     summary.powerlaw_gamma);
+  } else {
+    out += "power-law gamma:  not estimable (tail too small)\n";
+  }
+  return out;
+}
+
+}  // namespace tinge

@@ -1,0 +1,118 @@
+#include "graph/graph_io.h"
+
+#include <array>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "data/tsv_io.h"  // IoError
+#include "util/str.h"
+
+namespace tinge {
+
+void write_edge_list(const GeneNetwork& network, std::ostream& out) {
+  out << "# nodes: " << network.n_nodes() << '\n';
+  for (const auto& name : network.node_names()) out << "# node\t" << name << '\n';
+  for (const Edge& e : network.edges()) {
+    out << network.node_names()[e.u] << '\t' << network.node_names()[e.v] << '\t'
+        << strprintf("%.9g", static_cast<double>(e.weight)) << '\n';
+  }
+}
+
+void write_edge_list_file(const GeneNetwork& network, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  write_edge_list(network, out);
+  if (!out) throw IoError("write to " + path + " failed");
+}
+
+GeneNetwork read_edge_list(std::istream& in) {
+  std::vector<std::string> names;
+  std::map<std::string, std::uint32_t> index;
+  std::vector<std::array<std::string, 3>> pending;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (starts_with(trimmed, "# node\t") ||
+        starts_with(trimmed, "# node ")) {
+      const auto fields = split_view(trimmed, '\t');
+      if (fields.size() == 2) {
+        const std::string name{trim(fields[1])};
+        index.emplace(name, static_cast<std::uint32_t>(names.size()));
+        names.push_back(name);
+      }
+      continue;
+    }
+    if (trimmed.front() == '#') continue;
+    const auto fields = split_view(trimmed, '\t');
+    if (fields.size() < 3)
+      throw IoError("edge list row needs >= 3 tab-separated columns: " + line);
+    pending.push_back({std::string(trim(fields[0])), std::string(trim(fields[1])),
+                       std::string(trim(fields[2]))});
+  }
+
+  // Nodes mentioned only in edges (file without the node header) get ids in
+  // order of first appearance.
+  for (const auto& row : pending) {
+    for (int side = 0; side < 2; ++side) {
+      const std::string& name = row[static_cast<std::size_t>(side)];
+      if (index.emplace(name, static_cast<std::uint32_t>(names.size())).second)
+        names.push_back(name);
+    }
+  }
+
+  GeneNetwork network(std::move(names));
+  for (const auto& row : pending) {
+    const auto weight = parse_float(row[2]);
+    if (!weight) throw IoError("bad edge weight: " + row[2]);
+    network.add_edge(index.at(row[0]), index.at(row[1]), *weight);
+  }
+  network.finalize();
+  return network;
+}
+
+GeneNetwork read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list_with_pvalues(
+    const GeneNetwork& network,
+    const std::function<double(float)>& null_p_value, std::ostream& out) {
+  out << "# nodes: " << network.n_nodes() << '\n';
+  for (const auto& name : network.node_names()) out << "# node\t" << name << '\n';
+  out << "# columns: gene_a\tgene_b\tmi_nats\tnull_p_value\n";
+  for (const Edge& e : network.edges()) {
+    out << network.node_names()[e.u] << '\t' << network.node_names()[e.v]
+        << '\t' << strprintf("%.9g", static_cast<double>(e.weight)) << '\t'
+        << strprintf("%.3g", null_p_value(e.weight)) << '\n';
+  }
+}
+
+void write_edge_list_with_pvalues_file(
+    const GeneNetwork& network,
+    const std::function<double(float)>& null_p_value, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  write_edge_list_with_pvalues(network, null_p_value, out);
+  if (!out) throw IoError("write to " + path + " failed");
+}
+
+void write_sif(const GeneNetwork& network, std::ostream& out) {
+  for (const Edge& e : network.edges()) {
+    out << network.node_names()[e.u] << "\tmi\t" << network.node_names()[e.v]
+        << '\n';
+  }
+}
+
+void write_sif_file(const GeneNetwork& network, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  write_sif(network, out);
+  if (!out) throw IoError("write to " + path + " failed");
+}
+
+}  // namespace tinge

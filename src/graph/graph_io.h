@@ -1,0 +1,38 @@
+// Network serialization: weighted edge lists (TSV) for analysis pipelines
+// and SIF for Cytoscape — the two formats TINGe-era tooling consumed.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "graph/network.h"
+
+namespace tinge {
+
+/// "gene_a <tab> gene_b <tab> weight" rows, preceded by a "# nodes: N" header
+/// that makes the file self-contained (isolated nodes survive a roundtrip).
+void write_edge_list(const GeneNetwork& network, std::ostream& out);
+void write_edge_list_file(const GeneNetwork& network, const std::string& path);
+
+/// Reads the format written by write_edge_list. Returns a finalized network.
+GeneNetwork read_edge_list(std::istream& in);
+GeneNetwork read_edge_list_file(const std::string& path);
+
+/// Cytoscape SIF: "gene_a mi gene_b" (weights are not representable in SIF).
+void write_sif(const GeneNetwork& network, std::ostream& out);
+void write_sif_file(const GeneNetwork& network, const std::string& path);
+
+/// Edge list with a fourth column: the permutation-null p-value of each
+/// edge's MI, evaluated against `null_p_value` (typically
+/// EmpiricalDistribution::p_value bound to the pipeline's universal null).
+/// Note the p-values are conservative for significant edges: the null was
+/// sampled q times, so values saturate at 1/(q+1).
+void write_edge_list_with_pvalues(
+    const GeneNetwork& network,
+    const std::function<double(float)>& null_p_value, std::ostream& out);
+void write_edge_list_with_pvalues_file(
+    const GeneNetwork& network,
+    const std::function<double(float)>& null_p_value, const std::string& path);
+
+}  // namespace tinge

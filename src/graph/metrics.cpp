@@ -1,0 +1,107 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace tinge {
+
+Confusion compare_networks(const GeneNetwork& predicted,
+                           const GeneNetwork& truth) {
+  TINGE_EXPECTS(predicted.finalized() && truth.finalized());
+  TINGE_EXPECTS(predicted.n_nodes() == truth.n_nodes());
+  Confusion confusion;
+  for (const Edge& e : predicted.edges()) {
+    if (truth.has_edge(e.u, e.v)) {
+      ++confusion.true_positive;
+    } else {
+      ++confusion.false_positive;
+    }
+  }
+  confusion.false_negative = truth.n_edges() - confusion.true_positive;
+  return confusion;
+}
+
+double average_precision(const GeneNetwork& scored, const GeneNetwork& truth) {
+  TINGE_EXPECTS(scored.finalized() && truth.finalized());
+  TINGE_EXPECTS(scored.n_nodes() == truth.n_nodes());
+  if (truth.n_edges() == 0) return 0.0;
+
+  std::vector<Edge> ranked(scored.edges().begin(), scored.edges().end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Edge& a, const Edge& b) { return a.weight > b.weight; });
+
+  double sum_precision = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t k = 0; k < ranked.size(); ++k) {
+    if (truth.has_edge(ranked[k].u, ranked[k].v)) {
+      ++hits;
+      sum_precision +=
+          static_cast<double>(hits) / static_cast<double>(k + 1);
+    }
+  }
+  return sum_precision / static_cast<double>(truth.n_edges());
+}
+
+double auroc(const GeneNetwork& scored, const GeneNetwork& truth) {
+  TINGE_EXPECTS(scored.finalized() && truth.finalized());
+  TINGE_EXPECTS(scored.n_nodes() == truth.n_nodes());
+  const std::size_t n = truth.n_nodes();
+  const std::size_t total_pairs = n * (n - 1) / 2;
+  const std::size_t positives = truth.n_edges();
+  const std::size_t negatives = total_pairs - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  std::vector<Edge> ranked(scored.edges().begin(), scored.edges().end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Edge& a, const Edge& b) { return a.weight > b.weight; });
+
+  // Mann–Whitney U: for each positive, credit 1 per negative ranked strictly
+  // below it and 0.5 per tied negative.
+  double u_statistic = 0.0;
+  std::size_t scored_neg_above = 0;  // negatives with strictly higher weight
+  std::size_t scored_pos = 0;
+  std::size_t scored_neg = 0;
+  std::size_t i = 0;
+  while (i < ranked.size()) {
+    // Group of equal weights.
+    std::size_t j = i;
+    std::size_t group_pos = 0, group_neg = 0;
+    while (j < ranked.size() && ranked[j].weight == ranked[i].weight) {
+      if (truth.has_edge(ranked[j].u, ranked[j].v)) {
+        ++group_pos;
+      } else {
+        ++group_neg;
+      }
+      ++j;
+    }
+    const std::size_t neg_below_group =
+        negatives - scored_neg_above - group_neg;  // includes unscored
+    u_statistic += static_cast<double>(group_pos) *
+                   (static_cast<double>(neg_below_group) +
+                    0.5 * static_cast<double>(group_neg));
+    scored_neg_above += group_neg;
+    scored_pos += group_pos;
+    scored_neg += group_neg;
+    i = j;
+  }
+  // Positives missing from `scored`: tied with all unscored negatives.
+  const std::size_t unscored_pos = positives - scored_pos;
+  const std::size_t unscored_neg = negatives - scored_neg;
+  u_statistic += static_cast<double>(unscored_pos) * 0.5 *
+                 static_cast<double>(unscored_neg);
+
+  return u_statistic /
+         (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+std::vector<std::size_t> degree_histogram(const GeneNetwork& network) {
+  const auto degrees = network.degrees();
+  const std::size_t max_degree =
+      degrees.empty() ? 0 : *std::max_element(degrees.begin(), degrees.end());
+  std::vector<std::size_t> histogram(max_degree + 1, 0);
+  for (const std::size_t d : degrees) ++histogram[d];
+  return histogram;
+}
+
+}  // namespace tinge

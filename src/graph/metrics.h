@@ -1,0 +1,60 @@
+// Network-recovery metrics against a known ground truth.
+//
+// The paper infers a network for which no ground truth exists; our synthetic
+// substitute (src/synth) provides one, so we can additionally score how well
+// each estimator recovers the generating topology (experiment A1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/network.h"
+
+namespace tinge {
+
+struct Confusion {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  double precision() const {
+    const std::size_t denom = true_positive + false_positive;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positive) /
+                            static_cast<double>(denom);
+  }
+  double recall() const {
+    const std::size_t denom = true_positive + false_negative;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positive) /
+                            static_cast<double>(denom);
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Edge-set comparison; both networks must be finalized over the same node
+/// universe (undirected, weights ignored).
+Confusion compare_networks(const GeneNetwork& predicted,
+                           const GeneNetwork& truth);
+
+/// Area under the precision–recall curve (average precision): ranks the
+/// predicted edges by descending weight and averages precision at each
+/// recalled true edge. Ties in weight are handled by order of appearance.
+double average_precision(const GeneNetwork& scored, const GeneNetwork& truth);
+
+/// Area under the ROC curve of the edge ranking: the probability that a
+/// uniformly random true edge is ranked above a uniformly random non-edge.
+/// Pairs absent from `scored` rank below every scored edge (tied among
+/// themselves); equal weights share credit (Mann–Whitney tie handling).
+/// Returns 0.5 for an empty truth or an empty complement.
+double auroc(const GeneNetwork& scored, const GeneNetwork& truth);
+
+/// degree -> node count, indexed by degree (size = max degree + 1).
+std::vector<std::size_t> degree_histogram(const GeneNetwork& network);
+
+}  // namespace tinge

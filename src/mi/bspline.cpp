@@ -1,0 +1,99 @@
+#include "mi/bspline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tinge {
+
+BsplineBasis::BsplineBasis(int bins, int order) : bins_(bins), order_(order) {
+  TINGE_EXPECTS(order >= 1);
+  TINGE_EXPECTS(order <= kMaxOrder);
+  TINGE_EXPECTS(bins >= order);
+  // Clamped uniform knots: order copies of 0, interior integers, order
+  // copies of bins - order + 1.
+  knots_.resize(static_cast<std::size_t>(bins + order));
+  for (int i = 0; i < bins + order; ++i) {
+    if (i < order) {
+      knots_[i] = 0.0;
+    } else if (i < bins) {
+      knots_[i] = static_cast<double>(i - order + 1);
+    } else {
+      knots_[i] = static_cast<double>(bins - order + 1);
+    }
+  }
+}
+
+int BsplineBasis::evaluate(float z, float* weights) const {
+  TINGE_EXPECTS(z >= 0.0f && z <= 1.0f);
+  const double u = static_cast<double>(z) * domain_extent();
+  const int k = order_;
+  // Knot span s with t_s <= u < t_{s+1}; interior knots are consecutive
+  // integers so the span is floor(u) offset by the clamp width.
+  const int span =
+      std::min(k - 1 + static_cast<int>(u), bins_ - 1);
+
+  // de Boor basis-function algorithm (The NURBS Book, A2.2).
+  double left[kMaxOrder];
+  double right[kMaxOrder];
+  double n[kMaxOrder];
+  n[0] = 1.0;
+  for (int j = 1; j < k; ++j) {
+    left[j] = u - knots_[static_cast<std::size_t>(span + 1 - j)];
+    right[j] = knots_[static_cast<std::size_t>(span + j)] - u;
+    double saved = 0.0;
+    for (int r = 0; r < j; ++r) {
+      const double temp = n[r] / (right[r + 1] + left[j - r]);
+      n[r] = saved + right[r + 1] * temp;
+      saved = left[j - r] * temp;
+    }
+    n[j] = saved;
+  }
+  for (int c = 0; c < k; ++c) weights[c] = static_cast<float>(n[c]);
+  return span - k + 1;
+}
+
+std::vector<double> BsplineBasis::evaluate_all(double z) const {
+  TINGE_EXPECTS(z >= 0.0 && z <= 1.0);
+  const double u = z * domain_extent();
+  const int n_knots = bins_ + order_;
+  const double domain_end = knots_[static_cast<std::size_t>(n_knots - 1)];
+
+  // Order-1 (piecewise constant) seed; the final interval is closed so the
+  // right domain endpoint belongs to the last basis function.
+  std::vector<double> basis(static_cast<std::size_t>(n_knots - 1), 0.0);
+  for (int i = 0; i < n_knots - 1; ++i) {
+    const double lo = knots_[static_cast<std::size_t>(i)];
+    const double hi = knots_[static_cast<std::size_t>(i + 1)];
+    const bool inside =
+        (u >= lo && u < hi) || (u == domain_end && hi == domain_end && lo < hi);
+    basis[static_cast<std::size_t>(i)] = inside ? 1.0 : 0.0;
+  }
+
+  for (int k = 2; k <= order_; ++k) {
+    for (int i = 0; i + k < n_knots; ++i) {
+      const double t_i = knots_[static_cast<std::size_t>(i)];
+      const double t_ik1 = knots_[static_cast<std::size_t>(i + k - 1)];
+      const double t_i1 = knots_[static_cast<std::size_t>(i + 1)];
+      const double t_ik = knots_[static_cast<std::size_t>(i + k)];
+      const double a =
+          t_ik1 > t_i ? (u - t_i) / (t_ik1 - t_i) * basis[static_cast<std::size_t>(i)] : 0.0;
+      const double b =
+          t_ik > t_i1
+              ? (t_ik - u) / (t_ik - t_i1) * basis[static_cast<std::size_t>(i + 1)]
+              : 0.0;
+      basis[static_cast<std::size_t>(i)] = a + b;
+    }
+  }
+  basis.resize(static_cast<std::size_t>(bins_));
+  return basis;
+}
+
+int suggest_bins(std::size_t m, int order) {
+  TINGE_EXPECTS(m >= 2);
+  TINGE_EXPECTS(order >= 1 && order <= BsplineBasis::kMaxOrder);
+  const int cube_root =
+      static_cast<int>(std::lround(std::cbrt(static_cast<double>(m))));
+  return std::clamp(cube_root, order + 1, 30);
+}
+
+}  // namespace tinge

@@ -1,0 +1,58 @@
+// B-spline basis functions for the Daub et al. (2004) mutual-information
+// estimator, the estimator TINGe and the paper use.
+//
+// Instead of assigning a sample to exactly one histogram bin (hard binning),
+// each sample is spread over up to `order` adjacent bins with weights given
+// by B-spline basis functions — a smoothed histogram that sharply reduces
+// the estimator's sensitivity to bin placement while keeping the
+// O(m * order^2) per-pair cost that makes whole-genome runs feasible.
+//
+// Basis definition: `bins` basis functions of order k (degree k-1) on a
+// clamped uniform knot vector over [0, bins - order + 1]. Inputs are given
+// in [0, 1] and scaled internally. At any z, at most `order` consecutive
+// basis functions are nonzero and they sum to exactly 1 (partition of
+// unity) — the property the whole estimator rests on.
+#pragma once
+
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace tinge {
+
+class BsplineBasis {
+ public:
+  /// Requires 1 <= order <= bins and order <= kMaxOrder.
+  BsplineBasis(int bins, int order);
+
+  static constexpr int kMaxOrder = 8;
+
+  int bins() const { return bins_; }
+  int order() const { return order_; }
+
+  /// Evaluates the `order` (possibly) nonzero basis functions at z in
+  /// [0, 1]. Writes exactly order() weights to `weights` and returns the
+  /// index of the first one, i.e. basis function (return + c) has weight
+  /// weights[c]. The weights sum to 1.
+  int evaluate(float z, float* weights) const;
+
+  /// Reference implementation: all bins() basis values at z via the plain
+  /// Cox–de Boor recursion. Used by tests to validate evaluate().
+  std::vector<double> evaluate_all(double z) const;
+
+  /// Right end of the internal knot domain: bins - order + 1.
+  double domain_extent() const { return static_cast<double>(bins_ - order_ + 1); }
+
+ private:
+  int bins_;
+  int order_;
+  std::vector<double> knots_;  // bins + order clamped uniform knots
+};
+
+/// Rule-of-thumb bin count for m samples (Daub et al. keep b small relative
+/// to m so each bin stays well populated): b ~ m^(1/3), clamped to
+/// [order + 1, 30]. The bins-sweep panel of bench_estimators shows the
+/// bias/variance trade this heuristic balances.
+int suggest_bins(std::size_t m, int order = 3);
+
+}  // namespace tinge

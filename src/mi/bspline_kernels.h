@@ -1,0 +1,67 @@
+// The hot pair kernels: joint entropy of two rank profiles through the
+// shared weight table. Everything the paper's Xeon Phi optimization section
+// is about happens here.
+//
+// For each of the m samples the kernel adds an order x order patch of
+// weight products into the b x b joint histogram:
+//
+//     P[ix + a][iy + c] += wx[a] * wy[c]      a, c in [0, order)
+//
+// Kernel variants (benchmarked against each other in bench_mi_kernels):
+//   Scalar     — the textbook triple loop; the paper's baseline.
+//   Unrolled   — order known at compile time, inner loops fully unrolled.
+//   Simd       — wy is loaded once as a padded vector; each row update is a
+//                single broadcast*vector FMA (the paper's VPU formulation).
+//   Replicated — Simd plus K-way histogram replication: consecutive samples
+//                write to different replicas, breaking the store-to-load
+//                dependency chain when neighbouring samples hit the same
+//                bins (frequent: ranks are uniform, so adjacent histogram
+//                rows are hot). Replicas are reduced before the entropy
+//                pass. This mirrors the paper's private-copy trick for
+//                vectorizing scatter updates with conflicts.
+//   Gather512  — the full-width Phi-style formulation (order <= 4,
+//                AVX-512F builds only; resolves to Replicated elsewhere):
+//                four samples are packed into one 512-bit register (4
+//                samples x 4 padded weights = 16 lanes) and their histogram
+//                patches are updated with gather -> FMA -> scatter, one
+//                instruction triple per row offset. Each sample in the
+//                group writes its own histogram replica, so the scattered
+//                indices never collide — the same conflict-free-by-
+//                construction trick the paper uses to vectorize scatter
+//                updates on the Phi's VPU.
+//
+// All variants return H(X,Y) in nats and produce identical results up to
+// float summation order.
+#pragma once
+
+#include <cstdint>
+
+#include "mi/joint_histogram.h"
+#include "mi/weight_table.h"
+
+namespace tinge {
+
+enum class MiKernel { Scalar, Unrolled, Simd, Replicated, Gather512, Auto };
+
+/// True when this build can run the real 512-bit gather/scatter kernel.
+bool gather512_available();
+
+const char* kernel_name(MiKernel kernel);
+
+/// Replica count used by MiKernel::Replicated.
+inline constexpr int kHistogramReplicas = 4;
+
+/// Scratch sized for any kernel variant (Replicated needs replica rows).
+JointHistogram make_kernel_scratch(const WeightTable& table);
+
+/// Joint entropy H(X,Y) in nats of two rank profiles of length m.
+/// `scratch` must come from make_kernel_scratch for the same table.
+/// Auto resolves to Replicated for order <= 4, else Simd.
+double joint_entropy(const WeightTable& table, const std::uint32_t* ranks_x,
+                     const std::uint32_t* ranks_y, std::size_t m,
+                     JointHistogram& scratch, MiKernel kernel);
+
+/// The kernel actually run when `kernel` is Auto for this table.
+MiKernel resolve_kernel(MiKernel kernel, int order);
+
+}  // namespace tinge

@@ -1,0 +1,80 @@
+#include "mi/bspline_mi.h"
+
+#include <cmath>
+#include <vector>
+
+#include "preprocess/rank_transform.h"
+
+namespace tinge {
+
+double bspline_mi_direct(std::span<const float> x01, std::span<const float> y01,
+                         int bins, int order) {
+  TINGE_EXPECTS(x01.size() == y01.size());
+  TINGE_EXPECTS(x01.size() >= 2);
+  const BsplineBasis basis(bins, order);
+  const std::size_t m = x01.size();
+  const auto b = static_cast<std::size_t>(bins);
+  const auto k = static_cast<std::size_t>(order);
+
+  // Per-sample weights for both variables.
+  std::vector<float> wx(m * k), wy(m * k);
+  std::vector<int> fx(m), fy(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    fx[j] = basis.evaluate(x01[j], wx.data() + j * k);
+    fy[j] = basis.evaluate(y01[j], wy.data() + j * k);
+  }
+
+  std::vector<double> joint(b * b, 0.0);
+  std::vector<double> px(b, 0.0), py(b, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t a = 0; a < k; ++a) {
+      const double wxa = wx[j * k + a];
+      px[static_cast<std::size_t>(fx[j]) + a] += wxa;
+      for (std::size_t c = 0; c < k; ++c) {
+        joint[(static_cast<std::size_t>(fx[j]) + a) * b +
+              static_cast<std::size_t>(fy[j]) + c] +=
+            wxa * static_cast<double>(wy[j * k + c]);
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c)
+      py[static_cast<std::size_t>(fy[j]) + c] += wy[j * k + c];
+  }
+
+  const double inv_m = 1.0 / static_cast<double>(m);
+  const auto entropy = [&](const std::vector<double>& mass) {
+    double h = 0.0;
+    for (const double cell : mass) {
+      const double p = cell * inv_m;
+      if (p > 0.0) h -= p * std::log(p);
+    }
+    return h;
+  };
+  return entropy(px) + entropy(py) - entropy(joint);
+}
+
+double bspline_mi_pairwise_complete(std::span<const float> x,
+                                    std::span<const float> y, int bins,
+                                    int order) {
+  TINGE_EXPECTS(x.size() == y.size());
+  std::vector<float> xc, yc;
+  xc.reserve(x.size());
+  yc.reserve(y.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (!std::isnan(x[j]) && !std::isnan(y[j])) {
+      xc.push_back(x[j]);
+      yc.push_back(y[j]);
+    }
+  }
+  TINGE_EXPECTS(xc.size() >= 8);
+  const std::size_t m = xc.size();
+  const auto rx = rank_order(xc);
+  const auto ry = rank_order(yc);
+  std::vector<float> x01(m), y01(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    x01[j] = rank_to_unit(static_cast<float>(rx[j]), m);
+    y01[j] = rank_to_unit(static_cast<float>(ry[j]), m);
+  }
+  return bspline_mi_direct(x01, y01, bins, order);
+}
+
+}  // namespace tinge

@@ -1,0 +1,23 @@
+#include "mi/correlation.h"
+
+#include <cmath>
+#include <vector>
+
+#include "preprocess/rank_transform.h"
+#include "stats/descriptive.h"
+
+namespace tinge {
+
+double pearson_correlation(std::span<const float> x, std::span<const float> y) {
+  return pearson(x, y);
+}
+
+double spearman_correlation(std::span<const float> x, std::span<const float> y) {
+  const std::vector<float> rank_x = rank_average(x);
+  const std::vector<float> rank_y = rank_average(y);
+  return pearson(std::span<const float>(rank_x), std::span<const float>(rank_y));
+}
+
+double correlation_score(double r) { return std::fabs(r); }
+
+}  // namespace tinge

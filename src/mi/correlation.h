@@ -1,0 +1,20 @@
+// Correlation-based association baselines. Relevance networks built from
+// |Pearson| or |Spearman| are the classical alternative to MI networks and
+// serve as the cheap baseline in the estimator ablation (A1): they miss the
+// non-monotone dependencies MI captures.
+#pragma once
+
+#include <span>
+
+namespace tinge {
+
+/// Pearson correlation of raw profiles (NaN pairs dropped).
+double pearson_correlation(std::span<const float> x, std::span<const float> y);
+
+/// Spearman rank correlation: Pearson on average-tie ranks. NaN-free input.
+double spearman_correlation(std::span<const float> x, std::span<const float> y);
+
+/// |r| as an edge score in [0, 1].
+double correlation_score(double r);
+
+}  // namespace tinge

@@ -1,0 +1,78 @@
+// Per-thread joint-histogram scratch for the pair kernels.
+//
+// Rows are padded so that (a) a full SIMD register starting at any valid
+// bin column stays inside the row's allocation (kernels write up to
+// weight_stride columns past the first bin), and (b) each row starts on a
+// 64-byte boundary. With the paper's b in the 10-30 range one histogram is
+// a few KB — it lives in L1 for the whole tile, which is precisely why the
+// estimator is compute- rather than memory-bound.
+//
+// A histogram can carry `replicas` stacked copies (each bins x stride):
+// the Replicated kernel writes round-robin into them to break store-to-load
+// dependencies and reduces them before the entropy pass.
+#pragma once
+
+#include <cstring>
+#include <span>
+
+#include "util/aligned.h"
+
+namespace tinge {
+
+class JointHistogram {
+ public:
+  /// `max_vector_width` is the widest store a kernel may issue from a bin
+  /// column (in floats); padding guarantees such stores stay in bounds.
+  explicit JointHistogram(int bins, int max_vector_width = 16, int replicas = 1)
+      : bins_(bins),
+        replicas_(replicas),
+        stride_(round_up(static_cast<std::size_t>(bins + max_vector_width),
+                         kSimdAlignment / sizeof(float))),
+        cells_(static_cast<std::size_t>(bins) * static_cast<std::size_t>(replicas) *
+               stride_) {
+    TINGE_EXPECTS(bins >= 1);
+    TINGE_EXPECTS(max_vector_width >= 1);
+    TINGE_EXPECTS(replicas >= 1);
+  }
+
+  int bins() const { return bins_; }
+  int replicas() const { return replicas_; }
+  std::size_t stride() const { return stride_; }
+
+  /// Cells in one replica (bins * stride).
+  std::size_t replica_cells() const {
+    return static_cast<std::size_t>(bins_) * stride_;
+  }
+  /// Cells in the whole allocation.
+  std::size_t cell_count() const { return cells_.size(); }
+
+  float* data() { return cells_.data(); }
+  const float* data() const { return cells_.data(); }
+
+  float* row(int i, int replica = 0) {
+    TINGE_EXPECTS(i >= 0 && i < bins_);
+    TINGE_EXPECTS(replica >= 0 && replica < replicas_);
+    return cells_.data() + static_cast<std::size_t>(replica) * replica_cells() +
+           static_cast<std::size_t>(i) * stride_;
+  }
+  const float* row(int i, int replica = 0) const {
+    return const_cast<JointHistogram*>(this)->row(i, replica);
+  }
+
+  void clear() { std::memset(cells_.data(), 0, cells_.size() * sizeof(float)); }
+
+  /// Sum over all cells (diagnostics; equals m after an accumulation pass).
+  double total_mass() const {
+    double total = 0.0;
+    for (std::size_t i = 0; i < cells_.size(); ++i) total += cells_.data()[i];
+    return total;
+  }
+
+ private:
+  int bins_;
+  int replicas_;
+  std::size_t stride_;
+  AlignedBuffer<float> cells_;
+};
+
+}  // namespace tinge

@@ -1,0 +1,42 @@
+#include "mi/weight_table.h"
+
+#include <cmath>
+#include <vector>
+
+#include "preprocess/rank_transform.h"
+#include "simd/math.h"
+
+namespace tinge {
+
+WeightTable::WeightTable(std::size_t m, const BsplineBasis& basis)
+    : m_(m),
+      bins_(basis.bins()),
+      order_(basis.order()),
+      weight_stride_(round_up(static_cast<std::size_t>(basis.order()), 4)),
+      weights_(m * weight_stride_),
+      first_bin_(m) {
+  TINGE_EXPECTS(m >= 2);
+  std::vector<double> marginal(static_cast<std::size_t>(bins_), 0.0);
+  float local[BsplineBasis::kMaxOrder];
+  for (std::size_t r = 0; r < m_; ++r) {
+    const float z = rank_to_unit(static_cast<float>(r), m_);
+    const int first = basis.evaluate(z, local);
+    first_bin_[r] = first;
+    float* row = weights_.data() + r * weight_stride_;
+    for (int c = 0; c < order_; ++c) {
+      row[static_cast<std::size_t>(c)] = local[c];
+      marginal[static_cast<std::size_t>(first + c)] += static_cast<double>(local[c]);
+    }
+    // padding already zero-initialized by AlignedBuffer
+  }
+
+  double h = 0.0;
+  const double inv_m = 1.0 / static_cast<double>(m_);
+  for (const double mass : marginal) {
+    const double p = mass * inv_m;
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  marginal_entropy_ = h;
+}
+
+}  // namespace tinge

@@ -1,0 +1,50 @@
+// Per-thread accumulation without false sharing.
+//
+// Each logical thread owns a cache-line-padded slot; the combine step runs
+// on the caller after the region ends. This is how the MI engine collects
+// per-thread edge counts and stage timings.
+#pragma once
+
+#include <vector>
+
+#include "util/aligned.h"
+#include "util/contracts.h"
+
+namespace tinge::par {
+
+template <typename T>
+class PerThread {
+ public:
+  explicit PerThread(int nthreads, const T& initial = T{})
+      : slots_(static_cast<std::size_t>(nthreads)) {
+    TINGE_EXPECTS(nthreads >= 1);
+    for (auto& slot : slots_) slot.value = initial;
+  }
+
+  T& local(int tid) {
+    TINGE_EXPECTS(tid >= 0 && static_cast<std::size_t>(tid) < slots_.size());
+    return slots_[static_cast<std::size_t>(tid)].value;
+  }
+
+  const T& local(int tid) const {
+    TINGE_EXPECTS(tid >= 0 && static_cast<std::size_t>(tid) < slots_.size());
+    return slots_[static_cast<std::size_t>(tid)].value;
+  }
+
+  int size() const { return static_cast<int>(slots_.size()); }
+
+  /// Folds all slots with `op` starting from `seed`.
+  template <typename U, typename Op>
+  U combine(U seed, Op&& op) const {
+    for (const auto& slot : slots_) seed = op(seed, slot.value);
+    return seed;
+  }
+
+ private:
+  struct alignas(kSimdAlignment) Slot {
+    T value;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace tinge::par

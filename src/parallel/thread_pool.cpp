@@ -1,0 +1,119 @@
+#include "parallel/thread_pool.h"
+
+#include "util/contracts.h"
+
+namespace tinge::par {
+
+ThreadPool::ThreadPool(int max_threads, Placement placement, Topology topo)
+    : max_threads_(max_threads) {
+  TINGE_EXPECTS(max_threads >= 1);
+  if (placement != Placement::None) {
+    const int cpu = placement == Placement::Scatter ? topo.scatter_cpu(0)
+                                                    : topo.compact_cpu(0);
+    pin_current_thread(cpu);
+  }
+  workers_.reserve(static_cast<std::size_t>(max_threads - 1));
+  for (int w = 0; w < max_threads - 1; ++w) {
+    workers_.emplace_back([this, w, placement, topo] {
+      if (placement != Placement::None) {
+        const int logical = w + 1;  // caller owns logical thread 0
+        const int cpu = placement == Placement::Scatter
+                            ? topo.scatter_cpu(logical)
+                            : topo.compact_cpu(logical);
+        pin_current_thread(cpu);
+      }
+      worker_loop(w);
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop(int /*worker_index*/) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int, int)>* body = nullptr;
+    int width = 0;
+    int tid = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      // Claim a context if the region still needs one; otherwise sleep on.
+      if (claimed_ < region_width_ - 1) {
+        tid = ++claimed_;  // tids 1..width-1; the caller is tid 0
+        body = body_;
+        width = region_width_;
+      }
+    }
+    if (tid < 0) continue;
+
+    std::exception_ptr error;
+    try {
+      (*body)(tid, width);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      ++finished_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::run(int nthreads, const std::function<void(int, int)>& body) {
+  TINGE_EXPECTS(nthreads >= 1);
+  TINGE_EXPECTS(nthreads <= max_threads_);
+
+  if (nthreads == 1) {
+    body(0, 1);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TINGE_EXPECTS(body_ == nullptr);  // no re-entrant regions
+    body_ = &body;
+    region_width_ = nthreads;
+    claimed_ = 0;
+    finished_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  std::exception_ptr caller_error;
+  try {
+    body(0, nthreads);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return finished_ == region_width_ - 1; });
+  body_ = nullptr;
+  region_width_ = 0;
+  const std::exception_ptr worker_error = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (worker_error) std::rethrow_exception(worker_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(detect_host_topology().total_threads());
+  return pool;
+}
+
+}  // namespace tinge::par

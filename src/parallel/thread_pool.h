@@ -1,0 +1,69 @@
+// Persistent worker-thread pool with fork/join parallel regions.
+//
+// The paper keeps its 244 (Phi) / 32 (Xeon) threads alive for the whole
+// network construction and repeatedly runs SPMD regions over them; spawning
+// threads per tile would dominate at that scale. ThreadPool mirrors that
+// model: workers are created once, a region `body(tid, nthreads)` is
+// executed by `nthreads` contexts (the caller participates as tid 0), and
+// run() returns when every context has finished.
+//
+// Oversubscription is allowed and deliberate: the thread-scaling experiment
+// (Figure F1) sweeps past the physical core count exactly as the paper
+// sweeps past the Phi's core count into its 4-way SMT region.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/affinity.h"
+#include "parallel/topology.h"
+
+namespace tinge::par {
+
+class ThreadPool {
+ public:
+  /// Creates a pool able to run regions of up to `max_threads` contexts
+  /// (max_threads - 1 OS worker threads are spawned; the caller is the
+  /// extra context). Placement pins workers according to `topo`.
+  explicit ThreadPool(int max_threads,
+                      Placement placement = Placement::None,
+                      Topology topo = detect_host_topology());
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Maximum region width this pool supports.
+  int max_threads() const { return max_threads_; }
+
+  /// Executes body(tid, nthreads) on `nthreads` contexts concurrently.
+  /// tid 0 runs on the calling thread. Must not be called re-entrantly
+  /// from inside a region. Exceptions thrown by any context are rethrown
+  /// on the caller (first one wins).
+  void run(int nthreads, const std::function<void(int, int)>& body);
+
+  /// Process-wide pool sized to the host's hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(int worker_index);
+
+  const int max_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int, int)>* body_ = nullptr;  // valid during a region
+  int region_width_ = 0;       // contexts in the active region
+  std::uint64_t generation_ = 0;
+  int claimed_ = 0;            // worker contexts handed out this region
+  int finished_ = 0;           // worker contexts completed this region
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace tinge::par

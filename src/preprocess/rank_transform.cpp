@@ -1,0 +1,74 @@
+#include "preprocess/rank_transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tinge {
+
+namespace {
+// Indices 0..m-1 sorted by value with sample order as tiebreak.
+std::vector<std::uint32_t> sorted_order(std::span<const float> values) {
+  std::vector<std::uint32_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return values[a] < values[b];
+                   });
+  return order;
+}
+}  // namespace
+
+std::vector<std::uint32_t> rank_order(std::span<const float> values) {
+  for (const float v : values) TINGE_EXPECTS(!std::isnan(v));
+  const auto order = sorted_order(values);
+  std::vector<std::uint32_t> rank(values.size());
+  for (std::uint32_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+  return rank;
+}
+
+std::vector<float> rank_average(std::span<const float> values) {
+  for (const float v : values) TINGE_EXPECTS(!std::isnan(v));
+  const auto order = sorted_order(values);
+  std::vector<float> rank(values.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && values[order[j + 1]] == values[order[i]]) ++j;
+    const float avg = static_cast<float>(i + j) / 2.0f;
+    for (std::size_t t = i; t <= j; ++t) rank[order[t]] = avg;
+    i = j + 1;
+  }
+  return rank;
+}
+
+RankedMatrix::RankedMatrix(const ExpressionMatrix& matrix)
+    : n_genes_(matrix.n_genes()),
+      n_samples_(matrix.n_samples()),
+      stride_(round_up(n_samples_ == 0 ? 1 : n_samples_,
+                       kSimdAlignment / sizeof(std::uint32_t))),
+      ranks_(n_genes_ * stride_),
+      gene_names_(matrix.gene_names()) {
+  for (std::size_t g = 0; g < n_genes_; ++g) {
+    const auto ranks = rank_order(matrix.row(g));
+    std::uint32_t* dst = ranks_.data() + g * stride_;
+    std::copy(ranks.begin(), ranks.end(), dst);
+  }
+}
+
+void rank_transform_in_place(ExpressionMatrix& matrix, TiePolicy policy) {
+  const std::size_t m = matrix.n_samples();
+  for (std::size_t g = 0; g < matrix.n_genes(); ++g) {
+    auto row = matrix.row(g);
+    if (policy == TiePolicy::StableOrder) {
+      const auto ranks = rank_order(row);
+      for (std::size_t s = 0; s < m; ++s)
+        row[s] = rank_to_unit(static_cast<float>(ranks[s]), m);
+    } else {
+      const auto ranks = rank_average(row);
+      for (std::size_t s = 0; s < m; ++s) row[s] = rank_to_unit(ranks[s], m);
+    }
+  }
+}
+
+}  // namespace tinge

@@ -1,0 +1,30 @@
+#include "preprocess/transforms.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace tinge {
+
+void log2_transform(ExpressionMatrix& matrix) {
+  for (std::size_t g = 0; g < matrix.n_genes(); ++g) {
+    for (float& v : matrix.row(g)) {
+      if (std::isnan(v)) continue;
+      v = std::log2(1.0f + std::max(v, 0.0f));
+    }
+  }
+}
+
+void standardize(ExpressionMatrix& matrix) {
+  for (std::size_t g = 0; g < matrix.n_genes(); ++g) {
+    auto row = matrix.row(g);
+    const Summary s = summarize(row);
+    const double sd = std::sqrt(s.variance);
+    for (float& v : row) {
+      if (std::isnan(v)) continue;
+      v = sd > 0.0 ? static_cast<float>((v - s.mean) / sd) : 0.0f;
+    }
+  }
+}
+
+}  // namespace tinge

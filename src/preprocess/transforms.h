@@ -1,0 +1,17 @@
+// Value-space preprocessing applied before ranking: microarray compendia
+// arrive as raw intensities (log-transform) or as pre-normalized values
+// (standardize for the correlation baselines; MI itself is rank-invariant).
+#pragma once
+
+#include "data/expression_matrix.h"
+
+namespace tinge {
+
+/// In-place log2(1 + max(x, 0)); NaNs pass through untouched.
+void log2_transform(ExpressionMatrix& matrix);
+
+/// In-place per-gene z-score: (x - mean)/sd over finite entries. Genes with
+/// zero variance become all-zero. NaNs pass through untouched.
+void standardize(ExpressionMatrix& matrix);
+
+}  // namespace tinge

@@ -1,0 +1,42 @@
+#include "simd/feature.h"
+
+#include "simd/simd.h"
+#include "util/str.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace tinge::simd {
+
+CpuFeatures detect_cpu_features() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.sse2 = (edx & (1u << 26)) != 0;
+    f.avx = (ecx & (1u << 28)) != 0;
+    f.fma = (ecx & (1u << 12)) != 0;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx & (1u << 5)) != 0;
+    f.avx512f = (ebx & (1u << 16)) != 0;
+  }
+#endif
+  return f;
+}
+
+std::string isa_report() {
+  const CpuFeatures f = detect_cpu_features();
+  std::string runtime;
+  if (f.sse2) runtime += " SSE2";
+  if (f.avx) runtime += " AVX";
+  if (f.avx2) runtime += " AVX2";
+  if (f.fma) runtime += " FMA";
+  if (f.avx512f) runtime += " AVX-512F";
+  if (runtime.empty()) runtime = " none";
+  return strprintf("runtime:%s | compiled: %s (%d lanes)", runtime.c_str(),
+                   kNativeIsa, kNativeFloatWidth);
+}
+
+}  // namespace tinge::simd

@@ -1,0 +1,24 @@
+// Runtime CPU feature detection (for logging/reporting only — kernel
+// dispatch is compile-time, see simd.h). The benchmark harnesses print
+// this so recorded numbers carry their ISA provenance.
+#pragma once
+
+#include <string>
+
+namespace tinge::simd {
+
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+};
+
+/// Queries CPUID (x86) or reports all-false elsewhere.
+CpuFeatures detect_cpu_features();
+
+/// e.g. "runtime: SSE2 AVX AVX2 FMA AVX-512F | compiled: AVX-512 (16 lanes)"
+std::string isa_report();
+
+}  // namespace tinge::simd

@@ -1,0 +1,84 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace tinge {
+
+Summary summarize(std::span<const float> values) {
+  Summary s;
+  double m = 0.0, m2 = 0.0;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  for (const float vf : values) {
+    if (std::isnan(vf)) {
+      ++s.missing;
+      continue;
+    }
+    const double v = vf;
+    ++s.count;
+    const double delta = v - m;
+    m += delta / static_cast<double>(s.count);
+    m2 += delta * (v - m);
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+  }
+  s.mean = s.count > 0 ? m : std::nan("");
+  s.variance = s.count > 1 ? m2 / static_cast<double>(s.count - 1) : 0.0;
+  if (s.count == 0) {
+    s.min = std::nan("");
+    s.max = std::nan("");
+  }
+  return s;
+}
+
+double mean(std::span<const float> values) { return summarize(values).mean; }
+
+double variance(std::span<const float> values) { return summarize(values).variance; }
+
+namespace {
+struct PairedMoments {
+  std::size_t n = 0;
+  double mean_x = 0.0, mean_y = 0.0;
+  double cxx = 0.0, cyy = 0.0, cxy = 0.0;  // scaled co-moments
+};
+
+PairedMoments paired_moments(std::span<const float> x, std::span<const float> y) {
+  TINGE_EXPECTS(x.size() == y.size());
+  PairedMoments pm;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::isnan(x[i]) || std::isnan(y[i])) continue;
+    ++pm.n;
+    const double inv_n = 1.0 / static_cast<double>(pm.n);
+    const double dx = x[i] - pm.mean_x;
+    const double dy = y[i] - pm.mean_y;
+    pm.mean_x += dx * inv_n;
+    pm.mean_y += dy * inv_n;
+    pm.cxx += dx * (x[i] - pm.mean_x);
+    pm.cyy += dy * (y[i] - pm.mean_y);
+    pm.cxy += dx * (y[i] - pm.mean_y);
+  }
+  return pm;
+}
+}  // namespace
+
+double pearson(std::span<const float> x, std::span<const float> y) {
+  const PairedMoments pm = paired_moments(x, y);
+  if (pm.n < 2) return 0.0;
+  const double denom = std::sqrt(pm.cxx * pm.cyy);
+  if (denom <= 0.0) return 0.0;
+  double r = pm.cxy / denom;
+  if (r > 1.0) r = 1.0;
+  if (r < -1.0) r = -1.0;
+  return r;
+}
+
+double covariance(std::span<const float> x, std::span<const float> y) {
+  const PairedMoments pm = paired_moments(x, y);
+  if (pm.n < 2) return 0.0;
+  return pm.cxy / static_cast<double>(pm.n - 1);
+}
+
+}  // namespace tinge

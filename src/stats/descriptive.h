@@ -1,0 +1,37 @@
+// Descriptive statistics over expression profiles. Welford's algorithm is
+// used throughout so single-pass summaries of long microarray rows stay
+// numerically stable in float.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace tinge {
+
+struct Summary {
+  std::size_t count = 0;      ///< finite values only
+  std::size_t missing = 0;    ///< NaN entries
+  double mean = 0.0;
+  double variance = 0.0;      ///< unbiased (n-1) sample variance
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Single-pass summary; NaNs are counted as missing and excluded.
+Summary summarize(std::span<const float> values);
+
+/// Sample mean ignoring NaNs. Returns NaN if no finite values.
+double mean(std::span<const float> values);
+
+/// Unbiased sample variance ignoring NaNs. Returns 0 for fewer than 2 values.
+double variance(std::span<const float> values);
+
+/// Pearson correlation coefficient of two equal-length profiles.
+/// Pairs where either side is NaN are dropped. Returns 0 when degenerate
+/// (fewer than 2 complete pairs, or zero variance on either side).
+double pearson(std::span<const float> x, std::span<const float> y);
+
+/// Sample covariance (complete pairs only).
+double covariance(std::span<const float> x, std::span<const float> y);
+
+}  // namespace tinge

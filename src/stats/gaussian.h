@@ -1,0 +1,30 @@
+// Closed-form facts about bivariate Gaussians, used to validate the
+// mutual-information estimators: for (X, Y) jointly Gaussian with
+// correlation rho, the true mutual information is
+//     I(X; Y) = -0.5 * ln(1 - rho^2)   [nats].
+#pragma once
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace tinge {
+
+/// True MI (in nats) of a bivariate Gaussian with correlation `rho`.
+inline double gaussian_mi_nats(double rho) {
+  TINGE_EXPECTS(rho > -1.0 && rho < 1.0);
+  return -0.5 * std::log(1.0 - rho * rho);
+}
+
+/// Same in bits.
+inline double gaussian_mi_bits(double rho) {
+  return gaussian_mi_nats(rho) / std::log(2.0);
+}
+
+/// Inverse: the |rho| that produces a given MI (nats).
+inline double rho_for_gaussian_mi(double mi_nats) {
+  TINGE_EXPECTS(mi_nats >= 0.0);
+  return std::sqrt(1.0 - std::exp(-2.0 * mi_nats));
+}
+
+}  // namespace tinge

@@ -1,0 +1,55 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace tinge {
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  TINGE_EXPECTS(!sorted.empty());
+  TINGE_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double h = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> values, double p) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, p);
+}
+
+double upper_tail(std::span<const double> values, double x) {
+  TINGE_EXPECTS(!values.empty());
+  std::size_t count = 0;
+  for (const double v : values)
+    if (v >= x) ++count;
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> sample)
+    : sorted_(std::move(sample)) {
+  TINGE_EXPECTS(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalDistribution::min() const { return sorted_.front(); }
+double EmpiricalDistribution::max() const { return sorted_.back(); }
+
+double EmpiricalDistribution::quantile(double p) const {
+  return quantile_sorted(sorted_, p);
+}
+
+double EmpiricalDistribution::p_value(double x) const {
+  // count of null draws >= x, via binary search on the sorted sample
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+  const auto ge = static_cast<std::size_t>(sorted_.end() - it);
+  return (static_cast<double>(ge) + 1.0) / (static_cast<double>(sorted_.size()) + 1.0);
+}
+
+}  // namespace tinge

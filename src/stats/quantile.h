@@ -1,0 +1,41 @@
+// Empirical quantiles and distribution helpers used by the permutation test:
+// the significance threshold I_alpha is the (1-alpha) quantile of the
+// permutation-null MI sample.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tinge {
+
+/// Empirical quantile with linear interpolation (R type-7, the default of
+/// most statistics packages). `p` in [0, 1]. The input need not be sorted.
+double quantile(std::span<const double> values, double p);
+
+/// Same, but assumes `sorted` is ascending; O(1).
+double quantile_sorted(std::span<const double> sorted, double p);
+
+/// Empirical upper-tail probability P(X >= x) of the sample.
+double upper_tail(std::span<const double> values, double x);
+
+/// An immutable empirical distribution built once and queried many times
+/// (the universal permutation null is exactly this).
+class EmpiricalDistribution {
+ public:
+  explicit EmpiricalDistribution(std::vector<double> sample);
+
+  std::size_t size() const { return sorted_.size(); }
+  double min() const;
+  double max() const;
+  double quantile(double p) const;
+  /// P(X >= x) with the +1 correction of Davison & Hinkley (never zero),
+  /// the standard p-value estimator for permutation tests.
+  double p_value(double x) const;
+
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace tinge

@@ -1,0 +1,35 @@
+#include "stats/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace tinge {
+
+std::vector<std::uint32_t> random_permutation(std::size_t n, Xoshiro256& rng) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  shuffle(perm, rng);
+  return perm;
+}
+
+std::vector<std::uint32_t> sample_without_replacement(std::size_t n, std::size_t k,
+                                                      Xoshiro256& rng) {
+  TINGE_EXPECTS(k <= n);
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(k);
+  std::vector<std::uint32_t> result;
+  result.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto candidate = static_cast<std::uint32_t>(rng.below(j + 1));
+    if (chosen.insert(candidate).second) {
+      result.push_back(candidate);
+    } else {
+      chosen.insert(static_cast<std::uint32_t>(j));
+      result.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  return result;
+}
+
+}  // namespace tinge

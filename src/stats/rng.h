@@ -1,0 +1,151 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in the pipeline — permutation-null sampling,
+// synthetic network/expression generation, per-pair permutation tests —
+// draws from Xoshiro256++ seeded explicitly, so every experiment in
+// EXPERIMENTS.md is bit-reproducible. std::mt19937 is avoided because its
+// 2.5 KB state is hostile to the per-thread generator arrays used by the
+// parallel null-distribution builder.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace tinge {
+
+/// SplitMix64: used only to expand a single user seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256++ (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls of operator(); used to split one seed into
+  /// non-overlapping per-thread streams.
+  void long_jump() {
+    static constexpr std::uint64_t kJump[] = {
+        0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+        0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const std::uint64_t jump : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump & (std::uint64_t{1} << b)) {
+          s0 ^= state_[0];
+          s1 ^= state_[1];
+          s2 ^= state_[2];
+          s3 ^= state_[3];
+        }
+        (*this)();
+      }
+    }
+    state_ = {s0, s1, s2, s3};
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [0, 1).
+  float uniformf() { return static_cast<float>((*this)() >> 40) * 0x1.0p-24f; }
+
+  /// Unbiased uniform integer in [0, bound) via Lemire's method.
+  std::uint64_t below(std::uint64_t bound) {
+    TINGE_EXPECTS(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (cached spare deviate).
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double scale = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * scale;
+    has_spare_ = true;
+    return u * scale;
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// In-place Fisher–Yates shuffle.
+template <typename T>
+void shuffle(std::vector<T>& values, Xoshiro256& rng) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+/// Returns {0, 1, ..., n-1} shuffled.
+std::vector<std::uint32_t> random_permutation(std::size_t n, Xoshiro256& rng);
+
+/// Samples k distinct indices from [0, n) (Floyd's algorithm).
+std::vector<std::uint32_t> sample_without_replacement(std::size_t n, std::size_t k,
+                                                      Xoshiro256& rng);
+
+}  // namespace tinge

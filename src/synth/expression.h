@@ -1,0 +1,55 @@
+// Steady-state expression simulator over a ground-truth GRN.
+//
+// Each simulated microarray is one draw of the structural model, evaluated
+// in topological order (the GRN generator guarantees regulator < target):
+//
+//   root genes:      x_g = N(0, 1)
+//   regulated genes: x_g = sum_r s_r * sign_r * f(x_r) / sqrt(#regulators)
+//                          + noise_sd * N(0, 1)
+//
+// with response f(u) = tanh(gain * u) (saturating, the biologically
+// motivated nonlinearity that breaks pure-correlation methods) or identity.
+// A measurement layer then adds array noise and optionally knocks out spots
+// (NaN), reproducing the artifacts the preprocessing stage must handle.
+#pragma once
+
+#include <cstdint>
+
+#include "data/expression_matrix.h"
+#include "synth/grn.h"
+
+namespace tinge {
+
+struct ExpressionParams {
+  std::size_t n_samples = 500;
+  /// Intrinsic (biological) noise. The default keeps correlation localized
+  /// around direct regulatory edges; much smaller values make propagation
+  /// near-deterministic and the whole GRN inter-correlates.
+  double noise_sd = 0.75;
+  double measurement_noise_sd = 0.1;  ///< array noise added to every spot
+  bool nonlinear = true;              ///< tanh response vs linear
+  double response_gain = 1.5;         ///< gain inside tanh
+  /// Fraction of regulatory edges whose response is NON-MONOTONE
+  /// (f(u) = tanh(g*u)^2 - mean, a symmetric dosage-style response).
+  /// Such edges carry mutual information but essentially zero Pearson or
+  /// Spearman correlation — the dependency class that motivates MI-based
+  /// inference over correlation networks in the first place.
+  double nonmonotone_fraction = 0.0;
+  double missing_fraction = 0.0;      ///< probability a spot reads NaN
+  std::uint64_t seed = 2;
+};
+
+ExpressionMatrix simulate_expression(const Grn& grn,
+                                     const ExpressionParams& params);
+
+/// One-call synthetic benchmark dataset: GRN + expression + truth network.
+struct SyntheticDataset {
+  Grn grn;
+  ExpressionMatrix expression;
+  GeneNetwork truth;
+};
+
+SyntheticDataset make_synthetic_dataset(const GrnParams& grn_params,
+                                        const ExpressionParams& expr_params);
+
+}  // namespace tinge

@@ -1,0 +1,46 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// Contracts are *always on*: whole-genome runs take minutes to hours, so the
+// relative cost of argument checking is nil, while a silently corrupted
+// mutual-information matrix is very expensive to debug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tinge {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: `" + expr + "` at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace tinge
+
+#define TINGE_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::tinge::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define TINGE_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::tinge::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define TINGE_ASSERT(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::tinge::detail::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

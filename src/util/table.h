@@ -1,0 +1,34 @@
+// Column-aligned plain-text tables. Every benchmark harness prints its
+// paper-style rows through this so the output of `for b in build/bench/*`
+// is uniform and diff-able across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tinge {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with fixed precision.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tinge

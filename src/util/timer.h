@@ -1,0 +1,61 @@
+// Wall-clock timing utilities used by the pipeline stage breakdown (Table T1)
+// and by every benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace tinge {
+
+/// Monotonic stopwatch. Constructed running.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Adds elapsed time to an accumulator on destruction; lets stage timers
+/// nest naturally around early returns and exceptions.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) : sink_(sink) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() { sink_ += watch_.seconds(); }
+
+ private:
+  double& sink_;
+  Stopwatch watch_;
+};
+
+/// "1.2 s", "34 ms", "21.8 min" — human-readable durations for reports.
+inline std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace tinge

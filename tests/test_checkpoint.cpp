@@ -1,0 +1,244 @@
+// Checkpoint/restart: journal format roundtrips, torn-tail tolerance,
+// signature validation, and failure-injected resume of the MI engine.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "core/checkpoint.h"
+#include "core/mi_engine.h"
+#include "data/tsv_io.h"
+#include "stats/rng.h"
+
+namespace tinge {
+namespace {
+
+class CheckpointFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tingex_ckpt_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+RunSignature test_signature() {
+  return RunSignature{100, 64, 16, 10, 3, 0.25};
+}
+
+TEST_F(CheckpointFixture, RoundtripRecords) {
+  const RunSignature signature = test_signature();
+  {
+    CheckpointWriter writer(path("a.ckpt"), signature);
+    const Edge edges1[] = {{0, 1, 0.5f}, {2, 9, 0.75f}};
+    writer.append_tile(4, edges1);
+    writer.append_tile(7, {});  // a tile can have zero surviving edges
+    const Edge edges3[] = {{5, 6, 1.25f}};
+    writer.append_tile(2, edges3);
+  }
+  const CheckpointState state = load_checkpoint(path("a.ckpt"));
+  EXPECT_EQ(state.signature, signature);
+  EXPECT_FALSE(state.tail_truncated);
+  EXPECT_EQ(state.completed_tiles(),
+            (std::vector<std::uint64_t>{2, 4, 7}));
+  const auto edges = state.all_edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1, 0.5f}));
+  EXPECT_EQ(edges[2], (Edge{5, 6, 1.25f}));
+}
+
+TEST_F(CheckpointFixture, TornTailIsDiscarded) {
+  const RunSignature signature = test_signature();
+  {
+    CheckpointWriter writer(path("t.ckpt"), signature);
+    const Edge edges[] = {{0, 1, 0.5f}};
+    writer.append_tile(1, edges);
+    writer.append_tile(2, edges);
+  }
+  // Chop bytes off the final record.
+  const auto full = std::filesystem::file_size(path("t.ckpt"));
+  std::filesystem::resize_file(path("t.ckpt"), full - 5);
+  const CheckpointState state = load_checkpoint(path("t.ckpt"));
+  EXPECT_TRUE(state.tail_truncated);
+  EXPECT_EQ(state.completed_tiles(), (std::vector<std::uint64_t>{1}));
+}
+
+TEST_F(CheckpointFixture, DuplicateTilesKeepFirstRecord) {
+  const RunSignature signature = test_signature();
+  {
+    CheckpointWriter writer(path("d.ckpt"), signature);
+    const Edge first[] = {{0, 1, 0.5f}};
+    const Edge second[] = {{0, 2, 0.9f}};
+    writer.append_tile(3, first);
+    writer.append_tile(3, second);  // replay after resume writes again
+  }
+  const CheckpointState state = load_checkpoint(path("d.ckpt"));
+  EXPECT_EQ(state.records.size(), 1u);
+  EXPECT_EQ(state.all_edges()[0].v, 1u);
+}
+
+TEST_F(CheckpointFixture, RejectsGarbageAndMissingFiles) {
+  EXPECT_THROW(load_checkpoint(path("absent.ckpt")), IoError);
+  {
+    std::ofstream out(path("junk.ckpt"), std::ios::binary);
+    out << "this is not a checkpoint at all, not even close";
+  }
+  EXPECT_THROW(load_checkpoint(path("junk.ckpt")), IoError);
+}
+
+TEST_F(CheckpointFixture, SignatureMatching) {
+  const RunSignature signature = test_signature();
+  { CheckpointWriter writer(path("s.ckpt"), signature); }
+  EXPECT_TRUE(checkpoint_matches(path("s.ckpt"), signature));
+  RunSignature other = signature;
+  other.threshold = 0.5;
+  EXPECT_FALSE(checkpoint_matches(path("s.ckpt"), other));
+  other = signature;
+  other.n_genes = 101;
+  EXPECT_FALSE(checkpoint_matches(path("s.ckpt"), other));
+  EXPECT_FALSE(checkpoint_matches(path("missing.ckpt"), signature));
+}
+
+// ---- engine integration -----------------------------------------------------
+
+class EngineCheckpointFixture : public CheckpointFixture {
+ protected:
+  static constexpr std::size_t kGenes = 36;
+  static constexpr std::size_t kSamples = 96;
+
+  EngineCheckpointFixture()
+      : estimator_(10, 3, kSamples) {
+    ExpressionMatrix matrix(kGenes, kSamples);
+    Xoshiro256 rng(77);
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      const double driver = rng.normal();
+      for (std::size_t g = 0; g < kGenes; ++g) {
+        matrix.at(g, s) = static_cast<float>(
+            g < 10 ? driver + 0.4 * rng.normal() : rng.normal());
+      }
+    }
+    ranked_ = RankedMatrix(matrix);
+  }
+
+  TingeConfig config() const {
+    TingeConfig c;
+    c.tile_size = 6;
+    c.threads = 2;
+    return c;
+  }
+
+  BsplineMi estimator_;
+  RankedMatrix ranked_;
+};
+
+TEST_F(EngineCheckpointFixture, FreshRunMatchesPlainEngineAndCleansUp) {
+  const MiEngine engine(estimator_, ranked_);
+  par::ThreadPool pool(2);
+  const double threshold = 0.2;
+
+  const GeneNetwork plain =
+      engine.compute_network(threshold, config(), pool);
+  EngineStats stats;
+  const GeneNetwork checkpointed = engine.compute_network_checkpointed(
+      threshold, config(), pool, path("run.ckpt"), &stats);
+
+  ASSERT_EQ(plain.n_edges(), checkpointed.n_edges());
+  for (std::size_t i = 0; i < plain.n_edges(); ++i)
+    EXPECT_EQ(plain.edges()[i], checkpointed.edges()[i]);
+  EXPECT_EQ(stats.pairs_computed, kGenes * (kGenes - 1) / 2);
+  EXPECT_FALSE(std::filesystem::exists(path("run.ckpt")))
+      << "checkpoint must be removed after success";
+}
+
+TEST_F(EngineCheckpointFixture, ResumesAfterInjectedCrash) {
+  const MiEngine engine(estimator_, ranked_);
+  par::ThreadPool pool(2);
+  const double threshold = 0.2;
+  const GeneNetwork expected =
+      engine.compute_network(threshold, config(), pool);
+
+  // Crash after 5 tiles.
+  struct InjectedCrash : std::runtime_error {
+    InjectedCrash() : std::runtime_error("injected") {}
+  };
+  EXPECT_THROW(engine.compute_network_checkpointed(
+                   threshold, config(), pool, path("crash.ckpt"), nullptr,
+                   [](std::size_t done, std::size_t) {
+                     if (done >= 5) throw InjectedCrash();
+                   }),
+               InjectedCrash);
+  ASSERT_TRUE(std::filesystem::exists(path("crash.ckpt")));
+  const CheckpointState partial = load_checkpoint(path("crash.ckpt"));
+  EXPECT_GE(partial.completed_tiles().size(), 5u);
+  const std::size_t total_tiles = TileSet(kGenes, 6).count();
+  EXPECT_LT(partial.completed_tiles().size(), total_tiles);
+
+  // Resume: must recompute only the remainder and agree exactly.
+  std::size_t resumed_new_tiles = 0;
+  EngineStats stats;
+  const GeneNetwork resumed = engine.compute_network_checkpointed(
+      threshold, config(), pool, path("crash.ckpt"), &stats,
+      [&](std::size_t, std::size_t) { ++resumed_new_tiles; });
+
+  ASSERT_EQ(expected.n_edges(), resumed.n_edges());
+  for (std::size_t i = 0; i < expected.n_edges(); ++i)
+    EXPECT_EQ(expected.edges()[i], resumed.edges()[i]);
+  // pairs_computed counts only newly computed work on resume.
+  EXPECT_LT(stats.pairs_computed, kGenes * (kGenes - 1) / 2);
+  EXPECT_EQ(resumed_new_tiles + partial.completed_tiles().size(), total_tiles);
+}
+
+TEST_F(EngineCheckpointFixture, RepeatedCrashesEventuallyComplete) {
+  const MiEngine engine(estimator_, ranked_);
+  par::ThreadPool pool(2);
+  const double threshold = 0.2;
+  const GeneNetwork expected =
+      engine.compute_network(threshold, config(), pool);
+
+  // Crash after every 4 new tiles until the run fits in the budget.
+  GeneNetwork result;
+  int attempts = 0;
+  while (true) {
+    ++attempts;
+    ASSERT_LT(attempts, 50) << "resume is not making progress";
+    try {
+      std::size_t new_tiles = 0;
+      result = engine.compute_network_checkpointed(
+          threshold, config(), pool, path("flaky.ckpt"), nullptr,
+          [&](std::size_t, std::size_t) {
+            if (++new_tiles > 4) throw std::runtime_error("injected");
+          });
+      break;
+    } catch (const std::runtime_error&) {
+      continue;
+    }
+  }
+  ASSERT_EQ(expected.n_edges(), result.n_edges());
+  for (std::size_t i = 0; i < expected.n_edges(); ++i)
+    EXPECT_EQ(expected.edges()[i], result.edges()[i]);
+  EXPECT_GT(attempts, 2);
+}
+
+TEST_F(EngineCheckpointFixture, MismatchedCheckpointIsIgnored) {
+  const MiEngine engine(estimator_, ranked_);
+  par::ThreadPool pool(2);
+  // A checkpoint from a different threshold must not be resumed from.
+  {
+    CheckpointWriter writer(path("other.ckpt"),
+                            RunSignature{kGenes, kSamples, 6, 10, 3, 0.9});
+    const Edge bogus[] = {{0, 1, 99.0f}};
+    writer.append_tile(0, bogus);
+  }
+  const GeneNetwork network = engine.compute_network_checkpointed(
+      0.2, config(), pool, path("other.ckpt"));
+  const GeneNetwork expected = engine.compute_network(0.2, config(), pool);
+  EXPECT_EQ(network.n_edges(), expected.n_edges());
+  for (const Edge& e : network.edges()) EXPECT_LT(e.weight, 10.0f);
+}
+
+}  // namespace
+}  // namespace tinge

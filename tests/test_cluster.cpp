@@ -1,0 +1,215 @@
+// Cluster baseline: the message-passing substrate and the distributed
+// ring all-pairs MI driver, validated against the single-chip engine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "cluster/ring_mi.h"
+#include "core/mi_engine.h"
+#include "stats/rng.h"
+
+namespace tinge::cluster {
+namespace {
+
+// ---- transport -----------------------------------------------------------------
+
+TEST(Comm, PointToPointRoundtrip) {
+  InProcessCluster cluster(2);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> payload{1, 2, 3};
+      comm.send_vector(1, payload, 7);
+      const auto reply = comm.recv_vector<int>(1, 8);
+      EXPECT_EQ(reply, (std::vector<int>{4, 5}));
+    } else {
+      const auto received = comm.recv_vector<int>(0, 7);
+      EXPECT_EQ(received, (std::vector<int>{1, 2, 3}));
+      comm.send_vector(0, std::vector<int>{4, 5}, 8);
+    }
+  });
+  EXPECT_EQ(cluster.messages_sent(), 2u);
+  EXPECT_EQ(cluster.bytes_transferred(), 3 * sizeof(int) + 2 * sizeof(int));
+}
+
+TEST(Comm, TagAndSourceMatching) {
+  // Messages delivered out of interest order must still match correctly.
+  InProcessCluster cluster(3);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const auto from2 = comm.recv_vector<int>(2, 5);   // sent "late"
+      const auto from1 = comm.recv_vector<int>(1, 5);
+      EXPECT_EQ(from1.at(0), 111);
+      EXPECT_EQ(from2.at(0), 222);
+      const auto tagged = comm.recv_vector<int>(1, 9);
+      EXPECT_EQ(tagged.at(0), 999);
+    } else if (comm.rank() == 1) {
+      comm.send_vector(0, std::vector<int>{999}, 9);  // different tag first
+      comm.send_vector(0, std::vector<int>{111}, 5);
+    } else {
+      comm.send_vector(0, std::vector<int>{222}, 5);
+    }
+  });
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  InProcessCluster cluster(4);
+  std::atomic<int> counter{0};
+  std::atomic<bool> torn{false};
+  cluster.run([&](Comm& comm) {
+    for (int phase = 0; phase < 10; ++phase) {
+      ++counter;
+      comm.barrier();
+      if (counter.load() < 4 * (phase + 1)) torn = true;
+      comm.barrier();
+    }
+  });
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(counter.load(), 40);
+}
+
+TEST(Comm, EmptyMessages) {
+  InProcessCluster cluster(2);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, nullptr, 0, 1);
+    } else {
+      EXPECT_TRUE(comm.recv(0, 1).empty());
+    }
+  });
+}
+
+TEST(Comm, ExceptionInOneRankPropagates) {
+  InProcessCluster cluster(2);
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+                 if (comm.rank() == 1) throw std::runtime_error("rank boom");
+               }),
+               std::runtime_error);
+}
+
+TEST(Comm, SingleRankClusterWorks) {
+  InProcessCluster cluster(1);
+  int visits = 0;
+  cluster.run([&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    comm.barrier();
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+// ---- ownership rule ---------------------------------------------------------------
+
+TEST(BlockPairOwner, EveryPairOwnedExactlyOnceAndBalanced) {
+  for (const int p : {2, 3, 4, 5, 8, 9}) {
+    std::vector<int> owned(static_cast<std::size_t>(p), 0);
+    for (int a = 0; a < p; ++a) {
+      for (int b = a; b < p; ++b) {
+        const int owner = block_pair_owner(a, b, p);
+        EXPECT_TRUE(owner == a || owner == b);
+        ++owned[static_cast<std::size_t>(owner)];
+      }
+    }
+    const int total = std::accumulate(owned.begin(), owned.end(), 0);
+    EXPECT_EQ(total, p * (p + 1) / 2);
+    const auto [lo, hi] = std::minmax_element(owned.begin(), owned.end());
+    EXPECT_LE(*hi - *lo, 1) << "p=" << p;  // classic rule balances to +-1
+  }
+}
+
+// ---- distributed driver -------------------------------------------------------------
+
+class RingMiFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kGenes = 30;
+  static constexpr std::size_t kSamples = 64;
+
+  RingMiFixture() : estimator_(10, 3, kSamples) {
+    ExpressionMatrix matrix(kGenes, kSamples);
+    Xoshiro256 rng(99);
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      const double driver = rng.normal();
+      for (std::size_t g = 0; g < kGenes; ++g) {
+        matrix.at(g, s) = static_cast<float>(
+            g < 8 ? driver + 0.5 * rng.normal() : rng.normal());
+      }
+    }
+    ranked_ = RankedMatrix(matrix);
+  }
+
+  GeneNetwork single_chip(double threshold) const {
+    const MiEngine engine(estimator_, ranked_);
+    par::ThreadPool pool(1);
+    TingeConfig config;
+    config.threads = 1;
+    return engine.compute_network(threshold, config, pool);
+  }
+
+  BsplineMi estimator_;
+  RankedMatrix ranked_;
+};
+
+TEST_F(RingMiFixture, MatchesSingleChipEngineForEveryRankCount) {
+  const double threshold = 0.2;
+  const GeneNetwork expected = single_chip(threshold);
+  ASSERT_GT(expected.n_edges(), 0u);
+  TingeConfig config;
+  for (const int ranks : {1, 2, 3, 4, 7}) {
+    ClusterStats stats;
+    const GeneNetwork distributed = cluster_compute_network(
+        estimator_, ranked_, threshold, ranks, config, &stats);
+    ASSERT_EQ(distributed.n_edges(), expected.n_edges()) << ranks << " ranks";
+    for (std::size_t i = 0; i < expected.n_edges(); ++i) {
+      EXPECT_EQ(distributed.edges()[i].u, expected.edges()[i].u);
+      EXPECT_EQ(distributed.edges()[i].v, expected.edges()[i].v);
+      EXPECT_EQ(distributed.edges()[i].weight, expected.edges()[i].weight);
+    }
+    EXPECT_EQ(stats.pairs_total, kGenes * (kGenes - 1) / 2);
+    EXPECT_EQ(stats.ranks, ranks);
+  }
+}
+
+TEST_F(RingMiFixture, SingleRankMovesNoBlockData) {
+  TingeConfig config;
+  ClusterStats stats;
+  cluster_compute_network(estimator_, ranked_, 0.2, 1, config, &stats);
+  EXPECT_EQ(stats.bytes_transferred, 0u);  // no ring, results stay on rank 0
+}
+
+TEST_F(RingMiFixture, CommunicationGrowsWithRankCount) {
+  TingeConfig config;
+  ClusterStats stats2, stats4;
+  cluster_compute_network(estimator_, ranked_, 0.2, 2, config, &stats2);
+  cluster_compute_network(estimator_, ranked_, 0.2, 4, config, &stats4);
+  EXPECT_GT(stats2.bytes_transferred, 0u);
+  // Ring volume ~ (P-1) * n * m * 4 bytes: quadruples 2 -> 4... at least grows.
+  EXPECT_GT(stats4.bytes_transferred, stats2.bytes_transferred);
+  EXPECT_GT(stats4.messages, stats4.ranks - 1u);
+}
+
+TEST_F(RingMiFixture, LoadIsReasonablyBalanced) {
+  TingeConfig config;
+  ClusterStats stats;
+  cluster_compute_network(estimator_, ranked_, 0.2, 5, config, &stats);
+  ASSERT_EQ(stats.pairs_per_rank.size(), 5u);
+  EXPECT_LT(stats.imbalance(), 2.5);  // small blocks: diagonal skew allowed
+}
+
+TEST_F(RingMiFixture, MoreRanksThanGenesStillCorrect) {
+  ExpressionMatrix tiny(3, 64);
+  Xoshiro256 rng(5);
+  for (std::size_t g = 0; g < 3; ++g)
+    for (std::size_t s = 0; s < 64; ++s)
+      tiny.at(g, s) = static_cast<float>(rng.normal());
+  const RankedMatrix ranked(tiny);
+  TingeConfig config;
+  ClusterStats stats;
+  const GeneNetwork network = cluster_compute_network(
+      estimator_, ranked, -1.0, 6, config, &stats);
+  EXPECT_EQ(network.n_edges(), 3u);  // all pairs kept at threshold < 0
+  EXPECT_EQ(stats.pairs_total, 3u);
+}
+
+}  // namespace
+}  // namespace tinge::cluster

@@ -1,0 +1,219 @@
+// Expression-matrix container and I/O: layout invariants, TSV and binary
+// roundtrips, missing-value handling, malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "data/binary_io.h"
+#include "data/expression_matrix.h"
+#include "data/tsv_io.h"
+
+namespace tinge {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tingex_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST(ExpressionMatrix, DimensionsAndDefaults) {
+  ExpressionMatrix m(3, 5);
+  EXPECT_EQ(m.n_genes(), 3u);
+  EXPECT_EQ(m.n_samples(), 5u);
+  EXPECT_GE(m.stride(), 5u);
+  EXPECT_EQ(m.stride() % (kSimdAlignment / sizeof(float)), 0u);
+  EXPECT_EQ(m.gene_names().size(), 3u);
+  EXPECT_EQ(m.sample_names().size(), 5u);
+  for (std::size_t g = 0; g < 3; ++g)
+    for (const float v : m.row(g)) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ExpressionMatrix, RowsAreAligned) {
+  ExpressionMatrix m(4, 7);
+  for (std::size_t g = 0; g < 4; ++g) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.row(g).data()) %
+                  kSimdAlignment,
+              0u);
+  }
+}
+
+TEST(ExpressionMatrix, AtReadsAndWrites) {
+  ExpressionMatrix m(2, 3);
+  m.at(1, 2) = 4.5f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), 4.5f);
+  EXPECT_FLOAT_EQ(m.row(1)[2], 4.5f);
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+  EXPECT_THROW(m.at(0, 3), ContractViolation);
+}
+
+TEST(ExpressionMatrix, NameMismatchRejected) {
+  EXPECT_THROW(ExpressionMatrix(2, 2, {"a"}, {"s1", "s2"}), ContractViolation);
+  EXPECT_THROW(ExpressionMatrix(2, 2, {"a", "b"}, {"s1"}), ContractViolation);
+}
+
+TEST(ExpressionMatrix, FindGene) {
+  ExpressionMatrix m(2, 2, {"AT1G01010", "AT1G01020"}, {"s1", "s2"});
+  EXPECT_EQ(m.find_gene("AT1G01020"), 1u);
+  EXPECT_EQ(m.find_gene("missing"), ExpressionMatrix::npos);
+}
+
+TEST(ExpressionMatrix, CountMissing) {
+  ExpressionMatrix m(2, 3);
+  m.at(0, 1) = std::nanf("");
+  m.at(1, 2) = std::nanf("");
+  EXPECT_EQ(m.count_missing(), 2u);
+}
+
+TEST(ExpressionMatrix, CloneIsDeep) {
+  ExpressionMatrix m(1, 2);
+  m.at(0, 0) = 1.0f;
+  ExpressionMatrix copy = m.clone();
+  copy.at(0, 0) = 9.0f;
+  EXPECT_FLOAT_EQ(m.at(0, 0), 1.0f);
+}
+
+TEST(ExpressionMatrix, SelectGenesPreservesOrderAndNames) {
+  ExpressionMatrix m(4, 2, {"a", "b", "c", "d"}, {"s1", "s2"});
+  for (std::size_t g = 0; g < 4; ++g) m.at(g, 0) = static_cast<float>(g);
+  const ExpressionMatrix sub = m.select_genes({3, 1});
+  EXPECT_EQ(sub.n_genes(), 2u);
+  EXPECT_EQ(sub.gene_name(0), "d");
+  EXPECT_EQ(sub.gene_name(1), "b");
+  EXPECT_FLOAT_EQ(sub.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(sub.at(1, 0), 1.0f);
+}
+
+TEST(ExpressionMatrix, SelectGenesRejectsBadIndex) {
+  ExpressionMatrix m(2, 2);
+  EXPECT_THROW(m.select_genes({0, 5}), ContractViolation);
+}
+
+// ---- TSV ---------------------------------------------------------------------
+
+TEST(TsvIo, RoundtripWithMissingValues) {
+  ExpressionMatrix m(2, 3, {"gA", "gB"}, {"s1", "s2", "s3"});
+  m.at(0, 0) = 1.25f;
+  m.at(0, 1) = std::nanf("");
+  m.at(0, 2) = -3.0f;
+  m.at(1, 0) = 0.0f;
+  m.at(1, 1) = 100.5f;
+  m.at(1, 2) = 1e-4f;
+
+  std::stringstream stream;
+  write_expression_tsv(m, stream);
+  const ExpressionMatrix back = read_expression_tsv(stream);
+
+  ASSERT_EQ(back.n_genes(), 2u);
+  ASSERT_EQ(back.n_samples(), 3u);
+  EXPECT_EQ(back.gene_names(), m.gene_names());
+  EXPECT_EQ(back.sample_names(), m.sample_names());
+  EXPECT_FLOAT_EQ(back.at(0, 0), 1.25f);
+  EXPECT_TRUE(std::isnan(back.at(0, 1)));
+  EXPECT_FLOAT_EQ(back.at(1, 2), 1e-4f);
+}
+
+TEST(TsvIo, SkipsCommentsAndBlankLines) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "gene\ts1\ts2\n"
+      "# another\n"
+      "g1\t1\t2\n");
+  const ExpressionMatrix m = read_expression_tsv(in);
+  EXPECT_EQ(m.n_genes(), 1u);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 2.0f);
+}
+
+TEST(TsvIo, RejectsColumnCountMismatch) {
+  std::stringstream in("gene\ts1\ts2\ng1\t1\n");
+  EXPECT_THROW(read_expression_tsv(in), IoError);
+}
+
+TEST(TsvIo, RejectsUnparsableNumber) {
+  std::stringstream in("gene\ts1\ng1\tbogus\n");
+  EXPECT_THROW(read_expression_tsv(in), IoError);
+}
+
+TEST(TsvIo, RejectsEmptyInput) {
+  std::stringstream in("");
+  EXPECT_THROW(read_expression_tsv(in), IoError);
+}
+
+TEST(TsvIo, RejectsHeaderWithoutSamples) {
+  std::stringstream in("gene\n");
+  EXPECT_THROW(read_expression_tsv(in), IoError);
+}
+
+TEST(TsvIo, RejectsEmptyGeneName) {
+  std::stringstream in("gene\ts1\n\t1\n");
+  EXPECT_THROW(read_expression_tsv(in), IoError);
+}
+
+TEST_F(TempDir, TsvFileRoundtrip) {
+  ExpressionMatrix m(1, 2, {"g"}, {"a", "b"});
+  m.at(0, 0) = 7.0f;
+  write_expression_tsv_file(m, path("x.tsv"));
+  const ExpressionMatrix back = read_expression_tsv_file(path("x.tsv"));
+  EXPECT_FLOAT_EQ(back.at(0, 0), 7.0f);
+}
+
+TEST_F(TempDir, TsvMissingFileThrows) {
+  EXPECT_THROW(read_expression_tsv_file(path("absent.tsv")), IoError);
+}
+
+// ---- binary --------------------------------------------------------------------
+
+TEST_F(TempDir, BinaryRoundtripExact) {
+  ExpressionMatrix m(3, 4, {"x", "y", "z"}, {"s1", "s2", "s3", "s4"});
+  float value = 0.0f;
+  for (std::size_t g = 0; g < 3; ++g)
+    for (std::size_t s = 0; s < 4; ++s) m.at(g, s) = (value += 0.37f);
+  m.at(1, 1) = std::nanf("");
+
+  write_expression_binary_file(m, path("m.tngx"));
+  const ExpressionMatrix back = read_expression_binary_file(path("m.tngx"));
+
+  ASSERT_EQ(back.n_genes(), 3u);
+  ASSERT_EQ(back.n_samples(), 4u);
+  EXPECT_EQ(back.gene_names(), m.gene_names());
+  for (std::size_t g = 0; g < 3; ++g)
+    for (std::size_t s = 0; s < 4; ++s) {
+      if (g == 1 && s == 1) {
+        EXPECT_TRUE(std::isnan(back.at(g, s)));
+      } else {
+        EXPECT_EQ(back.at(g, s), m.at(g, s)) << g << "," << s;
+      }
+    }
+}
+
+TEST_F(TempDir, BinaryRejectsWrongMagic) {
+  {
+    std::ofstream out(path("junk.tngx"), std::ios::binary);
+    out << "NOPE and some more bytes to be safe";
+  }
+  EXPECT_THROW(read_expression_binary_file(path("junk.tngx")), IoError);
+}
+
+TEST_F(TempDir, BinaryRejectsTruncation) {
+  ExpressionMatrix m(2, 2);
+  write_expression_binary_file(m, path("t.tngx"));
+  // Truncate the value section.
+  const auto full = std::filesystem::file_size(path("t.tngx"));
+  std::filesystem::resize_file(path("t.tngx"), full - 8);
+  EXPECT_THROW(read_expression_binary_file(path("t.tngx")), IoError);
+}
+
+}  // namespace
+}  // namespace tinge

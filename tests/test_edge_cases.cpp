@@ -1,0 +1,126 @@
+// Degenerate-shape edge cases across the stack: empty matrices, zero-sample
+// rows, single-element structures — the places off-by-one bugs live.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/tile.h"
+#include "data/expression_matrix.h"
+#include "data/tsv_io.h"
+#include "graph/analysis.h"
+#include "graph/metrics.h"
+#include "graph/network.h"
+#include "mi/joint_histogram.h"
+#include "preprocess/filter.h"
+#include "preprocess/rank_transform.h"
+#include "stats/descriptive.h"
+
+namespace tinge {
+namespace {
+
+TEST(EdgeCases, EmptyExpressionMatrix) {
+  ExpressionMatrix empty(0, 0);
+  EXPECT_EQ(empty.n_genes(), 0u);
+  EXPECT_EQ(empty.count_missing(), 0u);
+  EXPECT_EQ(empty.find_gene("x"), ExpressionMatrix::npos);
+  const ExpressionMatrix selected = empty.select_genes({});
+  EXPECT_EQ(selected.n_genes(), 0u);
+}
+
+TEST(EdgeCases, MatrixWithZeroSamples) {
+  ExpressionMatrix matrix(3, 0);
+  EXPECT_EQ(matrix.row(0).size(), 0u);
+  EXPECT_EQ(impute_missing_with_median(matrix), 0u);
+  const FilterResult filtered = filter_genes(matrix, FilterCriteria{});
+  EXPECT_EQ(filtered.matrix.n_genes(), 0u);  // zero variance everywhere
+}
+
+TEST(EdgeCases, MatrixWithZeroGenesSerializes) {
+  ExpressionMatrix matrix(0, 3);
+  std::stringstream stream;
+  write_expression_tsv(matrix, stream);
+  const ExpressionMatrix back = read_expression_tsv(stream);
+  EXPECT_EQ(back.n_genes(), 0u);
+  EXPECT_EQ(back.n_samples(), 3u);
+}
+
+TEST(EdgeCases, SingleSampleRanking) {
+  const float one[] = {42.0f};
+  const auto ranks = rank_order(one);
+  ASSERT_EQ(ranks.size(), 1u);
+  EXPECT_EQ(ranks[0], 0u);
+  EXPECT_FLOAT_EQ(rank_average(one)[0], 0.0f);
+}
+
+TEST(EdgeCases, EmptySpanStatistics) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_TRUE(std::isnan(s.mean));
+  EXPECT_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(EdgeCases, TileSetForTwoGenes) {
+  const TileSet tiles(2, 1000);
+  EXPECT_EQ(tiles.count(), 1u);
+  EXPECT_EQ(tiles.total_pairs(), 1u);
+  const TileSet one_gene(1, 8);
+  EXPECT_EQ(one_gene.total_pairs(), 0u);
+  EXPECT_EQ(one_gene.count(), 0u);  // degenerate tiles are dropped
+}
+
+TEST(EdgeCases, JointHistogramSingleBin) {
+  JointHistogram hist(1);
+  EXPECT_EQ(hist.bins(), 1);
+  EXPECT_GE(hist.stride(), 1u);
+  hist.row(0)[0] = 3.0f;
+  EXPECT_DOUBLE_EQ(hist.total_mass(), 3.0);
+  hist.clear();
+  EXPECT_DOUBLE_EQ(hist.total_mass(), 0.0);
+}
+
+TEST(EdgeCases, NetworkWithOneNode) {
+  GeneNetwork network({"only"});
+  network.finalize();
+  EXPECT_EQ(connected_components(network), 1u);
+  EXPECT_TRUE(degree_histogram(network).size() == 1);
+  EXPECT_EQ(top_hubs(network, 5).size(), 1u);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(network), 0.0);
+}
+
+TEST(EdgeCases, EmptyNetworkMetrics) {
+  GeneNetwork network(std::vector<std::string>{});
+  network.finalize();
+  EXPECT_EQ(network.n_nodes(), 0u);
+  EXPECT_EQ(connected_components(network), 0u);
+  const NetworkSummary summary = summarize_network(network);
+  EXPECT_EQ(summary.nodes, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean_degree, 0.0);
+}
+
+TEST(EdgeCases, AverageAndStableRanksAgreeOnSingletons) {
+  const float values[] = {5.0f, 1.0f};
+  const auto stable = rank_order(values);
+  const auto averaged = rank_average(values);
+  EXPECT_EQ(stable[0], 1u);
+  EXPECT_FLOAT_EQ(averaged[0], 1.0f);
+}
+
+TEST(EdgeCases, SelectAllGenesIsIdentity) {
+  ExpressionMatrix matrix(3, 2);
+  matrix.at(2, 1) = 7.0f;
+  const ExpressionMatrix same = matrix.select_genes({0, 1, 2});
+  EXPECT_EQ(same.n_genes(), 3u);
+  EXPECT_FLOAT_EQ(same.at(2, 1), 7.0f);
+}
+
+TEST(EdgeCases, ThresholdedOnEmptyNetwork) {
+  GeneNetwork network({"a", "b"});
+  network.finalize();
+  const GeneNetwork filtered = network.thresholded(0.5f);
+  EXPECT_EQ(filtered.n_edges(), 0u);
+  EXPECT_TRUE(filtered.finalized());
+}
+
+}  // namespace
+}  // namespace tinge

@@ -1,0 +1,142 @@
+// KSG k-NN MI estimator and the digamma special function behind it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "mi/ksg_mi.h"
+#include "stats/gaussian.h"
+#include "stats/rng.h"
+#include "util/contracts.h"
+
+namespace tinge {
+namespace {
+
+// ---- digamma -----------------------------------------------------------------
+
+TEST(Digamma, KnownValues) {
+  // psi(1) = -gamma (Euler–Mascheroni)
+  EXPECT_NEAR(digamma(1.0), -std::numbers::egamma, 1e-10);
+  // psi(0.5) = -gamma - 2 ln 2
+  EXPECT_NEAR(digamma(0.5), -std::numbers::egamma - 2.0 * std::log(2.0), 1e-10);
+  // psi(2) = 1 - gamma
+  EXPECT_NEAR(digamma(2.0), 1.0 - std::numbers::egamma, 1e-10);
+}
+
+TEST(Digamma, RecurrenceHolds) {
+  // psi(x+1) = psi(x) + 1/x
+  for (const double x : {0.3, 1.7, 4.2, 11.0, 123.0}) {
+    EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(Digamma, IntegerHarmonicIdentity) {
+  // psi(n) = -gamma + H_{n-1}
+  double harmonic = 0.0;
+  for (int n = 1; n <= 20; ++n) {
+    EXPECT_NEAR(digamma(n), -std::numbers::egamma + harmonic, 1e-10)
+        << "n=" << n;
+    harmonic += 1.0 / n;
+  }
+}
+
+TEST(Digamma, RejectsNonPositive) {
+  EXPECT_THROW(digamma(0.0), ContractViolation);
+  EXPECT_THROW(digamma(-1.0), ContractViolation);
+}
+
+// ---- KSG ----------------------------------------------------------------------
+
+void gaussian_pair(std::size_t m, double rho, std::uint64_t seed,
+                   std::vector<float>& x, std::vector<float>& y) {
+  Xoshiro256 rng(seed);
+  x.resize(m);
+  y.resize(m);
+  const double noise = std::sqrt(1.0 - rho * rho);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double u = rng.normal();
+    x[j] = static_cast<float>(u);
+    y[j] = static_cast<float>(rho * u + noise * rng.normal());
+  }
+}
+
+TEST(KsgMi, NearlyUnbiasedOnGaussians) {
+  // KSG's selling point: small bias even at modest m.
+  std::vector<float> x, y;
+  for (const double rho : {0.3, 0.6, 0.9}) {
+    gaussian_pair(1500, rho, 21, x, y);
+    const double truth = gaussian_mi_nats(rho);
+    EXPECT_NEAR(ksg_mi(x, y, 4), truth, 0.10 * truth + 0.04) << "rho=" << rho;
+  }
+}
+
+TEST(KsgMi, IndependenceNearZero) {
+  std::vector<float> x, y;
+  gaussian_pair(1500, 0.0, 5, x, y);
+  EXPECT_LT(ksg_mi(x, y, 4), 0.03);
+}
+
+TEST(KsgMi, DetectsNonMonotoneDependence) {
+  Xoshiro256 rng(8);
+  std::vector<float> x(1200), y(1200);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double u = rng.normal();
+    x[j] = static_cast<float>(u);
+    y[j] = static_cast<float>(u * u + 0.05 * rng.normal());
+  }
+  EXPECT_GT(ksg_mi(x, y, 4), 0.5);
+}
+
+TEST(KsgMi, SymmetricInArguments) {
+  std::vector<float> x, y;
+  gaussian_pair(400, 0.6, 9, x, y);
+  EXPECT_NEAR(ksg_mi(x, y, 4), ksg_mi(y, x, 4), 1e-9);
+}
+
+TEST(KsgMi, StableAcrossReasonableK) {
+  std::vector<float> x, y;
+  gaussian_pair(1200, 0.6, 10, x, y);
+  const double mi3 = ksg_mi(x, y, 3);
+  const double mi8 = ksg_mi(x, y, 8);
+  EXPECT_NEAR(mi3, mi8, 0.05);
+}
+
+TEST(KsgMi, HandlesHeavyTies) {
+  // Quantized data: exact ties everywhere; jitter must keep the estimate
+  // finite and roughly correct.
+  Xoshiro256 rng(12);
+  std::vector<float> x(800), y(800);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double u = rng.normal();
+    x[j] = std::round(static_cast<float>(u) * 4.0f) / 4.0f;
+    y[j] = std::round(static_cast<float>(u + 0.3 * rng.normal()) * 4.0f) / 4.0f;
+  }
+  const double mi = ksg_mi(x, y, 4);
+  EXPECT_GT(mi, 0.5);
+  EXPECT_TRUE(std::isfinite(mi));
+}
+
+TEST(KsgMi, ContractChecks) {
+  std::vector<float> x(10, 0.0f), y(9, 0.0f);
+  EXPECT_THROW(ksg_mi(x, y, 4), ContractViolation);
+  std::vector<float> small(4, 0.0f);
+  EXPECT_THROW(ksg_mi(small, small, 4), ContractViolation);
+  std::vector<float> ok(30, 0.0f);
+  EXPECT_THROW(ksg_mi(ok, ok, 0), ContractViolation);
+}
+
+TEST(KsgMi, NonNegativeByConstruction) {
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<float> x(100), y(100);
+    for (std::size_t j = 0; j < 100; ++j) {
+      x[j] = static_cast<float>(rng.normal());
+      y[j] = static_cast<float>(rng.normal());
+    }
+    EXPECT_GE(ksg_mi(x, y, 4), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tinge

@@ -1,0 +1,276 @@
+// Estimator quality: the B-spline estimator against the Gaussian closed
+// form, against its direct (non-shared-table) formulation, against the
+// histogram baseline; correlation baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mi/bspline_mi.h"
+#include "mi/correlation.h"
+#include "mi/histogram_mi.h"
+#include "preprocess/rank_transform.h"
+#include "stats/gaussian.h"
+#include "stats/rng.h"
+
+namespace tinge {
+namespace {
+
+// Correlated bivariate Gaussian sample of length m.
+void gaussian_pair(std::size_t m, double rho, std::uint64_t seed,
+                   std::vector<float>& x, std::vector<float>& y) {
+  Xoshiro256 rng(seed);
+  x.resize(m);
+  y.resize(m);
+  const double noise = std::sqrt(1.0 - rho * rho);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double u = rng.normal();
+    const double v = rng.normal();
+    x[j] = static_cast<float>(u);
+    y[j] = static_cast<float>(rho * u + noise * v);
+  }
+}
+
+double bspline_mi_of_sample(const std::vector<float>& x,
+                            const std::vector<float>& y, int bins, int order) {
+  const BsplineMi estimator(bins, order, x.size());
+  JointHistogram scratch = estimator.make_scratch();
+  const auto rx = rank_order(x);
+  const auto ry = rank_order(y);
+  return estimator.mi(rx, ry, scratch);
+}
+
+TEST(BsplineEstimator, TracksGaussianMiOrdering) {
+  // More correlation must mean more estimated MI.
+  std::vector<float> x, y;
+  double previous = -1.0;
+  for (const double rho : {0.0, 0.3, 0.6, 0.9}) {
+    gaussian_pair(4000, rho, 77, x, y);
+    const double mi = bspline_mi_of_sample(x, y, 10, 3);
+    EXPECT_GT(mi, previous) << "rho=" << rho;
+    previous = mi;
+  }
+}
+
+TEST(BsplineEstimator, ApproximatesGaussianMiValue) {
+  // With plenty of samples the estimate lands near the analytic value
+  // (the B-spline plug-in carries a small positive bias and a smoothing
+  // deficit; 25% relative + small absolute slack covers both).
+  std::vector<float> x, y;
+  for (const double rho : {0.5, 0.7, 0.9}) {
+    gaussian_pair(8000, rho, 31, x, y);
+    const double truth = gaussian_mi_nats(rho);
+    const double mi = bspline_mi_of_sample(x, y, 12, 3);
+    EXPECT_NEAR(mi, truth, 0.25 * truth + 0.05) << "rho=" << rho;
+  }
+}
+
+TEST(BsplineEstimator, IndependentPairsNearZero) {
+  std::vector<float> x, y;
+  gaussian_pair(5000, 0.0, 13, x, y);
+  const double mi = bspline_mi_of_sample(x, y, 10, 3);
+  EXPECT_GE(mi, 0.0);
+  EXPECT_LT(mi, 0.05);
+}
+
+TEST(BsplineEstimator, DetectsNonMonotoneDependence) {
+  // y = x^2 + small noise: Pearson ~ 0, but MI must be clearly positive.
+  const std::size_t m = 3000;
+  Xoshiro256 rng(5);
+  std::vector<float> x(m), y(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double u = rng.normal();
+    x[j] = static_cast<float>(u);
+    y[j] = static_cast<float>(u * u + 0.05 * rng.normal());
+  }
+  const double mi = bspline_mi_of_sample(x, y, 10, 3);
+  const double rho = pearson_correlation(x, y);
+  EXPECT_LT(std::fabs(rho), 0.1);
+  EXPECT_GT(mi, 0.3);
+}
+
+TEST(BsplineDirect, AgreesWithSharedTablePath) {
+  // The direct estimator on rank-grid values must reproduce the shared
+  // table estimator exactly (same weights, same arithmetic up to rounding).
+  const std::size_t m = 400;
+  Xoshiro256 rng(9);
+  const auto rx = random_permutation(m, rng);
+  const auto ry = random_permutation(m, rng);
+  std::vector<float> x01(m), y01(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    x01[j] = rank_to_unit(static_cast<float>(rx[j]), m);
+    y01[j] = rank_to_unit(static_cast<float>(ry[j]), m);
+  }
+  const BsplineMi estimator(10, 3, m);
+  JointHistogram scratch = estimator.make_scratch();
+  const double table_mi = estimator.mi(rx, ry, scratch);
+  const double direct_mi = bspline_mi_direct(x01, y01, 10, 3);
+  EXPECT_NEAR(table_mi, direct_mi, 1e-3);
+}
+
+TEST(BsplineDirect, NonNegativeOnArbitraryData) {
+  Xoshiro256 rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> x(100), y(100);
+    for (std::size_t j = 0; j < 100; ++j) {
+      x[j] = rng.uniformf();
+      y[j] = rng.uniformf();
+    }
+    EXPECT_GE(bspline_mi_direct(x, y, 8, 3), -1e-12);
+  }
+}
+
+TEST(BsplineDirect, RejectsMismatchedLengths) {
+  std::vector<float> x(10, 0.5f), y(9, 0.5f);
+  EXPECT_THROW(bspline_mi_direct(x, y, 8, 3), ContractViolation);
+}
+
+// ---- histogram baseline ------------------------------------------------------
+
+TEST(HistogramMi, PerfectDependenceEqualsLogBins) {
+  // ranks_y == ranks_x with equal-frequency bins: MI = H = log(bins).
+  const std::size_t m = 1000;
+  Xoshiro256 rng(3);
+  const auto rx = random_permutation(m, rng);
+  const double mi = histogram_mi_from_ranks(rx, rx, 10);
+  EXPECT_NEAR(mi, std::log(10.0), 1e-9);
+}
+
+TEST(HistogramMi, IndependentNearZero) {
+  const std::size_t m = 20000;
+  Xoshiro256 rng(4);
+  const auto rx = random_permutation(m, rng);
+  const auto ry = random_permutation(m, rng);
+  const double mi = histogram_mi_from_ranks(rx, ry, 10);
+  EXPECT_GE(mi, 0.0);
+  EXPECT_LT(mi, 0.01);
+}
+
+TEST(HistogramMi, SymmetricInArguments) {
+  const std::size_t m = 500;
+  Xoshiro256 rng(6);
+  const auto rx = random_permutation(m, rng);
+  const auto ry = random_permutation(m, rng);
+  EXPECT_DOUBLE_EQ(histogram_mi_from_ranks(rx, ry, 8),
+                   histogram_mi_from_ranks(ry, rx, 8));
+}
+
+TEST(HistogramMi, MillerMadowReducesBias) {
+  // For independent data, plug-in MI is biased up by ~(b-1)^2/(2m); the
+  // corrected estimate must be smaller.
+  const std::size_t m = 500;
+  Xoshiro256 rng(8);
+  const auto rx = random_permutation(m, rng);
+  const auto ry = random_permutation(m, rng);
+  const double plugin = histogram_mi_from_ranks(rx, ry, 10);
+  const double corrected = histogram_mi_miller_madow(rx, ry, 10);
+  EXPECT_LT(corrected, plugin);
+}
+
+TEST(HistogramMi, ValueBinningMatchesRankBinningOnGrid) {
+  const std::size_t m = 256;
+  Xoshiro256 rng(10);
+  const auto rx = random_permutation(m, rng);
+  const auto ry = random_permutation(m, rng);
+  std::vector<float> x01(m), y01(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    x01[j] = rank_to_unit(static_cast<float>(rx[j]), m);
+    y01[j] = rank_to_unit(static_cast<float>(ry[j]), m);
+  }
+  EXPECT_NEAR(histogram_mi(x01, y01, 8), histogram_mi_from_ranks(rx, ry, 8),
+              1e-6);
+}
+
+TEST(HistogramMi, SingleBinIsZero) {
+  const std::size_t m = 50;
+  Xoshiro256 rng(2);
+  const auto rx = random_permutation(m, rng);
+  const auto ry = random_permutation(m, rng);
+  EXPECT_NEAR(histogram_mi_from_ranks(rx, ry, 1), 0.0, 1e-12);
+}
+
+// ---- correlation baselines ------------------------------------------------------
+
+TEST(Correlation, SpearmanInvariantUnderMonotoneTransform) {
+  std::vector<float> x{1, 2, 3, 4, 5, 6};
+  std::vector<float> y{1.2f, 2.1f, 2.9f, 4.5f, 5.1f, 6.7f};
+  const double base = spearman_correlation(x, y);
+  std::vector<float> y_exp(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y_exp[i] = std::exp(y[i]);
+  EXPECT_NEAR(spearman_correlation(x, y_exp), base, 1e-12);
+  EXPECT_NEAR(base, 1.0, 1e-12);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  std::vector<float> x{1, 2, 2, 3};
+  std::vector<float> y{1, 2, 2, 3};
+  EXPECT_NEAR(spearman_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, ScoreIsAbsoluteValue) {
+  EXPECT_DOUBLE_EQ(correlation_score(-0.8), 0.8);
+  EXPECT_DOUBLE_EQ(correlation_score(0.3), 0.3);
+}
+
+TEST(Correlation, PearsonMissesQuadratic) {
+  Xoshiro256 rng(12);
+  std::vector<float> x(2000), y(2000);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double u = rng.normal();
+    x[j] = static_cast<float>(u);
+    y[j] = static_cast<float>(u * u);
+  }
+  EXPECT_LT(std::fabs(pearson_correlation(x, y)), 0.1);
+  EXPECT_LT(std::fabs(spearman_correlation(x, y)), 0.15);
+}
+
+
+TEST(BsplineEstimator, OrderOneIsExactlyHistogramMi) {
+  // Spline order 1 degenerates to hard equal-frequency binning of ranks, so
+  // the whole pipeline can run the classical histogram-MI baseline by
+  // setting spline_order = 1.
+  // Exact when bins divides m (otherwise the (r+0.5)/m centering moves a
+  // few boundary ranks by one bin relative to the floor(r*b/m) convention).
+  const std::size_t m = 640;
+  Xoshiro256 rng(44);
+  const auto rx = random_permutation(m, rng);
+  const auto ry = random_permutation(m, rng);
+  for (const int bins : {4, 8, 16}) {
+    const BsplineMi estimator(bins, 1, m);
+    JointHistogram scratch = estimator.make_scratch();
+    EXPECT_NEAR(estimator.mi(rx, ry, scratch),
+                histogram_mi_from_ranks(rx, ry, bins), 2e-4)
+        << "bins=" << bins;
+  }
+  // Non-divisible m: still the same estimator up to boundary ranks.
+  const std::size_t m2 = 601;
+  const auto rx2 = random_permutation(m2, rng);
+  const auto ry2 = random_permutation(m2, rng);
+  const BsplineMi estimator(10, 1, m2);
+  JointHistogram scratch = estimator.make_scratch();
+  EXPECT_NEAR(estimator.mi(rx2, ry2, scratch),
+              histogram_mi_from_ranks(rx2, ry2, 10), 5e-3);
+}
+
+TEST(BsplineEstimator, HigherOrderReducesIndependenceBias) {
+  // Smoothing is the point of the estimator: at independence, higher order
+  // means fewer effective degrees of freedom and smaller plug-in bias.
+  const std::size_t m = 400;
+  Xoshiro256 rng(45);
+  double previous = 1e9;
+  for (const int order : {1, 2, 3}) {
+    double total = 0.0;
+    const BsplineMi estimator(12, order, m);
+    JointHistogram scratch = estimator.make_scratch();
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto rx = random_permutation(m, rng);
+      const auto ry = random_permutation(m, rng);
+      total += estimator.mi(rx, ry, scratch);
+    }
+    EXPECT_LT(total, previous) << "order=" << order;
+    previous = total;
+  }
+}
+
+}  // namespace
+}  // namespace tinge

@@ -1,0 +1,284 @@
+// Parallel runtime: thread pool region semantics, the three loop schedules,
+// barriers, per-thread reduction slots, topology/affinity helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "parallel/barrier.h"
+#include "parallel/parallel_for.h"
+#include "parallel/reduction.h"
+#include "parallel/thread_pool.h"
+#include "parallel/topology.h"
+
+namespace tinge::par {
+namespace {
+
+TEST(ThreadPool, RunsEveryContextExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> mask{0};
+  pool.run(4, [&](int tid, int width) {
+    EXPECT_EQ(width, 4);
+    mask.fetch_or(1 << tid);
+  });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  pool.run(1, [&](int tid, int width) {
+    EXPECT_EQ(tid, 0);
+    EXPECT_EQ(width, 1);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, NarrowerRegionsThanPool) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.run(3, [&](int, int) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, SequentialRegionsReuseWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.run(4, [&](int, int) { ++total; });
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, CallerExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run(2,
+                        [&](int tid, int) {
+                          if (tid == 0) throw std::runtime_error("caller boom");
+                        }),
+               std::runtime_error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  pool.run(2, [&](int, int) { ++count; });
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run(2,
+                        [&](int tid, int) {
+                          if (tid == 1) throw std::runtime_error("worker boom");
+                        }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.run(2, [&](int, int) { ++count; });
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, RejectsOverwideRegions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run(3, [](int, int) {}), ContractViolation);
+  EXPECT_THROW(pool.run(0, [](int, int) {}), ContractViolation);
+}
+
+TEST(ThreadPool, GlobalPoolExists) {
+  EXPECT_GE(ThreadPool::global().max_threads(), 1);
+}
+
+// ---- parallel_for ------------------------------------------------------------
+
+class ScheduleTest : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(ScheduleTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1013;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, 4, 0, n, 7, GetParam(),
+               [&](std::size_t lo, std::size_t hi, int) {
+                 for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+               });
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST_P(ScheduleTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 2, 5, 5, 1, GetParam(),
+               [&](std::size_t, std::size_t, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_P(ScheduleTest, OffsetRange) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  parallel_for(pool, 3, 100, 200, 9, GetParam(),
+               [&](std::size_t lo, std::size_t hi, int) {
+                 std::size_t local = 0;
+                 for (std::size_t i = lo; i < hi; ++i) local += i;
+                 sum += local;
+               });
+  std::size_t expected = 0;
+  for (std::size_t i = 100; i < 200; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST_P(ScheduleTest, TidsWithinWidth) {
+  ThreadPool pool(4);
+  std::atomic<int> bad{0};
+  parallel_for(pool, 4, 0, 500, 3, GetParam(),
+               [&](std::size_t, std::size_t, int tid) {
+                 if (tid < 0 || tid >= 4) ++bad;
+               });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, ScheduleTest,
+                         ::testing::Values(Schedule::Static, Schedule::Dynamic,
+                                           Schedule::Guided),
+                         [](const auto& param_info) {
+                           return std::string(schedule_name(param_info.param));
+                         });
+
+TEST(ParallelFor, MoreThreadsThanItems) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(pool, 8, 0, 3, 1, Schedule::Dynamic,
+               [&](std::size_t lo, std::size_t hi, int) {
+                 for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+               });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, StaticSliceSizesDifferByAtMostOne) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> sizes(4, 0);
+  std::mutex mu;
+  parallel_for(pool, 4, 0, 10, 1, Schedule::Static,
+               [&](std::size_t lo, std::size_t hi, int tid) {
+                 std::lock_guard<std::mutex> lock(mu);
+                 sizes[static_cast<std::size_t>(tid)] += hi - lo;
+               });
+  const auto [min_it, max_it] = std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_LE(*max_it - *min_it, 1u);
+}
+
+TEST(ParallelFor, GlobalOverloadCovers) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(0, 100, 10, [&](std::size_t lo, std::size_t hi, int) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ---- barrier --------------------------------------------------------------------
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  ThreadPool pool(kThreads);
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> torn{false};
+  pool.run(kThreads, [&](int, int) {
+    for (int phase = 0; phase < 20; ++phase) {
+      ++phase_counter;
+      barrier.arrive_and_wait();
+      // After the barrier every thread must observe the full increment.
+      if (phase_counter.load() < kThreads * (phase + 1)) torn = true;
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(phase_counter.load(), kThreads * 20);
+}
+
+TEST(SpinBarrier, SingleParticipantNeverBlocks) {
+  SpinBarrier barrier(1);
+  for (int i = 0; i < 5; ++i) barrier.arrive_and_wait();
+  SUCCEED();
+}
+
+// ---- reduction --------------------------------------------------------------------
+
+TEST(PerThread, SlotsAreIndependentAndCombine) {
+  ThreadPool pool(4);
+  PerThread<std::size_t> sums(4, 0);
+  parallel_for(pool, 4, 0, 1000, 10, Schedule::Dynamic,
+               [&](std::size_t lo, std::size_t hi, int tid) {
+                 for (std::size_t i = lo; i < hi; ++i) sums.local(tid) += i;
+               });
+  const std::size_t total =
+      sums.combine(std::size_t{0},
+                   [](std::size_t acc, std::size_t v) { return acc + v; });
+  EXPECT_EQ(total, 999u * 1000u / 2u);
+}
+
+TEST(PerThread, InitialValueApplies) {
+  PerThread<int> slots(3, 7);
+  EXPECT_EQ(slots.local(0), 7);
+  EXPECT_EQ(slots.local(2), 7);
+  EXPECT_THROW(slots.local(3), ContractViolation);
+}
+
+// ---- topology ---------------------------------------------------------------------
+
+TEST(Topology, DetectionIsSane) {
+  const Topology topo = detect_host_topology();
+  EXPECT_GE(topo.cores, 1);
+  EXPECT_GE(topo.threads_per_core, 1);
+  EXPECT_GE(topo.total_threads(), 1);
+  EXPECT_NE(topo.to_string().find("cores"), std::string::npos);
+}
+
+TEST(Topology, ScatterSpreadsAcrossCoresFirst) {
+  const Topology topo{4, 2};
+  // First 4 logical threads land on 4 distinct cores.
+  std::set<int> first_wave;
+  for (int t = 0; t < 4; ++t) first_wave.insert(topo.scatter_cpu(t) % 4);
+  EXPECT_EQ(first_wave.size(), 4u);
+  // Thread 4 shares core 0 (sibling cpu = 4).
+  EXPECT_EQ(topo.scatter_cpu(4), 4);
+}
+
+TEST(Topology, CompactFillsCoreFirst) {
+  const Topology topo{4, 2};
+  EXPECT_EQ(topo.compact_cpu(0), 0);
+  EXPECT_EQ(topo.compact_cpu(1), 4);  // sibling of core 0
+  EXPECT_EQ(topo.compact_cpu(2), 1);  // next core
+}
+
+TEST(Topology, PlacementNamesStable) {
+  EXPECT_STREQ(placement_name(Placement::None), "none");
+  EXPECT_STREQ(placement_name(Placement::Scatter), "scatter");
+  EXPECT_STREQ(placement_name(Placement::Compact), "compact");
+}
+
+TEST(Affinity, PinningDoesNotCrash) {
+  // May fail (restricted environments) but must not throw or crash.
+  pin_current_thread(0);
+  EXPECT_FALSE(pin_current_thread(-1));
+  SUCCEED();
+}
+
+TEST(ThreadPool, OversubscriptionWorks) {
+  // 32 logical contexts on however few cores: the Phi-style sweep relies on
+  // regions far wider than physical concurrency completing correctly.
+  ThreadPool pool(32);
+  std::atomic<int> count{0};
+  pool.run(32, [&](int, int) { ++count; });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, PlacementOptionsConstruct) {
+  const Topology topo{1, 1};
+  ThreadPool scatter(2, Placement::Scatter, topo);
+  ThreadPool compact(2, Placement::Compact, topo);
+  std::atomic<int> count{0};
+  scatter.run(2, [&](int, int) { ++count; });
+  compact.run(2, [&](int, int) { ++count; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+}  // namespace
+}  // namespace tinge::par

@@ -1,0 +1,239 @@
+// Preprocessing: rank transforms (both tie policies), value transforms,
+// imputation and gene filtering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "preprocess/filter.h"
+#include "preprocess/rank_transform.h"
+#include "preprocess/transforms.h"
+
+namespace tinge {
+namespace {
+
+// ---- rank_order ---------------------------------------------------------------
+
+TEST(RankOrder, SimpleOrdering) {
+  const float values[] = {3.0f, 1.0f, 2.0f};
+  const auto ranks = rank_order(values);
+  EXPECT_EQ(ranks, (std::vector<std::uint32_t>{2, 0, 1}));
+}
+
+TEST(RankOrder, IsAPermutation) {
+  const float values[] = {5, 5, 1, 9, 5, 2, 2};
+  const auto ranks = rank_order(values);
+  std::vector<bool> seen(ranks.size(), false);
+  for (const auto r : ranks) {
+    ASSERT_LT(r, ranks.size());
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(RankOrder, TiesBrokenBySampleOrder) {
+  const float values[] = {2.0f, 2.0f, 2.0f};
+  const auto ranks = rank_order(values);
+  EXPECT_EQ(ranks, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(RankOrder, RejectsNan) {
+  const float values[] = {1.0f, std::nanf("")};
+  EXPECT_THROW(rank_order(values), ContractViolation);
+}
+
+TEST(RankOrder, MonotoneTransformInvariance) {
+  const float values[] = {0.3f, -2.0f, 7.5f, 1.1f, 0.0f};
+  float cubed[5];
+  for (int i = 0; i < 5; ++i) cubed[i] = values[i] * values[i] * values[i];
+  EXPECT_EQ(rank_order(values), rank_order(cubed));
+}
+
+// ---- rank_average ----------------------------------------------------------------
+
+TEST(RankAverage, TiesGetMeanRank) {
+  const float values[] = {1.0f, 2.0f, 2.0f, 3.0f};
+  const auto ranks = rank_average(values);
+  EXPECT_FLOAT_EQ(ranks[0], 0.0f);
+  EXPECT_FLOAT_EQ(ranks[1], 1.5f);
+  EXPECT_FLOAT_EQ(ranks[2], 1.5f);
+  EXPECT_FLOAT_EQ(ranks[3], 3.0f);
+}
+
+TEST(RankAverage, NoTiesMatchesRankOrder) {
+  const float values[] = {9, 3, 7, 1};
+  const auto avg = rank_average(values);
+  const auto ord = rank_order(values);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_FLOAT_EQ(avg[i], static_cast<float>(ord[i]));
+}
+
+TEST(RankAverage, AllTied) {
+  const float values[] = {4.0f, 4.0f, 4.0f, 4.0f, 4.0f};
+  for (const float r : rank_average(values)) EXPECT_FLOAT_EQ(r, 2.0f);
+}
+
+TEST(RankToUnit, StaysInOpenUnitInterval) {
+  const std::size_t m = 10;
+  for (std::size_t r = 0; r < m; ++r) {
+    const float z = rank_to_unit(static_cast<float>(r), m);
+    EXPECT_GT(z, 0.0f);
+    EXPECT_LT(z, 1.0f);
+  }
+  EXPECT_FLOAT_EQ(rank_to_unit(0.0f, 10), 0.05f);
+  EXPECT_FLOAT_EQ(rank_to_unit(9.0f, 10), 0.95f);
+}
+
+// ---- RankedMatrix -----------------------------------------------------------------
+
+TEST(RankedMatrix, RanksEachGeneIndependently) {
+  ExpressionMatrix m(2, 3, {"a", "b"}, {"s1", "s2", "s3"});
+  m.at(0, 0) = 5;  m.at(0, 1) = 1;  m.at(0, 2) = 3;
+  m.at(1, 0) = -1; m.at(1, 1) = -2; m.at(1, 2) = -3;
+  const RankedMatrix ranked(m);
+  EXPECT_EQ(ranked.n_genes(), 2u);
+  EXPECT_EQ(ranked.n_samples(), 3u);
+  const auto r0 = ranked.ranks(0);
+  EXPECT_EQ(r0[0], 2u);
+  EXPECT_EQ(r0[1], 0u);
+  EXPECT_EQ(r0[2], 1u);
+  const auto r1 = ranked.ranks(1);
+  EXPECT_EQ(r1[0], 2u);
+  EXPECT_EQ(r1[1], 1u);
+  EXPECT_EQ(r1[2], 0u);
+  EXPECT_EQ(ranked.gene_names()[1], "b");
+}
+
+TEST(RankTransformInPlace, StableProducesGridValues) {
+  ExpressionMatrix m(1, 4);
+  m.at(0, 0) = 10; m.at(0, 1) = 0; m.at(0, 2) = 5; m.at(0, 3) = 7;
+  rank_transform_in_place(m, TiePolicy::StableOrder);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.875f);  // rank 3 of 4 -> (3+0.5)/4
+  EXPECT_FLOAT_EQ(m.at(0, 1), 0.125f);
+}
+
+TEST(RankTransformInPlace, AverageTiesShareValue) {
+  ExpressionMatrix m(1, 4);
+  m.at(0, 0) = 1; m.at(0, 1) = 1; m.at(0, 2) = 2; m.at(0, 3) = 3;
+  rank_transform_in_place(m, TiePolicy::Average);
+  EXPECT_FLOAT_EQ(m.at(0, 0), m.at(0, 1));
+}
+
+// ---- transforms ------------------------------------------------------------------
+
+TEST(Transforms, Log2Transform) {
+  ExpressionMatrix m(1, 3);
+  m.at(0, 0) = 0.0f;
+  m.at(0, 1) = 1.0f;
+  m.at(0, 2) = 7.0f;
+  log2_transform(m);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 3.0f);
+}
+
+TEST(Transforms, Log2ClampsNegativesAndKeepsNan) {
+  ExpressionMatrix m(1, 2);
+  m.at(0, 0) = -5.0f;
+  m.at(0, 1) = std::nanf("");
+  log2_transform(m);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+  EXPECT_TRUE(std::isnan(m.at(0, 1)));
+}
+
+TEST(Transforms, StandardizeProducesZeroMeanUnitSd) {
+  ExpressionMatrix m(1, 5);
+  for (std::size_t s = 0; s < 5; ++s)
+    m.at(0, s) = static_cast<float>(s) * 2.0f + 3.0f;
+  standardize(m);
+  double sum = 0.0, sum2 = 0.0;
+  for (const float v : m.row(0)) {
+    sum += v;
+    sum2 += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-5);
+  EXPECT_NEAR(sum2 / 4.0, 1.0, 1e-5);  // unbiased variance
+}
+
+TEST(Transforms, StandardizeConstantGeneBecomesZero) {
+  ExpressionMatrix m(1, 3);
+  for (std::size_t s = 0; s < 3; ++s) m.at(0, s) = 9.0f;
+  standardize(m);
+  for (const float v : m.row(0)) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+// ---- imputation ------------------------------------------------------------------
+
+TEST(Impute, MedianFillsNans) {
+  ExpressionMatrix m(1, 5);
+  m.at(0, 0) = 1; m.at(0, 1) = std::nanf(""); m.at(0, 2) = 3;
+  m.at(0, 3) = 100; m.at(0, 4) = 2;
+  const std::size_t imputed = impute_missing_with_median(m);
+  EXPECT_EQ(imputed, 1u);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 2.5f);  // median of {1,3,100,2}
+  EXPECT_EQ(m.count_missing(), 0u);
+}
+
+TEST(Impute, OddCountMedian) {
+  ExpressionMatrix m(1, 4);
+  m.at(0, 0) = 5; m.at(0, 1) = std::nanf(""); m.at(0, 2) = 1; m.at(0, 3) = 9;
+  impute_missing_with_median(m);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 5.0f);
+}
+
+TEST(Impute, AllMissingGeneBecomesZero) {
+  ExpressionMatrix m(1, 3);
+  for (std::size_t s = 0; s < 3; ++s) m.at(0, s) = std::nanf("");
+  EXPECT_EQ(impute_missing_with_median(m), 3u);
+  for (const float v : m.row(0)) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Impute, CompleteDataUntouched) {
+  ExpressionMatrix m(2, 3);
+  m.at(0, 0) = 1.5f;
+  EXPECT_EQ(impute_missing_with_median(m), 0u);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 1.5f);
+}
+
+// ---- filtering -------------------------------------------------------------------
+
+TEST(Filter, DropsConstantGenes) {
+  ExpressionMatrix m(3, 4, {"varying", "constant", "varying2"},
+                     {"s1", "s2", "s3", "s4"});
+  for (std::size_t s = 0; s < 4; ++s) {
+    m.at(0, s) = static_cast<float>(s);
+    m.at(1, s) = 2.0f;
+    m.at(2, s) = static_cast<float>(s) * -1.0f;
+  }
+  const FilterResult result = filter_genes(m, FilterCriteria{});
+  EXPECT_EQ(result.matrix.n_genes(), 2u);
+  EXPECT_EQ(result.dropped_low_variance, 1u);
+  EXPECT_EQ(result.kept, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(result.matrix.gene_name(0), "varying");
+}
+
+TEST(Filter, DropsMostlyMissingGenes) {
+  ExpressionMatrix m(2, 4);
+  for (std::size_t s = 0; s < 4; ++s) m.at(0, s) = static_cast<float>(s);
+  m.at(1, 0) = 1.0f;
+  for (std::size_t s = 1; s < 4; ++s) m.at(1, s) = std::nanf("");
+  FilterCriteria criteria;
+  criteria.max_missing_fraction = 0.5;
+  const FilterResult result = filter_genes(m, criteria);
+  EXPECT_EQ(result.matrix.n_genes(), 1u);
+  EXPECT_EQ(result.dropped_missing, 1u);
+}
+
+TEST(Filter, VarianceThresholdIsConfigurable) {
+  ExpressionMatrix m(1, 4);
+  for (std::size_t s = 0; s < 4; ++s)
+    m.at(0, s) = 1.0f + 0.001f * static_cast<float>(s);
+  FilterCriteria strict;
+  strict.min_variance = 1.0;
+  EXPECT_EQ(filter_genes(m, strict).matrix.n_genes(), 0u);
+  FilterCriteria lax;
+  lax.min_variance = 1e-12;
+  EXPECT_EQ(filter_genes(m, lax).matrix.n_genes(), 1u);
+}
+
+}  // namespace
+}  // namespace tinge

@@ -1,0 +1,123 @@
+// GEO Series Matrix parser: the real-world ingestion path for public
+// microarray compendia.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "data/series_matrix.h"
+#include "data/tsv_io.h"
+
+namespace tinge {
+namespace {
+
+constexpr const char* kSmallSeries =
+    "!Series_title\t\"Arabidopsis stress panel\"\n"
+    "!Series_platform_id\t\"GPL198\"\n"
+    "!Sample_title\t\"cold 2h\"\t\"heat 2h\"\n"
+    "\n"
+    "!series_matrix_table_begin\n"
+    "\"ID_REF\"\t\"GSM100\"\t\"GSM101\"\t\"GSM102\"\n"
+    "\"AT1G01010\"\t7.31\t6.90\t7.05\n"
+    "\"AT1G01020\"\t5.5\tnull\t5.9\n"
+    "AT1G01030\t1.25e1\t-0.5\t\"3.75\"\n"
+    "!series_matrix_table_end\n"
+    "!Series_summary\t\"unused trailing metadata\"\n";
+
+TEST(SeriesMatrix, ParsesTableAndMetadata) {
+  std::stringstream in(kSmallSeries);
+  const SeriesMatrix series = read_series_matrix(in);
+  const ExpressionMatrix& m = series.expression;
+  ASSERT_EQ(m.n_genes(), 3u);
+  ASSERT_EQ(m.n_samples(), 3u);
+  EXPECT_EQ(m.gene_name(0), "AT1G01010");
+  EXPECT_EQ(m.gene_name(2), "AT1G01030");
+  EXPECT_EQ(m.sample_names()[1], "GSM101");
+  EXPECT_FLOAT_EQ(m.at(0, 0), 7.31f);
+  EXPECT_TRUE(std::isnan(m.at(1, 1)));          // null cell
+  EXPECT_FLOAT_EQ(m.at(2, 0), 12.5f);           // scientific notation
+  EXPECT_FLOAT_EQ(m.at(2, 2), 3.75f);           // quoted number
+  EXPECT_EQ(series.metadata.at("Series_title"), "Arabidopsis stress panel");
+  EXPECT_EQ(series.metadata.at("Series_platform_id"), "GPL198");
+  EXPECT_EQ(series.metadata.at("Sample_title"), "cold 2h");  // first value
+}
+
+TEST(SeriesMatrix, FreeTextOutsideTableIsIgnored) {
+  std::stringstream in(
+      "random preamble that some exports contain\n"
+      "!series_matrix_table_begin\n"
+      "ID_REF\tGSM1\n"
+      "g1\t1.0\n"
+      "!series_matrix_table_end\n"
+      "trailing junk\n");
+  const SeriesMatrix series = read_series_matrix(in);
+  EXPECT_EQ(series.expression.n_genes(), 1u);
+}
+
+TEST(SeriesMatrix, RejectsMissingTable) {
+  std::stringstream in("!Series_title\t\"no table here\"\n");
+  EXPECT_THROW(read_series_matrix(in), IoError);
+}
+
+TEST(SeriesMatrix, RejectsUnterminatedTable) {
+  std::stringstream in(
+      "!series_matrix_table_begin\n"
+      "ID_REF\tGSM1\n"
+      "g1\t1.0\n");
+  EXPECT_THROW(read_series_matrix(in), IoError);
+}
+
+TEST(SeriesMatrix, RejectsWrongHeader) {
+  std::stringstream in(
+      "!series_matrix_table_begin\n"
+      "PROBE\tGSM1\n"
+      "g1\t1.0\n"
+      "!series_matrix_table_end\n");
+  EXPECT_THROW(read_series_matrix(in), IoError);
+}
+
+TEST(SeriesMatrix, RejectsRaggedRows) {
+  std::stringstream in(
+      "!series_matrix_table_begin\n"
+      "ID_REF\tGSM1\tGSM2\n"
+      "g1\t1.0\n"
+      "!series_matrix_table_end\n");
+  EXPECT_THROW(read_series_matrix(in), IoError);
+}
+
+TEST(SeriesMatrix, RejectsGarbageCells) {
+  std::stringstream in(
+      "!series_matrix_table_begin\n"
+      "ID_REF\tGSM1\n"
+      "g1\tbanana\n"
+      "!series_matrix_table_end\n");
+  EXPECT_THROW(read_series_matrix(in), IoError);
+}
+
+TEST(SeriesMatrix, RejectsEmptyTable) {
+  std::stringstream in(
+      "!series_matrix_table_begin\n"
+      "ID_REF\tGSM1\n"
+      "!series_matrix_table_end\n");
+  EXPECT_THROW(read_series_matrix(in), IoError);
+}
+
+TEST(SeriesMatrix, RejectsSecondTable) {
+  std::stringstream in(
+      "!series_matrix_table_begin\n"
+      "ID_REF\tGSM1\n"
+      "g1\t1\n"
+      "!series_matrix_table_end\n"
+      "!series_matrix_table_begin\n"
+      "ID_REF\tGSM1\n"
+      "g2\t2\n"
+      "!series_matrix_table_end\n");
+  EXPECT_THROW(read_series_matrix(in), IoError);
+}
+
+TEST(SeriesMatrix, MissingFileThrows) {
+  EXPECT_THROW(read_series_matrix_file("/nonexistent/file.txt"), IoError);
+}
+
+}  // namespace
+}  // namespace tinge

@@ -1,0 +1,277 @@
+// Statistics substrate: RNG determinism and distributional sanity,
+// descriptive statistics against hand-computed values, quantiles, and the
+// Gaussian-MI closed forms the estimator tests rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/descriptive.h"
+#include "stats/gaussian.h"
+#include "stats/quantile.h"
+#include "stats/rng.h"
+
+namespace tinge {
+namespace {
+
+// ---- RNG ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformFloatInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float u = rng.uniformf();
+    ASSERT_GE(u, 0.0f);
+    ASSERT_LT(u, 1.0f);
+  }
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Xoshiro256 rng(3);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 70000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Xoshiro256 rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithMeanAndSd) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(Rng, LongJumpDecorrelatesStreams) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, RandomPermutationIsPermutation) {
+  Xoshiro256 rng(5);
+  const auto perm = random_permutation(257, rng);
+  std::vector<bool> seen(257, false);
+  for (const auto v : perm) {
+    ASSERT_LT(v, 257u);
+    EXPECT_FALSE(seen[v]) << "duplicate " << v;
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, ShuffleIsUniformish) {
+  // Position of element 0 after shuffling [0,1,2,3] should be ~uniform.
+  std::array<int, 4> counts{};
+  for (int trial = 0; trial < 4000; ++trial) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(trial) + 1000);
+    std::vector<int> v{0, 1, 2, 3};
+    shuffle(v, rng);
+    for (std::size_t pos = 0; pos < 4; ++pos)
+      if (v[pos] == 0) ++counts[pos];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Xoshiro256 rng(8);
+  const auto sample = sample_without_replacement(100, 30, rng);
+  ASSERT_EQ(sample.size(), 30u);
+  std::vector<bool> seen(100, false);
+  for (const auto v : sample) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, SampleAllElements) {
+  Xoshiro256 rng(8);
+  const auto sample = sample_without_replacement(10, 10, rng);
+  auto sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+// ---- descriptive ----------------------------------------------------------------
+
+TEST(Descriptive, SummaryHandComputed) {
+  const float data[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.missing, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.variance, 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Descriptive, NansAreCountedAsMissing) {
+  const float data[] = {1.0f, std::nanf(""), 3.0f};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.missing, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+}
+
+TEST(Descriptive, AllMissing) {
+  const float data[] = {std::nanf(""), std::nanf("")};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_TRUE(std::isnan(s.mean));
+  EXPECT_TRUE(std::isnan(s.min));
+}
+
+TEST(Descriptive, PearsonPerfectAndAnti) {
+  const float x[] = {1, 2, 3, 4, 5};
+  const float y[] = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const float z[] = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Descriptive, PearsonDegenerateIsZero) {
+  const float x[] = {1, 1, 1, 1};
+  const float y[] = {1, 2, 3, 4};
+  EXPECT_EQ(pearson(x, y), 0.0);
+  const float one[] = {1.0f};
+  const float two[] = {2.0f};
+  EXPECT_EQ(pearson(std::span<const float>(one), std::span<const float>(two)), 0.0);
+}
+
+TEST(Descriptive, PearsonSkipsNanPairs) {
+  const float x[] = {1, 2, std::nanf(""), 4};
+  const float y[] = {2, 4, 100.0f, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Descriptive, CovarianceHandComputed) {
+  const float x[] = {1, 2, 3};
+  const float y[] = {2, 4, 6};
+  EXPECT_NEAR(covariance(x, y), 2.0, 1e-12);  // var(x)=1, cov=2
+}
+
+// ---- quantiles -------------------------------------------------------------------
+
+TEST(Quantile, MatchesType7Interpolation) {
+  const double data[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.25), 1.75);
+}
+
+TEST(Quantile, SingleElement) {
+  const double data[] = {7.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.3), 7.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const double data[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.5), 2.5);
+}
+
+TEST(Quantile, UpperTail) {
+  const double data[] = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(upper_tail(data, 4.0), 0.4);
+  EXPECT_DOUBLE_EQ(upper_tail(data, 6.0), 0.0);
+  EXPECT_DOUBLE_EQ(upper_tail(data, 0.0), 1.0);
+}
+
+TEST(EmpiricalDistribution, QuantileAndPValue) {
+  std::vector<double> sample(99);
+  std::iota(sample.begin(), sample.end(), 1.0);  // 1..99
+  const EmpiricalDistribution dist(std::move(sample));
+  EXPECT_DOUBLE_EQ(dist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(dist.max(), 99.0);
+  EXPECT_NEAR(dist.quantile(0.5), 50.0, 1e-9);
+  // p_value uses the (r+1)/(q+1) estimator.
+  EXPECT_NEAR(dist.p_value(99.5), 1.0 / 100.0, 1e-12);
+  EXPECT_NEAR(dist.p_value(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(dist.p_value(50.0), (50.0 + 1.0) / 100.0, 1e-12);
+}
+
+TEST(EmpiricalDistribution, PValueMonotoneDecreasing) {
+  std::vector<double> sample;
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.uniform());
+  const EmpiricalDistribution dist(std::move(sample));
+  double prev = 1.1;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double p = dist.p_value(x);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+// ---- Gaussian MI closed forms ------------------------------------------------------
+
+TEST(GaussianMi, KnownValues) {
+  EXPECT_DOUBLE_EQ(gaussian_mi_nats(0.0), 0.0);
+  EXPECT_NEAR(gaussian_mi_nats(0.5), -0.5 * std::log(0.75), 1e-15);
+  EXPECT_NEAR(gaussian_mi_bits(0.5), gaussian_mi_nats(0.5) / std::log(2.0), 1e-15);
+}
+
+TEST(GaussianMi, InverseRoundtrip) {
+  for (const double rho : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    EXPECT_NEAR(rho_for_gaussian_mi(gaussian_mi_nats(rho)), rho, 1e-12);
+  }
+}
+
+TEST(GaussianMi, RejectsDegenerateRho) {
+  EXPECT_THROW(gaussian_mi_nats(1.0), ContractViolation);
+  EXPECT_THROW(gaussian_mi_nats(-1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace tinge

@@ -1,0 +1,150 @@
+// Concurrency stress: many-message transports, concurrent checkpoint
+// appends, thread-pool churn under repeated narrow/wide regions — the
+// situations that surface lost-wakeup and ordering bugs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <numeric>
+#include <unistd.h>
+
+#include "cluster/comm.h"
+#include "core/checkpoint.h"
+#include "parallel/barrier.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "stats/rng.h"
+
+namespace tinge {
+namespace {
+
+TEST(StressComm, ManySmallMessagesAllToAll) {
+  constexpr int kRanks = 5;
+  constexpr int kRounds = 50;
+  cluster::InProcessCluster net(kRanks);
+  std::atomic<long long> checksum{0};
+  net.run([&](cluster::Comm& comm) {
+    for (int round = 0; round < kRounds; ++round) {
+      for (int dest = 0; dest < kRanks; ++dest) {
+        if (dest == comm.rank()) continue;
+        comm.send_vector(dest, std::vector<int>{comm.rank(), round}, round);
+      }
+      long long local = 0;
+      for (int src = 0; src < kRanks; ++src) {
+        if (src == comm.rank()) continue;
+        const auto message = comm.recv_vector<int>(src, round);
+        local += message.at(0) + message.at(1);
+      }
+      checksum += local;
+    }
+  });
+  // Every rank sums (sum of other ranks) + (kRanks-1)*round per round.
+  long long expected = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int receiver = 0; receiver < kRanks; ++receiver) {
+      for (int src = 0; src < kRanks; ++src) {
+        if (src == receiver) continue;
+        expected += src + round;
+      }
+    }
+  }
+  EXPECT_EQ(checksum.load(), expected);
+  EXPECT_EQ(net.messages_sent(),
+            static_cast<std::uint64_t>(kRanks) * (kRanks - 1) * kRounds);
+}
+
+TEST(StressComm, LargePayloadIntegrity) {
+  cluster::InProcessCluster net(2);
+  net.run([&](cluster::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::uint64_t> big(1 << 18);  // 2 MB
+      std::iota(big.begin(), big.end(), 7ULL);
+      comm.send_vector(1, big, 1);
+    } else {
+      const auto big = comm.recv_vector<std::uint64_t>(0, 1);
+      ASSERT_EQ(big.size(), static_cast<std::size_t>(1 << 18));
+      for (std::size_t i = 0; i < big.size(); i += 4096)
+        ASSERT_EQ(big[i], 7ULL + i);
+      EXPECT_EQ(big.back(), 7ULL + big.size() - 1);
+    }
+  });
+  EXPECT_EQ(net.bytes_transferred(), (1u << 18) * sizeof(std::uint64_t));
+}
+
+TEST(StressCheckpoint, ConcurrentAppendsAllSurvive) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path =
+      (dir / ("tingex_stress_" + std::to_string(::getpid()) + ".ckpt")).string();
+  constexpr int kThreads = 6;
+  constexpr int kTilesPerThread = 40;
+  {
+    CheckpointWriter writer(path, RunSignature{10, 10, 2, 10, 3, 0.1});
+    par::ThreadPool pool(kThreads);
+    pool.run(kThreads, [&](int tid, int) {
+      for (int t = 0; t < kTilesPerThread; ++t) {
+        const auto tile =
+            static_cast<std::size_t>(tid * kTilesPerThread + t);
+        const Edge edge{static_cast<std::uint32_t>(tid),
+                        static_cast<std::uint32_t>(tid + 1 + t % 3),
+                        static_cast<float>(tile)};
+        const Edge edges[] = {edge};
+        writer.append_tile(tile, edges);
+      }
+    });
+  }
+  const CheckpointState state = load_checkpoint(path);
+  EXPECT_FALSE(state.tail_truncated);
+  EXPECT_EQ(state.records.size(),
+            static_cast<std::size_t>(kThreads * kTilesPerThread));
+  // Every tile id present exactly once, each carrying its own edge.
+  const auto tiles = state.completed_tiles();
+  for (std::size_t i = 0; i < tiles.size(); ++i) EXPECT_EQ(tiles[i], i);
+  for (const TileRecord& record : state.records) {
+    ASSERT_EQ(record.edges.size(), 1u);
+    EXPECT_FLOAT_EQ(record.edges[0].weight,
+                    static_cast<float>(record.tile_index));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(StressThreadPool, RapidRegionWidthChurn) {
+  par::ThreadPool pool(8);
+  std::atomic<long long> total{0};
+  Xoshiro256 rng(17);
+  long long expected = 0;
+  for (int round = 0; round < 200; ++round) {
+    const int width = 1 + static_cast<int>(rng.below(8));
+    expected += width;
+    pool.run(width, [&](int, int) { ++total; });
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(StressParallelFor, NestedSequentialLoopsKeepCounts) {
+  par::ThreadPool pool(4);
+  std::atomic<std::size_t> grand_total{0};
+  for (int outer = 0; outer < 30; ++outer) {
+    par::parallel_for(pool, 4, 0, 257, 3, par::Schedule::Guided,
+                      [&](std::size_t lo, std::size_t hi, int) {
+                        grand_total += hi - lo;
+                      });
+  }
+  EXPECT_EQ(grand_total.load(), 30u * 257u);
+}
+
+TEST(StressBarrier, ManyParticipantsManyPhases) {
+  constexpr int kThreads = 12;  // heavy oversubscription on this host
+  par::ThreadPool pool(kThreads);
+  par::SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_sum{0};
+  pool.run(kThreads, [&](int, int) {
+    for (int phase = 0; phase < 25; ++phase) {
+      ++phase_sum;
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_EQ(phase_sum.load(), kThreads * 25);
+}
+
+}  // namespace
+}  // namespace tinge

@@ -1,0 +1,298 @@
+// Synthetic-data substrate: GRN generator structure, expression simulator
+// statistics, and that simulated data actually carries the planted signal.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mi/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+#include "synth/expression.h"
+#include "synth/grn.h"
+
+namespace tinge {
+namespace {
+
+TEST(Grn, EdgesAreTopologicallyOrderedAndDistinct) {
+  GrnParams params;
+  params.n_genes = 300;
+  params.seed = 5;
+  const Grn grn = generate_grn(params);
+  EXPECT_EQ(grn.n_genes, 300u);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const GrnEdge& e : grn.edges) {
+    EXPECT_LT(e.regulator, e.target);
+    EXPECT_LT(e.target, grn.n_genes);
+    EXPECT_GT(e.strength, 0.0f);
+    EXPECT_LE(e.strength, 1.0f);
+    EXPECT_TRUE(e.sign == 1 || e.sign == -1);
+    EXPECT_TRUE(seen.emplace(e.regulator, e.target).second)
+        << "duplicate edge";
+  }
+}
+
+TEST(Grn, EveryNonRootGeneHasARegulator) {
+  GrnParams params;
+  params.n_genes = 100;
+  const Grn grn = generate_grn(params);
+  std::vector<bool> regulated(grn.n_genes, false);
+  for (const GrnEdge& e : grn.edges) regulated[e.target] = true;
+  for (std::size_t g = 1; g < grn.n_genes; ++g)
+    EXPECT_TRUE(regulated[g]) << "gene " << g << " unregulated";
+}
+
+TEST(Grn, MeanInDegreeTracksParameter) {
+  GrnParams params;
+  params.n_genes = 2000;
+  params.mean_regulators = 3.0;
+  const Grn grn = generate_grn(params);
+  const double mean_in = static_cast<double>(grn.edges.size()) /
+                         static_cast<double>(grn.n_genes - 1);
+  EXPECT_NEAR(mean_in, 3.0, 0.5);
+}
+
+TEST(Grn, ScaleFreeProducesHubs) {
+  GrnParams params;
+  params.n_genes = 2000;
+  params.seed = 7;
+  params.topology = GrnTopology::ScaleFree;
+  const Grn scale_free = generate_grn(params);
+  params.topology = GrnTopology::ErdosRenyi;
+  const Grn random_graph = generate_grn(params);
+
+  const auto max_out = [](const Grn& grn) {
+    const auto degrees = grn.out_degrees();
+    return *std::max_element(degrees.begin(), degrees.end());
+  };
+  // Preferential attachment must concentrate far more out-degree on the
+  // biggest hub than uniform wiring does.
+  EXPECT_GT(max_out(scale_free), 2 * max_out(random_graph));
+}
+
+TEST(Grn, DeterministicForSeed) {
+  GrnParams params;
+  params.n_genes = 50;
+  params.seed = 123;
+  const Grn a = generate_grn(params);
+  const Grn b = generate_grn(params);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].regulator, b.edges[i].regulator);
+    EXPECT_EQ(a.edges[i].target, b.edges[i].target);
+    EXPECT_EQ(a.edges[i].strength, b.edges[i].strength);
+  }
+}
+
+TEST(Grn, RepressionFractionRespected) {
+  GrnParams params;
+  params.n_genes = 3000;
+  params.repression_fraction = 0.4;
+  const Grn grn = generate_grn(params);
+  std::size_t repressing = 0;
+  for (const GrnEdge& e : grn.edges)
+    if (e.sign < 0) ++repressing;
+  EXPECT_NEAR(static_cast<double>(repressing) /
+                  static_cast<double>(grn.edges.size()),
+              0.4, 0.05);
+}
+
+TEST(Grn, UndirectedTruthMatchesEdgeSet) {
+  GrnParams params;
+  params.n_genes = 40;
+  const Grn grn = generate_grn(params);
+  const GeneNetwork truth = grn.to_undirected();
+  EXPECT_EQ(truth.n_nodes(), grn.n_genes);
+  EXPECT_LE(truth.n_edges(), grn.edges.size());  // duplicates merge
+  for (const GrnEdge& e : grn.edges)
+    EXPECT_TRUE(truth.has_edge(e.regulator, e.target));
+}
+
+TEST(Grn, RejectsDegenerateParams) {
+  GrnParams params;
+  params.n_genes = 1;
+  EXPECT_THROW(generate_grn(params), ContractViolation);
+  params = GrnParams{};
+  params.min_strength = 0.0;
+  EXPECT_THROW(generate_grn(params), ContractViolation);
+}
+
+// ---- expression simulator ----------------------------------------------------------
+
+TEST(ExpressionSim, ShapeAndNames) {
+  GrnParams grn_params;
+  grn_params.n_genes = 30;
+  const Grn grn = generate_grn(grn_params);
+  ExpressionParams expr;
+  expr.n_samples = 40;
+  const ExpressionMatrix matrix = simulate_expression(grn, expr);
+  EXPECT_EQ(matrix.n_genes(), 30u);
+  EXPECT_EQ(matrix.n_samples(), 40u);
+  EXPECT_EQ(matrix.gene_name(3), "g3");
+  EXPECT_EQ(matrix.count_missing(), 0u);
+}
+
+TEST(ExpressionSim, MissingFractionApplies) {
+  GrnParams grn_params;
+  grn_params.n_genes = 50;
+  const Grn grn = generate_grn(grn_params);
+  ExpressionParams expr;
+  expr.n_samples = 100;
+  expr.missing_fraction = 0.1;
+  const ExpressionMatrix matrix = simulate_expression(grn, expr);
+  const double fraction =
+      static_cast<double>(matrix.count_missing()) /
+      static_cast<double>(matrix.n_genes() * matrix.n_samples());
+  EXPECT_NEAR(fraction, 0.1, 0.02);
+}
+
+TEST(ExpressionSim, RootGenesAreStandardNormalish) {
+  GrnParams grn_params;
+  grn_params.n_genes = 10;
+  const Grn grn = generate_grn(grn_params);
+  ExpressionParams expr;
+  expr.n_samples = 4000;
+  expr.measurement_noise_sd = 0.0;
+  const ExpressionMatrix matrix = simulate_expression(grn, expr);
+  const Summary s = summarize(matrix.row(0));  // gene 0 is always a root
+  EXPECT_NEAR(s.mean, 0.0, 0.06);
+  EXPECT_NEAR(s.variance, 1.0, 0.1);
+}
+
+TEST(ExpressionSim, RegulatedPairsCorrelateMoreThanRandomPairs) {
+  GrnParams grn_params;
+  grn_params.n_genes = 60;
+  grn_params.seed = 3;
+  const Grn grn = generate_grn(grn_params);
+  ExpressionParams expr;
+  expr.n_samples = 800;
+  // Enough intrinsic noise that correlation decays along indirect paths;
+  // with tiny noise a strongly coupled GRN correlates globally.
+  expr.noise_sd = 0.8;
+  expr.seed = 4;
+  const ExpressionMatrix matrix = simulate_expression(grn, expr);
+
+  double regulated = 0.0;
+  for (const GrnEdge& e : grn.edges)
+    regulated += std::fabs(
+        spearman_correlation(matrix.row(e.regulator), matrix.row(e.target)));
+  regulated /= static_cast<double>(grn.edges.size());
+
+  // Compare against non-edges between roots of disjoint lineages: just use
+  // shuffled pairs and accept the (rare) indirect-path correlations.
+  Xoshiro256 rng(55);
+  double random_pairs = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto i = static_cast<std::size_t>(rng.below(60));
+    auto j = static_cast<std::size_t>(rng.below(60));
+    if (j == i) j = (j + 1) % 60;
+    random_pairs +=
+        std::fabs(spearman_correlation(matrix.row(i), matrix.row(j)));
+  }
+  random_pairs /= trials;
+  EXPECT_GT(regulated, 1.5 * random_pairs);
+}
+
+TEST(ExpressionSim, DeterministicForSeed) {
+  GrnParams grn_params;
+  grn_params.n_genes = 20;
+  const Grn grn = generate_grn(grn_params);
+  ExpressionParams expr;
+  expr.n_samples = 30;
+  const ExpressionMatrix a = simulate_expression(grn, expr);
+  const ExpressionMatrix b = simulate_expression(grn, expr);
+  for (std::size_t g = 0; g < 20; ++g)
+    for (std::size_t s = 0; s < 30; ++s)
+      EXPECT_EQ(a.at(g, s), b.at(g, s));
+}
+
+TEST(ExpressionSim, LinearModeDiffersFromNonlinear) {
+  GrnParams grn_params;
+  grn_params.n_genes = 20;
+  const Grn grn = generate_grn(grn_params);
+  ExpressionParams expr;
+  expr.n_samples = 30;
+  expr.nonlinear = false;
+  const ExpressionMatrix linear = simulate_expression(grn, expr);
+  expr.nonlinear = true;
+  const ExpressionMatrix tanh_resp = simulate_expression(grn, expr);
+  bool any_diff = false;
+  for (std::size_t s = 0; s < 30 && !any_diff; ++s)
+    if (linear.at(19, s) != tanh_resp.at(19, s)) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ExpressionSim, RejectsBadParams) {
+  GrnParams grn_params;
+  grn_params.n_genes = 5;
+  const Grn grn = generate_grn(grn_params);
+  ExpressionParams expr;
+  expr.n_samples = 1;
+  EXPECT_THROW(simulate_expression(grn, expr), ContractViolation);
+  expr = ExpressionParams{};
+  expr.missing_fraction = 1.0;
+  EXPECT_THROW(simulate_expression(grn, expr), ContractViolation);
+}
+
+TEST(SyntheticDataset, BundlesConsistentPieces) {
+  GrnParams grn_params;
+  grn_params.n_genes = 25;
+  ExpressionParams expr;
+  expr.n_samples = 50;
+  const SyntheticDataset dataset = make_synthetic_dataset(grn_params, expr);
+  EXPECT_EQ(dataset.expression.n_genes(), dataset.grn.n_genes);
+  EXPECT_EQ(dataset.truth.n_nodes(), dataset.grn.n_genes);
+  EXPECT_EQ(dataset.expression.gene_names(), dataset.truth.node_names());
+}
+
+
+TEST(ExpressionSim, NonMonotoneEdgesCarryMiButNoCorrelation) {
+  // One regulator -> one target with a non-monotone response: Spearman must
+  // collapse while the dependency stays visible to MI-style statistics.
+  Grn grn;
+  grn.n_genes = 2;
+  grn.edges.push_back(GrnEdge{0, 1, 1.0f, +1});
+  ExpressionParams expr;
+  expr.n_samples = 2000;
+  expr.noise_sd = 0.15;
+  expr.measurement_noise_sd = 0.0;
+  expr.nonmonotone_fraction = 1.0;
+  const ExpressionMatrix matrix = simulate_expression(grn, expr);
+  const double rho =
+      std::fabs(spearman_correlation(matrix.row(0), matrix.row(1)));
+  EXPECT_LT(rho, 0.12);
+  // |regulator| still predicts the target strongly.
+  std::vector<float> abs_reg(expr.n_samples);
+  for (std::size_t s = 0; s < expr.n_samples; ++s)
+    abs_reg[s] = std::fabs(matrix.at(0, s));
+  const double rho_abs = std::fabs(spearman_correlation(
+      std::span<const float>(abs_reg), matrix.row(1)));
+  EXPECT_GT(rho_abs, 0.7);
+}
+
+TEST(ExpressionSim, NonMonotoneFractionZeroMatchesOldBehaviour) {
+  GrnParams grn_params;
+  grn_params.n_genes = 15;
+  const Grn grn = generate_grn(grn_params);
+  ExpressionParams expr;
+  expr.n_samples = 25;
+  expr.nonmonotone_fraction = 0.0;
+  const ExpressionMatrix a = simulate_expression(grn, expr);
+  const ExpressionMatrix b = simulate_expression(grn, expr);
+  for (std::size_t g = 0; g < 15; ++g)
+    for (std::size_t s = 0; s < 25; ++s) EXPECT_EQ(a.at(g, s), b.at(g, s));
+}
+
+TEST(ExpressionSim, RejectsBadNonMonotoneFraction) {
+  Grn grn;
+  grn.n_genes = 2;
+  grn.edges.push_back(GrnEdge{0, 1, 1.0f, +1});
+  ExpressionParams expr;
+  expr.nonmonotone_fraction = 1.5;
+  EXPECT_THROW(simulate_expression(grn, expr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace tinge

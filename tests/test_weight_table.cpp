@@ -1,0 +1,110 @@
+// Shared weight table invariants: per-rank weights are a valid local
+// partition of unity, bins stay in range, marginal entropy behaves, and the
+// table agrees with direct basis evaluation for every rank.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "mi/weight_table.h"
+#include "preprocess/rank_transform.h"
+
+namespace tinge {
+namespace {
+
+class WeightTableProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WeightTableProperty, RowsSumToOneAndStayInRange) {
+  const auto [bins, order, m_int] = GetParam();
+  const auto m = static_cast<std::size_t>(m_int);
+  const BsplineBasis basis(bins, order);
+  const WeightTable table(m, basis);
+
+  EXPECT_EQ(table.n_samples(), m);
+  EXPECT_EQ(table.bins(), bins);
+  EXPECT_EQ(table.order(), order);
+  EXPECT_GE(table.weight_stride(), static_cast<std::size_t>(order));
+  EXPECT_EQ(table.weight_stride() % 4, 0u);
+
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto weights = table.weights(r);
+    float sum = 0.0f;
+    for (int c = 0; c < order; ++c) {
+      EXPECT_GE(weights[static_cast<std::size_t>(c)], -1e-6f);
+      sum += weights[static_cast<std::size_t>(c)];
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f) << "rank " << r;
+    // Padding beyond `order` must be zero (kernels load it blindly).
+    for (std::size_t c = static_cast<std::size_t>(order);
+         c < table.weight_stride(); ++c)
+      EXPECT_EQ(weights[c], 0.0f);
+    const std::int32_t first = table.first_bin(r);
+    EXPECT_GE(first, 0);
+    EXPECT_LE(first + order, bins);
+  }
+}
+
+TEST_P(WeightTableProperty, MatchesDirectBasisEvaluation) {
+  const auto [bins, order, m_int] = GetParam();
+  const auto m = static_cast<std::size_t>(m_int);
+  const BsplineBasis basis(bins, order);
+  const WeightTable table(m, basis);
+  float direct[BsplineBasis::kMaxOrder];
+  for (std::size_t r = 0; r < m; ++r) {
+    const int first =
+        basis.evaluate(rank_to_unit(static_cast<float>(r), m), direct);
+    EXPECT_EQ(table.first_bin(r), first);
+    const auto weights = table.weights(r);
+    for (int c = 0; c < order; ++c)
+      EXPECT_EQ(weights[static_cast<std::size_t>(c)], direct[c]);
+  }
+}
+
+TEST_P(WeightTableProperty, MarginalEntropyBounded) {
+  const auto [bins, order, m_int] = GetParam();
+  const auto m = static_cast<std::size_t>(m_int);
+  const BsplineBasis basis(bins, order);
+  const WeightTable table(m, basis);
+  // 0 < H <= log(bins); ranks spread uniformly, so H is near log(bins)
+  // whenever m >> bins.
+  EXPECT_GT(table.marginal_entropy(), 0.0);
+  EXPECT_LE(table.marginal_entropy(), std::log(static_cast<double>(bins)) + 1e-9);
+  if (m >= static_cast<std::size_t>(20 * bins)) {
+    EXPECT_GT(table.marginal_entropy(),
+              0.9 * std::log(static_cast<double>(bins)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WeightTableProperty,
+    ::testing::Values(std::make_tuple(10, 3, 2), std::make_tuple(10, 3, 10),
+                      std::make_tuple(10, 3, 1000),
+                      std::make_tuple(16, 1, 64), std::make_tuple(16, 4, 64),
+                      std::make_tuple(27, 4, 512), std::make_tuple(8, 8, 97),
+                      std::make_tuple(30, 6, 313)),
+    [](const auto& param_info) {
+      return "b" + std::to_string(std::get<0>(param_info.param)) + "_k" +
+             std::to_string(std::get<1>(param_info.param)) + "_m" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+TEST(WeightTable, MoreBinsMoreMarginalEntropy) {
+  const std::size_t m = 1000;
+  double previous = 0.0;
+  for (const int bins : {5, 10, 20}) {
+    const BsplineBasis basis(bins, 3);
+    const WeightTable table(m, basis);
+    EXPECT_GT(table.marginal_entropy(), previous);
+    previous = table.marginal_entropy();
+  }
+}
+
+TEST(WeightTable, RejectsDegenerateSampleCount) {
+  const BsplineBasis basis(10, 3);
+  EXPECT_THROW(WeightTable(1, basis), ContractViolation);
+  EXPECT_THROW(WeightTable(0, basis), ContractViolation);
+}
+
+}  // namespace
+}  // namespace tinge
