@@ -33,6 +33,10 @@ int main(int argc, char** argv) {
   args.add("permutations", "null-distribution draws", "10000");
   args.add("threads", "worker threads (0 = all)", "0");
   args.add("tile", "tile size (genes per tile side)", "64");
+  args.add("panel", "MI panel width B, 1-8 (0 = auto from cache footprint)",
+           "0");
+  args.add("kernel", "MI kernel: auto|scalar|unrolled|simd|replicated|gather512",
+           "auto");
   args.add("seed", "RNG seed for the permutation null", "20140519");
   args.add("min-variance", "drop genes with variance below this", "1e-12");
   args.add("max-missing", "drop genes with more than this missing fraction",
@@ -126,6 +130,25 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("permutations"));
     config.threads = static_cast<int>(args.get_int("threads"));
     config.tile_size = static_cast<std::size_t>(args.get_int("tile"));
+    config.panel_width = static_cast<int>(args.get_int("panel"));
+    {
+      const std::string kernel_arg = args.get("kernel");
+      bool matched = false;
+      for (const MiKernel candidate :
+           {MiKernel::Auto, MiKernel::Scalar, MiKernel::Unrolled,
+            MiKernel::Simd, MiKernel::Replicated, MiKernel::Gather512}) {
+        if (kernel_arg == kernel_name(candidate)) {
+          config.kernel = candidate;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        std::fprintf(stderr, "error: unknown --kernel=%s\n",
+                     kernel_arg.c_str());
+        return 2;
+      }
+    }
     config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
     config.apply_dpi = args.get_flag("dpi");
     config.dpi_tolerance = args.get_double("dpi-tolerance");
@@ -162,6 +185,12 @@ int main(int argc, char** argv) {
           "done: %zu genes, %zu edges, threshold %.5f nats, %.2f s total\n",
           result.genes_used, result.network.n_edges(), result.threshold,
           result.times.total);
+      std::printf("mi kernel: %s, panel width %d (%.0f pairs/s)\n",
+                  result.engine.kernel, result.engine.panel_width,
+                  result.engine.seconds > 0.0
+                      ? static_cast<double>(result.engine.pairs_computed) /
+                            result.engine.seconds
+                      : 0.0);
       std::printf("network written to %s\n", args.get("out").c_str());
     }
     return 0;

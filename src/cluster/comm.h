@@ -62,7 +62,7 @@ class Comm {
     const std::vector<std::byte> raw = recv(src, tag);
     TINGE_ENSURES(raw.size() % sizeof(T) == 0);
     std::vector<T> values(raw.size() / sizeof(T));
-    std::memcpy(values.data(), raw.data(), raw.size());
+    if (!raw.empty()) std::memcpy(values.data(), raw.data(), raw.size());
     return values;
   }
 

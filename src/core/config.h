@@ -25,6 +25,18 @@ struct TingeConfig {
   MiKernel kernel = MiKernel::Auto;
   par::Schedule schedule = par::Schedule::Dynamic;
 
+  /// Panel width B for the row-reuse MI kernel: each tile row is swept as
+  /// batches of B column genes sharing the row gene's table lookups.
+  /// 0 = auto (largest B <= kMaxPanelWidth whose histograms fit the panel
+  /// cache budget, see auto_panel_width).
+  int panel_width = 0;
+
+  /// Progress-callback throttle for the checkpointed engine: invoke the
+  /// callback at most once per this many completed tiles (the ~100 ms time
+  /// floor and the final tile always report). 1 = every tile (what the
+  /// failure-injection tests rely on); 0 = auto (~tiles/128).
+  std::size_t progress_tile_interval = 0;
+
   // --- reproducibility ----------------------------------------------------
   std::uint64_t seed = 20140519;  ///< drives the permutation null
 

@@ -15,6 +15,48 @@
 
 namespace tinge {
 
+namespace {
+
+// Kernel and panel width resolved once per engine call, before the parallel
+// region: config Auto goes through the one-shot microbenchmark here (not in
+// the hot loop), and the stats report the variant that actually ran.
+struct PanelPlan {
+  MiKernel kernel;   ///< concrete kernel handed to every panel sweep
+  int width;         ///< panel width B (1..kMaxPanelWidth)
+  const char* name;  ///< resolved variant name for EngineStats
+};
+
+PanelPlan plan_panels(const BsplineMi& estimator, const TingeConfig& config) {
+  const WeightTable& table = estimator.table();
+  const int width = config.panel_width > 0
+                        ? std::min(config.panel_width, kMaxPanelWidth)
+                        : auto_panel_width(table);
+  const MiKernel kernel = resolve_kernel_measured(config.kernel, table, width);
+  return {kernel, width,
+          kernel_name(resolve_panel_kernel(kernel, table.order()))};
+}
+
+/// Sweeps one tile with the row-reuse panel kernel; emit(i, j, mi) fires
+/// once per pair in row-major order — the same order for_each_pair visits.
+template <typename Emit>
+void sweep_tile_panels(const BsplineMi& estimator, const RankedMatrix& ranks,
+                       const Tile& tile, const PanelPlan& plan,
+                       JointHistogram& scratch, Emit&& emit) {
+  const std::uint32_t* ry[kMaxPanelWidth];
+  double mi[kMaxPanelWidth];
+  for_each_row_panel(
+      tile, static_cast<std::size_t>(plan.width),
+      [&](std::size_t i, std::size_t j0, std::size_t width) {
+        for (std::size_t p = 0; p < width; ++p)
+          ry[p] = ranks.ranks(j0 + p).data();
+        estimator.mi_panel(ranks.ranks(i), ry, width, scratch, plan.kernel,
+                           mi);
+        for (std::size_t p = 0; p < width; ++p) emit(i, j0 + p, mi[p]);
+      });
+}
+
+}  // namespace
+
 MiEngine::MiEngine(const BsplineMi& estimator, const RankedMatrix& ranks)
     : estimator_(estimator), ranks_(ranks) {
   TINGE_EXPECTS(estimator.n_samples() == ranks.n_samples());
@@ -32,6 +74,7 @@ GeneNetwork MiEngine::compute_network(double threshold,
   const int threads = config.threads > 0
                           ? std::min(config.threads, pool.max_threads())
                           : pool.max_threads();
+  const PanelPlan plan = plan_panels(estimator_, config);
 
   struct ThreadState {
     std::vector<Edge> edges;
@@ -46,17 +89,17 @@ GeneNetwork MiEngine::compute_network(double threshold,
         ThreadState& local = state.local(tid);
         const float threshold_f = static_cast<float>(threshold);
         for (std::size_t t = tile_begin; t < tile_end; ++t) {
-          const Tile& tile = tiles.tile(t);
-          for_each_pair(tile, [&](std::size_t i, std::size_t j) {
-            const double mi = estimator_.mi(ranks_.ranks(i), ranks_.ranks(j),
-                                            scratch, config.kernel);
-            ++local.pairs;
-            const float mi_f = static_cast<float>(mi);
-            if (mi_f >= threshold_f) {
-              local.edges.push_back(Edge{static_cast<std::uint32_t>(i),
-                                         static_cast<std::uint32_t>(j), mi_f});
-            }
-          });
+          sweep_tile_panels(
+              estimator_, ranks_, tiles.tile(t), plan, scratch,
+              [&](std::size_t i, std::size_t j, double mi) {
+                ++local.pairs;
+                const float mi_f = static_cast<float>(mi);
+                if (mi_f >= threshold_f) {
+                  local.edges.push_back(Edge{static_cast<std::uint32_t>(i),
+                                             static_cast<std::uint32_t>(j),
+                                             mi_f});
+                }
+              });
         }
       });
 
@@ -73,6 +116,8 @@ GeneNetwork MiEngine::compute_network(double threshold,
     stats->edges_emitted = network.n_edges();
     stats->tiles = tiles.count();
     stats->seconds = watch.seconds();
+    stats->kernel = plan.name;
+    stats->panel_width = plan.width;
   }
   TINGE_ENSURES(pairs == tiles.total_pairs());
   return network;
@@ -89,6 +134,7 @@ GeneNetwork MiEngine::compute_network_checkpointed(
   const int threads = config.threads > 0
                           ? std::min(config.threads, pool.max_threads())
                           : pool.max_threads();
+  const PanelPlan plan = plan_panels(estimator_, config);
 
   const RunSignature signature{
       n, ranks_.n_samples(), config.tile_size,
@@ -114,7 +160,18 @@ GeneNetwork MiEngine::compute_network_checkpointed(
   for (const TileRecord& record : prior_records)
     writer.append_tile(record.tile_index, record.edges);
 
+  // Progress throttle: the callback serializes workers behind a mutex, so
+  // at whole-genome tile counts it is invoked at most once per `interval`
+  // tiles or ~100 ms (whichever comes first); the final tile always
+  // reports, and interval == 1 restores exact per-tile callbacks.
+  const std::size_t interval =
+      config.progress_tile_interval > 0
+          ? config.progress_tile_interval
+          : std::max<std::size_t>(1, tiles.count() / 128);
+  constexpr std::int64_t kProgressMinMicros = 100'000;  // ~100 ms
   std::mutex progress_mutex;
+  std::atomic<std::size_t> last_reported{prior_records.size()};
+  std::atomic<std::int64_t> last_report_us{0};
   std::atomic<std::size_t> tiles_done{prior_records.size()};
   std::atomic<std::size_t> pairs_computed{0};
   std::atomic<std::size_t> edges_found{0};
@@ -129,23 +186,41 @@ GeneNetwork MiEngine::compute_network_checkpointed(
           if (done[t]) continue;
           tile_edges.clear();
           std::size_t tile_pairs = 0;
-          for_each_pair(tiles.tile(t), [&](std::size_t i, std::size_t j) {
-            const float mi = static_cast<float>(estimator_.mi(
-                ranks_.ranks(i), ranks_.ranks(j), scratch, config.kernel));
-            ++tile_pairs;
-            if (mi >= threshold_f) {
-              tile_edges.push_back(Edge{static_cast<std::uint32_t>(i),
-                                        static_cast<std::uint32_t>(j), mi});
-            }
-          });
+          sweep_tile_panels(
+              estimator_, ranks_, tiles.tile(t), plan, scratch,
+              [&](std::size_t i, std::size_t j, double mi) {
+                ++tile_pairs;
+                const float mi_f = static_cast<float>(mi);
+                if (mi_f >= threshold_f) {
+                  tile_edges.push_back(Edge{static_cast<std::uint32_t>(i),
+                                            static_cast<std::uint32_t>(j),
+                                            mi_f});
+                }
+              });
           writer.append_tile(t, tile_edges);
           pairs_computed.fetch_add(tile_pairs, std::memory_order_relaxed);
           edges_found.fetch_add(tile_edges.size(), std::memory_order_relaxed);
           const std::size_t completed =
               tiles_done.fetch_add(1, std::memory_order_acq_rel) + 1;
           if (progress) {
-            std::lock_guard<std::mutex> lock(progress_mutex);
-            progress(completed, tiles.count());
+            bool due = interval <= 1 || completed == tiles.count() ||
+                       completed -
+                               last_reported.load(std::memory_order_relaxed) >=
+                           interval;
+            if (!due) {
+              const auto now_us =
+                  static_cast<std::int64_t>(watch.seconds() * 1e6);
+              due = now_us - last_report_us.load(std::memory_order_relaxed) >=
+                    kProgressMinMicros;
+            }
+            if (due) {
+              std::lock_guard<std::mutex> lock(progress_mutex);
+              last_reported.store(completed, std::memory_order_relaxed);
+              last_report_us.store(
+                  static_cast<std::int64_t>(watch.seconds() * 1e6),
+                  std::memory_order_relaxed);
+              progress(completed, tiles.count());
+            }
           }
         }
       });
@@ -167,6 +242,8 @@ GeneNetwork MiEngine::compute_network_checkpointed(
     stats->edges_emitted = network.n_edges();
     stats->tiles = tiles.count();
     stats->seconds = watch.seconds();
+    stats->kernel = plan.name;
+    stats->panel_width = plan.width;
   }
   return network;
 }
@@ -186,6 +263,7 @@ GeneNetwork MiEngine::compute_network_teamed(double threshold,
                           : pool.max_threads();
   TINGE_EXPECTS(threads % team_size == 0);
   const int n_teams = threads / team_size;
+  const PanelPlan plan = plan_panels(estimator_, config);
 
   struct ThreadState {
     std::vector<Edge> edges;
@@ -195,7 +273,9 @@ GeneNetwork MiEngine::compute_network_teamed(double threshold,
 
   // Per-team coordination: the leader claims the next tile from the global
   // counter; a team barrier publishes it to the members; every member then
-  // walks the tile's pairs and takes those congruent to its member id.
+  // walks the tile's panels and takes those congruent to its member id
+  // (panels — not pairs — are the unit of splitting, so each member runs
+  // whole row-reuse sweeps).
   std::atomic<std::size_t> next_tile{0};
   struct alignas(kSimdAlignment) TeamSlot {
     std::size_t tile = 0;
@@ -212,6 +292,8 @@ GeneNetwork MiEngine::compute_network_teamed(double threshold,
     JointHistogram scratch = estimator_.make_scratch();
     ThreadState& local = state.local(tid);
     const float threshold_f = static_cast<float>(threshold);
+    const std::uint32_t* ry[kMaxPanelWidth];
+    double mi[kMaxPanelWidth];
 
     while (true) {
       if (member == 0)
@@ -219,20 +301,28 @@ GeneNetwork MiEngine::compute_network_teamed(double threshold,
       team.barrier->arrive_and_wait();
       const std::size_t t = team.tile;
       if (t >= tiles.count()) break;
-      std::size_t pair_index = 0;
-      for_each_pair(tiles.tile(t), [&](std::size_t i, std::size_t j) {
-        if (static_cast<int>(pair_index++ % static_cast<std::size_t>(
-                                 team_size)) != member)
-          return;
-        const double mi = estimator_.mi(ranks_.ranks(i), ranks_.ranks(j),
-                                        scratch, config.kernel);
-        ++local.pairs;
-        const float mi_f = static_cast<float>(mi);
-        if (mi_f >= threshold_f) {
-          local.edges.push_back(Edge{static_cast<std::uint32_t>(i),
-                                     static_cast<std::uint32_t>(j), mi_f});
-        }
-      });
+      std::size_t panel_index = 0;
+      for_each_row_panel(
+          tiles.tile(t), static_cast<std::size_t>(plan.width),
+          [&](std::size_t i, std::size_t j0, std::size_t width) {
+            if (static_cast<int>(panel_index++ %
+                                 static_cast<std::size_t>(team_size)) !=
+                member)
+              return;
+            for (std::size_t p = 0; p < width; ++p)
+              ry[p] = ranks_.ranks(j0 + p).data();
+            estimator_.mi_panel(ranks_.ranks(i), ry, width, scratch,
+                                plan.kernel, mi);
+            local.pairs += width;
+            for (std::size_t p = 0; p < width; ++p) {
+              const float mi_f = static_cast<float>(mi[p]);
+              if (mi_f >= threshold_f) {
+                local.edges.push_back(Edge{static_cast<std::uint32_t>(i),
+                                           static_cast<std::uint32_t>(j0 + p),
+                                           mi_f});
+              }
+            }
+          });
       // Second barrier keeps members in lock-step with the leader's next
       // claim (the leader must not overwrite team.tile early).
       team.barrier->arrive_and_wait();
@@ -252,6 +342,8 @@ GeneNetwork MiEngine::compute_network_teamed(double threshold,
     stats->edges_emitted = network.n_edges();
     stats->tiles = tiles.count();
     stats->seconds = watch.seconds();
+    stats->kernel = plan.name;
+    stats->panel_width = plan.width;
   }
   TINGE_ENSURES(pairs == tiles.total_pairs());
   return network;
@@ -269,6 +361,7 @@ std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
   const int threads = config.threads > 0
                           ? std::min(config.threads, pool.max_threads())
                           : pool.max_threads();
+  const PanelPlan plan = plan_panels(estimator_, config);
   std::atomic<std::size_t> pairs{0};
 
   par::parallel_for(
@@ -277,14 +370,13 @@ std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
         JointHistogram scratch = estimator_.make_scratch();
         std::size_t local_pairs = 0;
         for (std::size_t t = tile_begin; t < tile_end; ++t) {
-          for_each_pair(tiles.tile(t), [&](std::size_t i, std::size_t j) {
-            const double mi = estimator_.mi(ranks_.ranks(i), ranks_.ranks(j),
-                                            scratch, config.kernel);
-            const float mi_f = static_cast<float>(mi);
-            mi_matrix[i * n + j] = mi_f;
-            mi_matrix[j * n + i] = mi_f;
-            ++local_pairs;
-          });
+          sweep_tile_panels(estimator_, ranks_, tiles.tile(t), plan, scratch,
+                            [&](std::size_t i, std::size_t j, double mi) {
+                              const float mi_f = static_cast<float>(mi);
+                              mi_matrix[i * n + j] = mi_f;
+                              mi_matrix[j * n + i] = mi_f;
+                              ++local_pairs;
+                            });
         }
         pairs.fetch_add(local_pairs, std::memory_order_relaxed);
       });
@@ -294,6 +386,8 @@ std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
     stats->edges_emitted = 0;
     stats->tiles = tiles.count();
     stats->seconds = watch.seconds();
+    stats->kernel = plan.name;
+    stats->panel_width = plan.width;
   }
   return mi_matrix;
 }

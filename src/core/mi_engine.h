@@ -5,8 +5,10 @@
 // Work decomposition: the upper-triangular pair space is tiled (core/tile.h);
 // tiles are distributed over the thread pool with the configured schedule
 // (dynamic by default, as in the paper). Each thread owns a joint-histogram
-// scratch and an edge buffer; inside a tile the x-gene's table pointers are
-// hoisted and the kernel (mi/bspline_kernels.h) runs per pair. Edges at or
+// scratch and an edge buffer; inside a tile each row gene's column range is
+// swept as panels of B column genes by the row-reuse kernel
+// (joint_entropy_panel in mi/bspline_kernels.h), sharing the row gene's
+// table lookups across the panel. Edges at or
 // above the significance threshold are kept; everything else is discarded
 // immediately — at whole-genome scale the dense MI matrix (15,575^2 floats
 // ~ 1 GB) is never materialized.
@@ -29,6 +31,12 @@ struct EngineStats {
   std::size_t edges_emitted = 0;
   std::size_t tiles = 0;
   double seconds = 0.0;
+
+  /// Name of the kernel variant actually run (config Auto resolved through
+  /// the one-shot microbenchmark; static string, never null).
+  const char* kernel = "?";
+  /// Panel width B actually used by the row-reuse sweep (>= 1).
+  int panel_width = 0;
 
   /// Pair-sample throughput: pairs * m / seconds.
   double cell_rate(std::size_t m) const {
@@ -61,10 +69,12 @@ class MiEngine {
   /// already exists there, completed tiles are loaded instead of recomputed.
   /// The checkpoint file is removed on successful completion.
   ///
-  /// `progress(done, total)` is called after every newly computed tile
-  /// (from worker threads, serialized); an exception thrown from it aborts
-  /// the run exactly like a crash would — which is how the failure-injection
-  /// tests exercise resume.
+  /// `progress(done, total)` is called from worker threads (serialized) as
+  /// tiles complete — throttled to at most once per
+  /// config.progress_tile_interval tiles or ~100 ms, whichever comes first;
+  /// the final tile always reports and an interval of 1 restores per-tile
+  /// callbacks. An exception thrown from it aborts the run exactly like a
+  /// crash would — which is how the failure-injection tests exercise resume.
   GeneNetwork compute_network_checkpointed(
       double threshold, const TingeConfig& config, par::ThreadPool& pool,
       const std::string& checkpoint_path, EngineStats* stats = nullptr,

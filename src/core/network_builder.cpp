@@ -87,7 +87,9 @@ BuildResult NetworkBuilder::run(ExpressionMatrix working) const {
           result.threshold, config_, pool, config_.checkpoint_path,
           &result.engine);
     }
-    log(strprintf("mi pass: %zu pairs, %zu significant edges (%.2f%%)",
+    log(strprintf("mi pass: kernel=%s panel=%d, %zu pairs, %zu significant "
+                  "edges (%.2f%%)",
+                  result.engine.kernel, result.engine.panel_width,
                   result.engine.pairs_computed, result.network.n_edges(),
                   result.engine.pairs_computed > 0
                       ? 100.0 * static_cast<double>(result.network.n_edges()) /

@@ -62,4 +62,22 @@ void for_each_pair(const Tile& tile, Visitor&& visit) {
   }
 }
 
+/// Visits the tile's pairs as row-gene panels: for each row gene i its
+/// column range is chopped into runs of at most `max_width` consecutive
+/// column genes and visit(i, j_first, width) is called per run. The final
+/// run of a row (and every run of a short row) is narrower than max_width —
+/// the ragged-tail case panel kernels must handle. Covers exactly the pairs
+/// for_each_pair visits, in the same row-major order.
+template <typename Visitor>
+void for_each_row_panel(const Tile& tile, std::size_t max_width,
+                        Visitor&& visit) {
+  TINGE_EXPECTS(max_width >= 1);
+  for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
+    const std::size_t j_begin =
+        tile.diagonal() ? std::max(i + 1, tile.col_begin) : tile.col_begin;
+    for (std::size_t j = j_begin; j < tile.col_end; j += max_width)
+      visit(i, j, std::min(max_width, tile.col_end - j));
+  }
+}
+
 }  // namespace tinge

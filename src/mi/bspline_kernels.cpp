@@ -1,11 +1,15 @@
 #include "mi/bspline_kernels.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "simd/math.h"
 #include "simd/simd.h"
+#include "stats/rng.h"
 #include "util/contracts.h"
+#include "util/timer.h"
 
 namespace tinge {
 
@@ -146,7 +150,7 @@ void accumulate_gather512(const WeightTable& table, const std::uint32_t* rx,
     const std::size_t j = gi * 4;
     // Per-group scalars packed into the low 4 lanes, then spread by group.
     alignas(16) std::int32_t base4[4];
-    alignas(16) float wy_rows[16];
+    alignas(64) float wy_rows[16];
     const float* wx_rows[4];
     for (int g = 0; g < 4; ++g) {
       const std::uint32_t rxg = rx[j + static_cast<std::size_t>(g)];
@@ -223,6 +227,187 @@ double entropy_from_region(const float* cells, std::size_t count, std::size_t m)
   return neg_sum / static_cast<double>(m) + std::log(static_cast<double>(m));
 }
 
+// --------------------------------------------------------------------------
+// Panel accumulation: one row gene against `width` column genes, one sweep
+// over the m samples. Region p of `hist` (region_cells floats apart) is the
+// joint histogram of pair (x, y_p). For a fixed region every variant issues
+// the per-pair kernel's float operations in the same order, so the panel is
+// bit-identical to the per-pair path; only the rx-side table lookups and the
+// histogram clears are shared across the panel.
+// --------------------------------------------------------------------------
+
+void panel_accumulate_scalar(const WeightTable& table, const std::uint32_t* rx,
+                             const std::uint32_t* const* ry, std::size_t width,
+                             std::size_t m, float* hist,
+                             std::size_t hist_stride,
+                             std::size_t region_cells) {
+  const float* weights = table.weights_data();
+  const std::int32_t* first_bin = table.first_bin_data();
+  const std::size_t ws = table.weight_stride();
+  const int k = table.order();
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::uint32_t rxj = rx[j];
+    const float* wx = weights + rxj * ws;
+    const std::size_t x_base =
+        static_cast<std::size_t>(first_bin[rxj]) * hist_stride;
+    for (std::size_t p = 0; p < width; ++p) {
+      const std::uint32_t ryj = ry[p][j];
+      const float* wy = weights + ryj * ws;
+      float* base = hist + p * region_cells + x_base +
+                    static_cast<std::size_t>(first_bin[ryj]);
+      for (int a = 0; a < k; ++a) {
+        const float wxa = wx[a];
+        float* row = base + static_cast<std::size_t>(a) * hist_stride;
+        for (int c = 0; c < k; ++c) row[c] += wxa * wy[c];
+      }
+    }
+  }
+}
+
+template <int K>
+void panel_accumulate_unrolled(const WeightTable& table, const std::uint32_t* rx,
+                               const std::uint32_t* const* ry, std::size_t width,
+                               std::size_t m, float* hist,
+                               std::size_t hist_stride,
+                               std::size_t region_cells) {
+  const float* weights = table.weights_data();
+  const std::int32_t* first_bin = table.first_bin_data();
+  const std::size_t ws = table.weight_stride();
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::uint32_t rxj = rx[j];
+    const float* wx = weights + rxj * ws;
+    const std::size_t x_base =
+        static_cast<std::size_t>(first_bin[rxj]) * hist_stride;
+    for (std::size_t p = 0; p < width; ++p) {
+      const std::uint32_t ryj = ry[p][j];
+      const float* wy = weights + ryj * ws;
+      float* base = hist + p * region_cells + x_base +
+                    static_cast<std::size_t>(first_bin[ryj]);
+#pragma GCC unroll 8
+      for (int a = 0; a < K; ++a) {
+        const float wxa = wx[a];
+        float* row = base + static_cast<std::size_t>(a) * hist_stride;
+#pragma GCC unroll 8
+        for (int c = 0; c < K; ++c) row[c] += wxa * wy[c];
+      }
+    }
+  }
+}
+
+template <typename V>
+void panel_accumulate_simd(const WeightTable& table, const std::uint32_t* rx,
+                           const std::uint32_t* const* ry, std::size_t width,
+                           std::size_t m, float* hist, std::size_t hist_stride,
+                           std::size_t region_cells) {
+  const float* weights = table.weights_data();
+  const std::int32_t* first_bin = table.first_bin_data();
+  const std::size_t ws = table.weight_stride();
+  const int k = table.order();
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::uint32_t rxj = rx[j];
+    const float* wx = weights + rxj * ws;
+    const std::size_t x_base =
+        static_cast<std::size_t>(first_bin[rxj]) * hist_stride;
+    // The row gene's broadcasts are hoisted once per sample and reused by
+    // every panel member — the core of the row-reuse win.
+    V wxv[BsplineBasis::kMaxOrder];
+    for (int a = 0; a < k; ++a) wxv[a] = V::broadcast(wx[a]);
+    for (std::size_t p = 0; p < width; ++p) {
+      const std::uint32_t ryj = ry[p][j];
+      const V wyv = V::loadu(weights + ryj * ws);
+      float* base = hist + p * region_cells + x_base +
+                    static_cast<std::size_t>(first_bin[ryj]);
+      for (int a = 0; a < k; ++a) {
+        float* row = base + static_cast<std::size_t>(a) * hist_stride;
+        V::fmadd(wxv[a], wyv, V::loadu(row)).storeu(row);
+      }
+    }
+  }
+}
+
+#if defined(__AVX512F__)
+// Four panel members per iteration, one 512-bit gather/FMA/scatter triple
+// per row offset (4 members x 4 padded weights = 16 lanes). Members write
+// disjoint histogram regions, so the 16 scattered addresses are pairwise
+// distinct by construction — no replicas needed, unlike the per-pair
+// gather kernel. wx[a] is shared by the whole panel and broadcast to all
+// lanes. Requires order <= 4 (weight rows padded to 4 floats).
+void panel_accumulate_gather512(const WeightTable& table,
+                                const std::uint32_t* rx,
+                                const std::uint32_t* const* ry,
+                                std::size_t width, std::size_t m, float* hist,
+                                std::size_t hist_stride,
+                                std::size_t region_cells) {
+  const float* weights = table.weights_data();
+  const std::int32_t* first_bin = table.first_bin_data();
+  const std::size_t ws = table.weight_stride();
+  const int k = table.order();
+  TINGE_EXPECTS(k <= 4);
+  TINGE_EXPECTS(ws == 4);
+  const auto stride_i32 = static_cast<std::int32_t>(hist_stride);
+  const auto region_i32 = static_cast<std::int32_t>(region_cells);
+
+  // lane -> panel-member slot (0,0,0,0,1,1,1,1,...) and lane -> weight
+  // column (0,1,2,3 repeating).
+  const __m512i group_of_lane = _mm512_set_epi32(3, 3, 3, 3, 2, 2, 2, 2,
+                                                 1, 1, 1, 1, 0, 0, 0, 0);
+  const __m512i column_of_lane = _mm512_set_epi32(3, 2, 1, 0, 3, 2, 1, 0,
+                                                  3, 2, 1, 0, 3, 2, 1, 0);
+  const std::size_t groups = width / 4;
+
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::uint32_t rxj = rx[j];
+    const float* wx = weights + rxj * ws;
+    const std::int32_t x_base = first_bin[rxj] * stride_i32;
+
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t p0 = g * 4;
+      alignas(16) std::int32_t base4[4];
+      alignas(64) float wy_rows[16];
+      for (int t = 0; t < 4; ++t) {
+        const std::uint32_t ryj = ry[p0 + static_cast<std::size_t>(t)][j];
+        base4[t] = static_cast<std::int32_t>(p0 + static_cast<std::size_t>(t)) *
+                       region_i32 +
+                   x_base + first_bin[ryj];
+        const float* wy = weights + ryj * ws;
+        for (int c = 0; c < 4; ++c) wy_rows[t * 4 + c] = wy[c];
+      }
+      const __m512i base = _mm512_add_epi32(
+          _mm512_permutexvar_epi32(
+              group_of_lane, _mm512_castsi128_si512(_mm_load_si128(
+                                 reinterpret_cast<const __m128i*>(base4)))),
+          column_of_lane);
+      const __m512 wy_vec = _mm512_load_ps(wy_rows);
+
+      for (int a = 0; a < k; ++a) {
+        const __m512 wx_vec = _mm512_set1_ps(wx[a]);
+        const __m512i indices =
+            _mm512_add_epi32(base, _mm512_set1_epi32(a * stride_i32));
+        const __m512 patch = _mm512_i32gather_ps(indices, hist, 4);
+        const __m512 updated = _mm512_fmadd_ps(wx_vec, wy_vec, patch);
+        _mm512_i32scatter_ps(hist, indices, updated, 4);
+      }
+    }
+
+    // Tail members (width not a multiple of 4): 128-bit FMA path, which
+    // produces the same float sequence per region as the gathered lanes.
+    for (std::size_t p = groups * 4; p < width; ++p) {
+      const std::uint32_t ryj = ry[p][j];
+      const simd::F32x4 wyv = simd::F32x4::loadu(weights + ryj * ws);
+      float* base_ptr = hist + p * region_cells +
+                        static_cast<std::size_t>(x_base) +
+                        static_cast<std::size_t>(first_bin[ryj]);
+      for (int a = 0; a < k; ++a) {
+        float* row = base_ptr + static_cast<std::size_t>(a) * hist_stride;
+        simd::F32x4::fmadd(simd::F32x4::broadcast(wx[a]), wyv,
+                           simd::F32x4::loadu(row))
+            .storeu(row);
+      }
+    }
+  }
+}
+#endif  // __AVX512F__
+
 }  // namespace
 
 const char* kernel_name(MiKernel kernel) {
@@ -252,11 +437,118 @@ MiKernel resolve_kernel(MiKernel kernel, int order) {
   return order <= 4 ? MiKernel::Replicated : MiKernel::Simd;
 }
 
+MiKernel resolve_panel_kernel(MiKernel kernel, int order) {
+  switch (kernel) {
+    case MiKernel::Scalar: return MiKernel::Scalar;
+    case MiKernel::Unrolled:
+      return order <= BsplineBasis::kMaxOrder ? MiKernel::Unrolled
+                                              : MiKernel::Scalar;
+    case MiKernel::Gather512:
+      return gather512_available() && order <= 4 ? MiKernel::Gather512
+                                                 : MiKernel::Simd;
+    case MiKernel::Simd:
+    case MiKernel::Replicated:  // panel interleaving replaces replication
+    case MiKernel::Auto:
+      return MiKernel::Simd;
+  }
+  return MiKernel::Simd;
+}
+
+namespace {
+
+// One-shot microbenchmark backing resolve_kernel_measured: times the
+// FMA-SIMD formulation against the 512-bit gather/scatter one on synthetic
+// permutation ranks shaped like the caller's table, and returns the faster
+// kernel. Deliberately tiny (a few sweeps per candidate, best-of to shed
+// scheduler noise) — it runs once per process per flavor.
+MiKernel measure_auto_kernel(const WeightTable& table, bool panel_flavor) {
+  JointHistogram scratch = make_kernel_scratch(table);
+  const std::size_t m = table.n_samples();
+  Xoshiro256 rng(20140519);
+  std::vector<std::vector<std::uint32_t>> profiles;
+  const std::size_t n_profiles = panel_flavor
+                                     ? static_cast<std::size_t>(kMaxPanelWidth) + 1
+                                     : 2;
+  profiles.reserve(n_profiles);
+  for (std::size_t g = 0; g < n_profiles; ++g)
+    profiles.push_back(random_permutation(m, rng));
+
+  const MiKernel candidates[2] = {
+      panel_flavor ? MiKernel::Simd : MiKernel::Replicated,
+      MiKernel::Gather512};
+  double best_seconds[2] = {0.0, 0.0};
+  const std::uint32_t* ry[kMaxPanelWidth];
+  double h_panel[kMaxPanelWidth];
+  for (std::size_t p = 0; p < static_cast<std::size_t>(kMaxPanelWidth); ++p)
+    ry[p] = profiles[std::min(p + 1, n_profiles - 1)].data();
+
+  constexpr int kRounds = 3;
+  constexpr int kSweeps = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int c = 0; c < 2; ++c) {
+      const Stopwatch watch;
+      for (int sweep = 0; sweep < kSweeps; ++sweep) {
+        if (panel_flavor) {
+          joint_entropy_panel(table, profiles[0].data(), ry,
+                              static_cast<std::size_t>(kMaxPanelWidth), m,
+                              scratch, candidates[c], h_panel);
+        } else {
+          h_panel[0] = joint_entropy(table, profiles[0].data(),
+                                     profiles[1].data(), m, scratch,
+                                     candidates[c]);
+        }
+      }
+      const double elapsed = watch.seconds();
+      if (round == 0 || elapsed < best_seconds[c]) best_seconds[c] = elapsed;
+    }
+  }
+  return best_seconds[1] < best_seconds[0] ? candidates[1] : candidates[0];
+}
+
+}  // namespace
+
+MiKernel resolve_kernel_measured(MiKernel kernel, const WeightTable& table,
+                                 int panel_width) {
+  if (kernel != MiKernel::Auto) return kernel;  // explicit config wins
+  const int order = table.order();
+  const bool panel_flavor = panel_width > 1;
+  if (!gather512_available() || order > 4) {
+    return panel_flavor ? resolve_panel_kernel(kernel, order)
+                        : resolve_kernel(kernel, order);
+  }
+  if (panel_flavor) {
+    static const MiKernel winner = measure_auto_kernel(table, true);
+    return winner;
+  }
+  static const MiKernel winner = measure_auto_kernel(table, false);
+  return winner;
+}
+
+int auto_panel_width(const WeightTable& table) {
+  // All B joint histograms must stay cache-resident across the whole
+  // m-sample sweep: the sweep round-robins the B regions every sample, so
+  // an evicted region costs a miss per histogram row touched. Half of a
+  // conservative per-core L2 leaves room for the weight table and the B+1
+  // rank profiles streaming alongside.
+  constexpr std::size_t kPanelCacheBudget = 256 * 1024;  // bytes
+  const std::size_t region_bytes = static_cast<std::size_t>(table.bins()) *
+                                   JointHistogram::stride_for(table.bins()) *
+                                   sizeof(float);
+  const std::size_t fit =
+      std::max<std::size_t>(1, kPanelCacheBudget / region_bytes);
+  return static_cast<int>(
+      std::min<std::size_t>(fit, static_cast<std::size_t>(kMaxPanelWidth)));
+}
+
 JointHistogram make_kernel_scratch(const WeightTable& table) {
-  // Replicated needs kHistogramReplicas stacked copies; other kernels use
-  // the first copy only and never touch (or read zeros from) the rest.
+  // Replicated needs kHistogramReplicas stacked copies, the panel kernels
+  // up to kMaxPanelWidth regions; every kernel clears exactly the regions
+  // it uses, so per-pair and panel calls can share one scratch.
+  constexpr int kScratchRegions = kHistogramReplicas > kMaxPanelWidth
+                                      ? kHistogramReplicas
+                                      : kMaxPanelWidth;
   return JointHistogram(table.bins(), /*max_vector_width=*/16,
-                        /*replicas=*/kHistogramReplicas);
+                        /*replicas=*/kScratchRegions);
 }
 
 double joint_entropy(const WeightTable& table, const std::uint32_t* rx,
@@ -324,6 +616,71 @@ double joint_entropy(const WeightTable& table, const std::uint32_t* rx,
   }
 
   return entropy_from_region(hist, region_cells, m);
+}
+
+void joint_entropy_panel(const WeightTable& table, const std::uint32_t* rx,
+                         const std::uint32_t* const* ry, std::size_t width,
+                         std::size_t m, JointHistogram& scratch,
+                         MiKernel kernel, double* h_out) {
+  TINGE_EXPECTS(width >= 1);
+  TINGE_EXPECTS(width <= static_cast<std::size_t>(kMaxPanelWidth));
+  TINGE_EXPECTS(m == table.n_samples());
+  TINGE_EXPECTS(scratch.bins() >= table.bins());
+  TINGE_EXPECTS(scratch.replicas() >= static_cast<int>(width));
+  const int k = table.order();
+  const std::size_t hs = scratch.stride();
+  float* hist = scratch.data();
+  const std::size_t region_cells = static_cast<std::size_t>(table.bins()) * hs;
+
+  // One clear for the whole panel (regions are stacked contiguously).
+  std::memset(hist, 0, width * region_cells * sizeof(float));
+
+  switch (resolve_panel_kernel(kernel, k)) {
+    case MiKernel::Scalar:
+      panel_accumulate_scalar(table, rx, ry, width, m, hist, hs, region_cells);
+      break;
+    case MiKernel::Unrolled:
+      switch (k) {
+        case 1: panel_accumulate_unrolled<1>(table, rx, ry, width, m, hist, hs, region_cells); break;
+        case 2: panel_accumulate_unrolled<2>(table, rx, ry, width, m, hist, hs, region_cells); break;
+        case 3: panel_accumulate_unrolled<3>(table, rx, ry, width, m, hist, hs, region_cells); break;
+        case 4: panel_accumulate_unrolled<4>(table, rx, ry, width, m, hist, hs, region_cells); break;
+        case 5: panel_accumulate_unrolled<5>(table, rx, ry, width, m, hist, hs, region_cells); break;
+        case 6: panel_accumulate_unrolled<6>(table, rx, ry, width, m, hist, hs, region_cells); break;
+        case 7: panel_accumulate_unrolled<7>(table, rx, ry, width, m, hist, hs, region_cells); break;
+        case 8: panel_accumulate_unrolled<8>(table, rx, ry, width, m, hist, hs, region_cells); break;
+        default:
+          panel_accumulate_scalar(table, rx, ry, width, m, hist, hs, region_cells);
+          break;
+      }
+      break;
+    case MiKernel::Gather512:
+#if defined(__AVX512F__)
+      panel_accumulate_gather512(table, rx, ry, width, m, hist, hs,
+                                 region_cells);
+      break;
+#else
+      TINGE_ASSERT(false);  // resolve_panel_kernel falls back before dispatch
+      break;
+#endif
+    case MiKernel::Simd:
+      if (k <= 4) {
+        panel_accumulate_simd<simd::F32x4>(table, rx, ry, width, m, hist, hs,
+                                           region_cells);
+      } else {
+        panel_accumulate_simd<simd::F32x8>(table, rx, ry, width, m, hist, hs,
+                                           region_cells);
+      }
+      break;
+    case MiKernel::Replicated:
+    case MiKernel::Auto:
+      TINGE_ASSERT(false);  // resolve_panel_kernel never returns these
+      break;
+  }
+
+  // Batched entropy/merge pass: one sweep per region, h_out[p] = H(X, Y_p).
+  for (std::size_t p = 0; p < width; ++p)
+    h_out[p] = entropy_from_region(hist + p * region_cells, region_cells, m);
 }
 
 }  // namespace tinge

@@ -30,6 +30,24 @@
 //                construction trick the paper uses to vectorize scatter
 //                updates on the Phi's VPU.
 //
+// Panel (row-reuse) formulation — joint_entropy_panel:
+//   The tiled O(n^2) pass pairs every row gene i with every column gene j of
+//   its tile row, yet the per-pair kernels above re-read gene i's rank row,
+//   re-derive first_bin[rx[j]] * stride and the wx weight-row pointer, and
+//   re-clear/re-reduce scratch once *per pair*. The panel kernel instead
+//   fixes one row gene and sweeps the m samples once against B column genes
+//   (B <= kMaxPanelWidth), accumulating into B joint-histogram regions:
+//   the rx-side work (rank load, weight-row broadcasts, row-base offset) is
+//   done once per sample instead of once per pair, and the round-robin
+//   across B independent regions breaks the store-to-load dependency chain
+//   that the per-pair Replicated kernel needs replica merging for — so the
+//   panel path skips the replica merge entirely. One batched entropy pass
+//   over the B regions finishes the panel. Variants mirror the per-pair
+//   ladder (scalar / unrolled / FMA-SIMD / AVX-512 gather-scatter); for a
+//   given region each variant performs the per-pair kernel's float
+//   operations in the same order, so panel results are bit-identical to the
+//   matching per-pair kernel.
+//
 // All variants return H(X,Y) in nats and produce identical results up to
 // float summation order.
 #pragma once
@@ -51,7 +69,12 @@ const char* kernel_name(MiKernel kernel);
 /// Replica count used by MiKernel::Replicated.
 inline constexpr int kHistogramReplicas = 4;
 
-/// Scratch sized for any kernel variant (Replicated needs replica rows).
+/// Maximum panel width B accepted by joint_entropy_panel. Scratch from
+/// make_kernel_scratch always carries this many histogram regions.
+inline constexpr int kMaxPanelWidth = 8;
+
+/// Scratch sized for any kernel variant: Replicated needs kHistogramReplicas
+/// regions, the panel kernels up to kMaxPanelWidth.
 JointHistogram make_kernel_scratch(const WeightTable& table);
 
 /// Joint entropy H(X,Y) in nats of two rank profiles of length m.
@@ -61,7 +84,42 @@ double joint_entropy(const WeightTable& table, const std::uint32_t* ranks_x,
                      const std::uint32_t* ranks_y, std::size_t m,
                      JointHistogram& scratch, MiKernel kernel);
 
+/// Batched joint entropy of one row gene against a panel of `width` column
+/// genes (1 <= width <= kMaxPanelWidth): h_out[p] = H(X, Y_p) where
+/// ranks_y[p] is the p-th column gene's rank profile. The m samples are
+/// swept once; the row gene's table lookups are shared across the panel.
+/// For every p the result is bit-identical to per-pair joint_entropy with
+/// the matching kernel (Scalar/Unrolled exactly; Simd/Replicated/Gather512/
+/// Auto all map to the FMA-SIMD accumulation order of MiKernel::Simd, with
+/// Gather512 running the 512-bit gather/scatter formulation when available).
+void joint_entropy_panel(const WeightTable& table, const std::uint32_t* ranks_x,
+                         const std::uint32_t* const* ranks_y, std::size_t width,
+                         std::size_t m, JointHistogram& scratch,
+                         MiKernel kernel, double* h_out);
+
 /// The kernel actually run when `kernel` is Auto for this table.
 MiKernel resolve_kernel(MiKernel kernel, int order);
+
+/// The panel variant joint_entropy_panel runs for `kernel`: Replicated and
+/// Auto map to Simd (panel interleaving already breaks the store-to-load
+/// chain replication exists for), Gather512 falls back to Simd when the ISA
+/// or order rules it out.
+MiKernel resolve_panel_kernel(MiKernel kernel, int order);
+
+/// Auto resolution backed by a one-shot microbenchmark: on AVX-512F builds
+/// with order <= 4 the FMA-SIMD and gather/scatter formulations are timed
+/// once per process (first table wins; subsequent calls reuse the cached
+/// verdict) and the faster one is returned — this is how Auto can select
+/// Gather512, which the static policy never does. Panel (panel_width > 1)
+/// and per-pair flavors are measured and cached independently. Non-Auto
+/// kernels pass through untouched (the config override). Without AVX-512F
+/// or for order > 4 this is identical to the static resolution.
+MiKernel resolve_kernel_measured(MiKernel kernel, const WeightTable& table,
+                                 int panel_width);
+
+/// Panel width the Auto policy picks for `table`: the largest
+/// B <= kMaxPanelWidth whose B joint-histogram regions fit the panel cache
+/// budget (histograms must stay resident across the whole m-sample sweep).
+int auto_panel_width(const WeightTable& table);
 
 }  // namespace tinge

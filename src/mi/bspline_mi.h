@@ -46,6 +46,20 @@ class BsplineMi {
     return 2.0 * table_.marginal_entropy() - h_joint;
   }
 
+  /// Batched MI of one row gene against `width` column genes (the panel
+  /// kernel, see bspline_kernels.h): mi_out[p] = MI(x, y_p). Results are
+  /// bit-identical to per-pair mi() with the matching kernel.
+  void mi_panel(std::span<const std::uint32_t> ranks_x,
+                const std::uint32_t* const* ranks_y, std::size_t width,
+                JointHistogram& scratch, MiKernel kernel,
+                double* mi_out) const {
+    TINGE_EXPECTS(ranks_x.size() >= n_samples());
+    tinge::joint_entropy_panel(table_, ranks_x.data(), ranks_y, width,
+                               n_samples(), scratch, kernel, mi_out);
+    const double h2 = 2.0 * table_.marginal_entropy();
+    for (std::size_t p = 0; p < width; ++p) mi_out[p] = h2 - mi_out[p];
+  }
+
  private:
   BsplineBasis basis_;
   WeightTable table_;

@@ -21,13 +21,21 @@ namespace tinge {
 
 class JointHistogram {
  public:
+  /// Row stride (floats) a histogram of `bins` bins uses when kernels may
+  /// issue stores up to `max_vector_width` floats wide from any bin column.
+  /// Exposed so sizing policies (panel width selection) can compute a
+  /// histogram's footprint without allocating one.
+  static constexpr std::size_t stride_for(int bins, int max_vector_width = 16) {
+    return round_up(static_cast<std::size_t>(bins + max_vector_width),
+                    kSimdAlignment / sizeof(float));
+  }
+
   /// `max_vector_width` is the widest store a kernel may issue from a bin
   /// column (in floats); padding guarantees such stores stay in bounds.
   explicit JointHistogram(int bins, int max_vector_width = 16, int replicas = 1)
       : bins_(bins),
         replicas_(replicas),
-        stride_(round_up(static_cast<std::size_t>(bins + max_vector_width),
-                         kSimdAlignment / sizeof(float))),
+        stride_(stride_for(bins, max_vector_width)),
         cells_(static_cast<std::size_t>(bins) * static_cast<std::size_t>(replicas) *
                stride_) {
     TINGE_EXPECTS(bins >= 1);

@@ -128,6 +128,8 @@ class EngineCheckpointFixture : public CheckpointFixture {
     TingeConfig c;
     c.tile_size = 6;
     c.threads = 2;
+    // Failure injection needs the callback after every tile, not throttled.
+    c.progress_tile_interval = 1;
     return c;
   }
 

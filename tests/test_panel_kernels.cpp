@@ -1,0 +1,328 @@
+// Panel (row-reuse) kernel equivalence: joint_entropy_panel must reproduce
+// the per-pair joint_entropy bit-identically for the matching kernel, across
+// every supported shape, panel width, and ragged tail; and the engine's
+// panel-swept network must equal a per-pair recomputation exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/mi_engine.h"
+#include "mi/bspline_kernels.h"
+#include "mi/bspline_mi.h"
+#include "preprocess/rank_transform.h"
+#include "reference_mi.h"
+#include "stats/rng.h"
+
+namespace tinge {
+namespace {
+
+std::vector<std::uint32_t> random_ranks(std::size_t m, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return random_permutation(m, rng);
+}
+
+// bins x order x panel width x samples. Orders cover the full 1..8 ladder
+// (both the 4-float and 8-float padded weight rows); m values are chosen so
+// neither is a multiple of the vector or panel width (ragged tails).
+class PanelEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(PanelEquivalence, BitIdenticalToPerPairKernels) {
+  const auto [bins, order, width_int, m_int] = GetParam();
+  const auto m = static_cast<std::size_t>(m_int);
+  const auto width = static_cast<std::size_t>(width_int);
+  const BsplineMi estimator(bins, order, m);
+  JointHistogram scratch = estimator.make_scratch();
+
+  const auto rx = random_ranks(m, 4242);
+  std::vector<std::vector<std::uint32_t>> ys;
+  const std::uint32_t* ry[kMaxPanelWidth];
+  for (std::size_t p = 0; p < width; ++p) {
+    ys.push_back(random_ranks(m, 100 + p));
+    ry[p] = ys.back().data();
+  }
+
+  // Per-pair references, one per kernel family.
+  std::vector<double> pair_scalar(width), pair_unrolled(width),
+      pair_simd(width);
+  for (std::size_t p = 0; p < width; ++p) {
+    pair_scalar[p] = tinge::joint_entropy(estimator.table(), rx.data(), ry[p],
+                                          m, scratch, MiKernel::Scalar);
+    pair_unrolled[p] = tinge::joint_entropy(estimator.table(), rx.data(),
+                                            ry[p], m, scratch,
+                                            MiKernel::Unrolled);
+    pair_simd[p] = tinge::joint_entropy(estimator.table(), rx.data(), ry[p],
+                                        m, scratch, MiKernel::Simd);
+  }
+
+  double panel[kMaxPanelWidth];
+
+  joint_entropy_panel(estimator.table(), rx.data(), ry, width, m, scratch,
+                      MiKernel::Scalar, panel);
+  for (std::size_t p = 0; p < width; ++p)
+    EXPECT_EQ(panel[p], pair_scalar[p]) << "scalar panel, member " << p;
+
+  joint_entropy_panel(estimator.table(), rx.data(), ry, width, m, scratch,
+                      MiKernel::Unrolled, panel);
+  for (std::size_t p = 0; p < width; ++p)
+    EXPECT_EQ(panel[p], pair_unrolled[p]) << "unrolled panel, member " << p;
+
+  joint_entropy_panel(estimator.table(), rx.data(), ry, width, m, scratch,
+                      MiKernel::Simd, panel);
+  for (std::size_t p = 0; p < width; ++p)
+    EXPECT_EQ(panel[p], pair_simd[p]) << "simd panel, member " << p;
+
+  // Replicated and Auto map onto the panel FMA-SIMD accumulation order.
+  joint_entropy_panel(estimator.table(), rx.data(), ry, width, m, scratch,
+                      MiKernel::Replicated, panel);
+  for (std::size_t p = 0; p < width; ++p)
+    EXPECT_EQ(panel[p], pair_simd[p]) << "replicated panel, member " << p;
+
+  if (gather512_available() && order <= 4) {
+    joint_entropy_panel(estimator.table(), rx.data(), ry, width, m, scratch,
+                        MiKernel::Gather512, panel);
+    for (std::size_t p = 0; p < width; ++p)
+      EXPECT_EQ(panel[p], pair_simd[p]) << "gather512 panel, member " << p;
+  }
+}
+
+TEST_P(PanelEquivalence, MatchesDoublePrecisionReference) {
+  const auto [bins, order, width_int, m_int] = GetParam();
+  const auto m = static_cast<std::size_t>(m_int);
+  const auto width = static_cast<std::size_t>(width_int);
+  const BsplineMi estimator(bins, order, m);
+  JointHistogram scratch = estimator.make_scratch();
+
+  const auto rx = random_ranks(m, 77);
+  std::vector<std::vector<std::uint32_t>> ys;
+  const std::uint32_t* ry[kMaxPanelWidth];
+  for (std::size_t p = 0; p < width; ++p) {
+    ys.push_back(random_ranks(m, 500 + p));
+    ry[p] = ys.back().data();
+  }
+  double panel[kMaxPanelWidth];
+  joint_entropy_panel(estimator.table(), rx.data(), ry, width, m, scratch,
+                      MiKernel::Auto, panel);
+  for (std::size_t p = 0; p < width; ++p) {
+    const double reference =
+        testref::joint_entropy_reference(rx, ys[p], bins, order);
+    EXPECT_NEAR(panel[p], reference, 5e-4) << "member " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Panels, PanelEquivalence,
+    ::testing::Combine(::testing::Values(9, 12, 16),        // bins
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 8),  // order
+                       ::testing::Values(1, 3, 4, 8),       // panel width B
+                       ::testing::Values(97, 333)),         // samples (ragged)
+    [](const auto& param_info) {
+      return "b" + std::to_string(std::get<0>(param_info.param)) + "_k" +
+             std::to_string(std::get<1>(param_info.param)) + "_B" +
+             std::to_string(std::get<2>(param_info.param)) + "_m" +
+             std::to_string(std::get<3>(param_info.param));
+    });
+
+TEST(PanelScratch, CarriesEnoughRegionsForAnyPanel) {
+  const BsplineMi estimator(10, 3, 64);
+  const JointHistogram scratch = estimator.make_scratch();
+  EXPECT_GE(scratch.replicas(), kMaxPanelWidth);
+  EXPECT_GE(scratch.replicas(), kHistogramReplicas);
+}
+
+TEST(PanelScratch, PanelAndPairCallsInterleaveSafely) {
+  // Per-pair kernels clear only the regions they use; a panel call must not
+  // poison a following per-pair call and vice versa.
+  const std::size_t m = 128;
+  const BsplineMi estimator(10, 3, m);
+  JointHistogram scratch = estimator.make_scratch();
+  const auto rx = random_ranks(m, 1);
+  const auto a = random_ranks(m, 2);
+  const auto b = random_ranks(m, 3);
+  const std::uint32_t* ry[2] = {a.data(), b.data()};
+
+  const double pair_first =
+      tinge::joint_entropy(estimator.table(), rx.data(), a.data(), m, scratch,
+                           MiKernel::Replicated);
+  double panel[2];
+  joint_entropy_panel(estimator.table(), rx.data(), ry, 2, m, scratch,
+                      MiKernel::Auto, panel);
+  const double pair_again =
+      tinge::joint_entropy(estimator.table(), rx.data(), a.data(), m, scratch,
+                           MiKernel::Replicated);
+  EXPECT_EQ(pair_first, pair_again);
+  double panel_again[2];
+  joint_entropy_panel(estimator.table(), rx.data(), ry, 2, m, scratch,
+                      MiKernel::Auto, panel_again);
+  EXPECT_EQ(panel[0], panel_again[0]);
+  EXPECT_EQ(panel[1], panel_again[1]);
+}
+
+TEST(PanelPolicy, AutoWidthIsInRangeAndShrinksWithBins) {
+  const WeightTable small(64, BsplineBasis(10, 3));
+  const int w_small = auto_panel_width(small);
+  EXPECT_GE(w_small, 1);
+  EXPECT_LE(w_small, kMaxPanelWidth);
+  // TINGe-default histograms are a few KB; the budget fits the full panel.
+  EXPECT_EQ(w_small, kMaxPanelWidth);
+  const WeightTable big(64, BsplineBasis(30, 3));
+  EXPECT_LE(auto_panel_width(big), w_small);
+}
+
+TEST(PanelPolicy, PanelResolutionLadder) {
+  EXPECT_EQ(resolve_panel_kernel(MiKernel::Scalar, 3), MiKernel::Scalar);
+  EXPECT_EQ(resolve_panel_kernel(MiKernel::Unrolled, 3), MiKernel::Unrolled);
+  EXPECT_EQ(resolve_panel_kernel(MiKernel::Simd, 3), MiKernel::Simd);
+  // Panel interleaving replaces histogram replication.
+  EXPECT_EQ(resolve_panel_kernel(MiKernel::Replicated, 3), MiKernel::Simd);
+  EXPECT_EQ(resolve_panel_kernel(MiKernel::Auto, 3), MiKernel::Simd);
+  EXPECT_EQ(resolve_panel_kernel(MiKernel::Auto, 6), MiKernel::Simd);
+  // Gather512 runs only where the per-pair kernel would (ISA + order gate).
+  if (gather512_available()) {
+    EXPECT_EQ(resolve_panel_kernel(MiKernel::Gather512, 3),
+              MiKernel::Gather512);
+  } else {
+    EXPECT_EQ(resolve_panel_kernel(MiKernel::Gather512, 3), MiKernel::Simd);
+  }
+  EXPECT_EQ(resolve_panel_kernel(MiKernel::Gather512, 6), MiKernel::Simd);
+}
+
+TEST(PanelPolicy, MeasuredAutoPicksAConcreteEligibleKernel) {
+  const WeightTable table(256, BsplineBasis(10, 3));
+  const MiKernel pair = resolve_kernel_measured(MiKernel::Auto, table, 1);
+  EXPECT_TRUE(pair == MiKernel::Replicated || pair == MiKernel::Gather512);
+  if (!gather512_available()) EXPECT_EQ(pair, MiKernel::Replicated);
+  const MiKernel panel = resolve_kernel_measured(MiKernel::Auto, table, 8);
+  EXPECT_TRUE(panel == MiKernel::Simd || panel == MiKernel::Gather512);
+  // Explicit kernels pass through untouched (the config override).
+  EXPECT_EQ(resolve_kernel_measured(MiKernel::Scalar, table, 8),
+            MiKernel::Scalar);
+  EXPECT_EQ(resolve_kernel_measured(MiKernel::Gather512, table, 1),
+            MiKernel::Gather512);
+  // One-shot: the verdict is cached and stable within a process.
+  EXPECT_EQ(panel, resolve_kernel_measured(MiKernel::Auto, table, 8));
+}
+
+// ---- engine determinism: panel sweep vs per-pair seed path -----------------
+
+struct EdgeKey {
+  std::uint32_t u, v;
+  float w;
+  bool operator<(const EdgeKey& o) const {
+    return std::tie(u, v, w) < std::tie(o.u, o.v, o.w);
+  }
+  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+};
+
+class PanelEngineFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kGenes = 30;
+  static constexpr std::size_t kSamples = 120;
+
+  PanelEngineFixture() : estimator_(10, 3, kSamples) {
+    ExpressionMatrix matrix(kGenes, kSamples);
+    Xoshiro256 rng(20260806);
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      const double driver = rng.normal();
+      for (std::size_t g = 0; g < kGenes; ++g) {
+        matrix.at(g, s) = static_cast<float>(
+            g % 4 == 0 ? driver + 0.7 * rng.normal() : rng.normal());
+      }
+    }
+    ranked_ = RankedMatrix(matrix);
+  }
+
+  /// Per-pair recomputation with an explicit kernel — the seed code path.
+  std::set<EdgeKey> per_pair_edges(MiKernel kernel, double threshold) const {
+    JointHistogram scratch = estimator_.make_scratch();
+    std::set<EdgeKey> edges;
+    const auto threshold_f = static_cast<float>(threshold);
+    for (std::size_t i = 0; i < kGenes; ++i) {
+      for (std::size_t j = i + 1; j < kGenes; ++j) {
+        const auto mi = static_cast<float>(estimator_.mi(
+            ranked_.ranks(i), ranked_.ranks(j), scratch, kernel));
+        if (mi >= threshold_f)
+          edges.insert({static_cast<std::uint32_t>(i),
+                        static_cast<std::uint32_t>(j), mi});
+      }
+    }
+    return edges;
+  }
+
+  static std::set<EdgeKey> to_set(const GeneNetwork& network) {
+    std::set<EdgeKey> edges;
+    for (const Edge& e : network.edges()) edges.insert({e.u, e.v, e.weight});
+    return edges;
+  }
+
+  BsplineMi estimator_;
+  RankedMatrix ranked_;
+};
+
+TEST_F(PanelEngineFixture, NetworkEdgesIdenticalToPerPairPath) {
+  const MiEngine engine(estimator_, ranked_);
+  par::ThreadPool pool(3);
+  const double threshold = 0.12;
+  // Simd maps to the identical panel accumulation order, so the edge sets
+  // (including weights, bit for bit) must match the per-pair seed path.
+  for (const MiKernel kernel : {MiKernel::Scalar, MiKernel::Simd}) {
+    const std::set<EdgeKey> expected = per_pair_edges(kernel, threshold);
+    for (const int panel_width : {0, 1, 3, 8}) {
+      TingeConfig config;
+      config.kernel = kernel;
+      config.panel_width = panel_width;
+      config.tile_size = 7;  // forces ragged tile edges
+      config.threads = 3;
+      EngineStats stats;
+      const GeneNetwork network =
+          engine.compute_network(threshold, config, pool, &stats);
+      EXPECT_EQ(to_set(network), expected)
+          << kernel_name(kernel) << " B=" << panel_width;
+      EXPECT_GE(stats.panel_width, 1);
+      if (panel_width > 0) EXPECT_EQ(stats.panel_width, panel_width);
+    }
+  }
+}
+
+TEST_F(PanelEngineFixture, DensePanelMatchesPerPairBitwise) {
+  const MiEngine engine(estimator_, ranked_);
+  par::ThreadPool pool(2);
+  TingeConfig config;
+  config.kernel = MiKernel::Simd;
+  config.tile_size = 9;
+  const auto dense = engine.compute_dense(config, pool);
+  JointHistogram scratch = estimator_.make_scratch();
+  for (std::size_t i = 0; i < kGenes; ++i) {
+    for (std::size_t j = i + 1; j < kGenes; ++j) {
+      const auto expected = static_cast<float>(estimator_.mi(
+          ranked_.ranks(i), ranked_.ranks(j), scratch, MiKernel::Simd));
+      EXPECT_EQ(dense[i * kGenes + j], expected) << i << "," << j;
+      EXPECT_EQ(dense[j * kGenes + i], expected) << j << "," << i;
+    }
+  }
+}
+
+TEST_F(PanelEngineFixture, StatsReportResolvedKernelAndPanelWidth) {
+  const MiEngine engine(estimator_, ranked_);
+  par::ThreadPool pool(2);
+  TingeConfig config;
+  EngineStats stats;
+  engine.compute_network(0.2, config, pool, &stats);
+  EXPECT_STRNE(stats.kernel, "?");
+  // Auto resolves to a concrete variant name, never the policy name.
+  EXPECT_STRNE(stats.kernel, "auto");
+  EXPECT_GE(stats.panel_width, 1);
+  EXPECT_LE(stats.panel_width, kMaxPanelWidth);
+
+  config.kernel = MiKernel::Scalar;
+  config.panel_width = 5;
+  engine.compute_network(0.2, config, pool, &stats);
+  EXPECT_STREQ(stats.kernel, "scalar");
+  EXPECT_EQ(stats.panel_width, 5);
+}
+
+}  // namespace
+}  // namespace tinge
