@@ -4,6 +4,7 @@
 // the paper's kernel-level optimization effort worthwhile.
 #include "bench_common.h"
 #include "core/network_builder.h"
+#include "obs/trace.h"
 #include "util/args.h"
 
 using namespace tinge;
@@ -33,27 +34,22 @@ int main(int argc, char** argv) {
   NetworkBuilder builder(config);
   const BuildResult result = builder.build(dataset.expression);
 
+  // The rows come straight from the run's trace tree: one row per stage
+  // span, sub-spans (preprocess children) indented under their parent.
+  const obs::SpanNode& root = result.trace->root();
   Table table({"stage", "seconds", "share"});
   const auto share = [&](double t) {
-    return strprintf("%.1f%%", 100.0 * t / result.times.total);
+    return strprintf("%.1f%%", 100.0 * t / root.seconds);
   };
-  table.add_row({"preprocess (impute+filter+rank)",
-                 strprintf("%.3f", result.times.preprocess),
-                 share(result.times.preprocess)});
-  table.add_row({"B-spline weight table",
-                 strprintf("%.3f", result.times.weight_table),
-                 share(result.times.weight_table)});
-  table.add_row({strprintf("permutation null (q=%zu)", config.permutations),
-                 strprintf("%.3f", result.times.null_build),
-                 share(result.times.null_build)});
-  table.add_row({"all-pairs MI + threshold",
-                 strprintf("%.3f", result.times.mi_pass),
-                 share(result.times.mi_pass)});
-  if (config.apply_dpi) {
-    table.add_row({"DPI filtering", strprintf("%.3f", result.times.dpi),
-                   share(result.times.dpi)});
+  for (const auto& stage : root.children) {
+    table.add_row({stage->name, strprintf("%.3f", stage->seconds),
+                   share(stage->seconds)});
+    for (const auto& child : stage->children) {
+      table.add_row({"  " + child->name, strprintf("%.3f", child->seconds),
+                     share(child->seconds)});
+    }
   }
-  table.add_row({"total", strprintf("%.3f", result.times.total), "100%"});
+  table.add_row({"total", strprintf("%.3f", root.seconds), "100%"});
   table.print();
 
   std::printf("\nthreshold I_alpha = %.5f nats (H_marginal = %.4f)\n",

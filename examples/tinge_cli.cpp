@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/network_builder.h"
+#include "core/run_manifest.h"
 #include "data/binary_io.h"
 #include "data/series_matrix.h"
 #include "data/tsv_io.h"
@@ -43,6 +44,8 @@ int main(int argc, char** argv) {
            "0.3");
   args.add("dpi-tolerance", "DPI tolerance (with --dpi)", "0.1");
   args.add("checkpoint", "journal completed tiles here; resumes if present");
+  args.add("metrics-out", "write a JSON run manifest (stages, metrics) here");
+  args.add_flag("trace", "print the per-stage trace tree to stderr");
   args.add_flag("dpi", "apply DPI indirect-edge filtering");
   args.add_flag("describe", "print a dataset summary and exit (no inference)");
   args.add_flag("pvalues", "append a null-p-value column to the edge list");
@@ -169,16 +172,25 @@ int main(int argc, char** argv) {
     const BuildResult result = builder.build(std::move(expression));
 
     // ---- write ----------------------------------------------------------------
-    if (args.get_flag("pvalues")) {
-      const auto null = result.null;
-      write_edge_list_with_pvalues_file(
-          result.network,
-          [null](float mi) { return null->p_value(static_cast<double>(mi)); },
-          args.get("out"));
-    } else {
-      write_edge_list_file(result.network, args.get("out"));
+    {
+      const obs::TraceSpan output_span(*result.trace, "output");
+      if (args.get_flag("pvalues")) {
+        const auto null = result.null;
+        write_edge_list_with_pvalues_file(
+            result.network,
+            [null](float mi) { return null->p_value(static_cast<double>(mi)); },
+            args.get("out"));
+      } else {
+        write_edge_list_file(result.network, args.get("out"));
+      }
+      if (args.has("sif")) write_sif_file(result.network, args.get("sif"));
     }
-    if (args.has("sif")) write_sif_file(result.network, args.get("sif"));
+    result.trace->finish();  // fold the output span into the root's total
+
+    if (args.has("metrics-out"))
+      write_run_manifest(result, config, args.get("metrics-out"));
+    if (args.get_flag("trace"))
+      std::fputs(obs::format_trace(result.trace->root()).c_str(), stderr);
 
     if (!args.get_flag("quiet")) {
       std::printf(

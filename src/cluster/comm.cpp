@@ -4,6 +4,9 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "util/timer.h"
+
 namespace tinge::cluster {
 
 void Comm::send(int dest, const void* data, std::size_t bytes, int tag) {
@@ -75,6 +78,11 @@ void InProcessCluster::run(const std::function<void(Comm&)>& body) {
   threads.reserve(static_cast<std::size_t>(size_));
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  // Byte/message accounting is kept on the cluster's own atomics in the hot
+  // path; this SPMD execution publishes its delta to the registry on exit.
+  const std::uint64_t bytes_before = bytes_transferred();
+  const std::uint64_t messages_before = messages_sent();
+  const Stopwatch watch;
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([this, r, &body, &error_mutex, &first_error] {
       Comm comm(this, r, size_);
@@ -87,6 +95,14 @@ void InProcessCluster::run(const std::function<void(Comm&)>& body) {
     });
   }
   for (auto& thread : threads) thread.join();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("cluster.runs").add(1);
+  registry.counter("cluster.bytes_transferred")
+      .add(bytes_transferred() - bytes_before);
+  registry.counter("cluster.messages_sent")
+      .add(messages_sent() - messages_before);
+  registry.gauge("cluster.ranks").set(size_);
+  registry.histogram("cluster.run_seconds").record(watch.seconds());
   // Drain leftover messages so a failed run cannot poison the next one.
   if (first_error) {
     for (auto& box : mailboxes_) {

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "data/tsv_io.h"  // IoError
+#include "obs/metrics.h"
 #include "util/contracts.h"
 
 namespace tinge {
@@ -53,6 +54,11 @@ struct CheckpointWriter::Impl {
   std::FILE* file = nullptr;
   std::mutex mutex;
   std::string path;
+  // Journal-event tallies, published to the process-wide registry when the
+  // journal closes (one registry touch per journal, none per tile).
+  std::uint64_t tiles_appended = 0;
+  std::uint64_t edges_appended = 0;
+  std::uint64_t bytes_written = 0;
 };
 
 CheckpointWriter::CheckpointWriter(const std::string& path,
@@ -90,12 +96,21 @@ void CheckpointWriter::append_tile(std::size_t tile_index,
   }
   if (!ok) throw IoError("checkpoint append failed: " + impl_->path);
   std::fflush(impl_->file);
+  ++impl_->tiles_appended;
+  impl_->edges_appended += edges.size();
+  impl_->bytes_written +=
+      sizeof(index) + sizeof(count) + edges.size() * sizeof(PackedEdge);
 }
 
 void CheckpointWriter::close() {
   if (impl_ && impl_->file != nullptr) {
     std::fclose(impl_->file);
     impl_->file = nullptr;
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    registry.counter("checkpoint.journals_written").add(1);
+    registry.counter("checkpoint.tiles_appended").add(impl_->tiles_appended);
+    registry.counter("checkpoint.edges_appended").add(impl_->edges_appended);
+    registry.counter("checkpoint.bytes_written").add(impl_->bytes_written);
   }
 }
 
@@ -155,6 +170,10 @@ CheckpointState load_checkpoint(const std::string& path) {
     state.records.push_back(std::move(record));
   }
   std::fclose(file);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("checkpoint.loads").add(1);
+  registry.counter("checkpoint.tiles_loaded").add(state.records.size());
+  if (state.tail_truncated) registry.counter("checkpoint.torn_tails").add(1);
   return state;
 }
 

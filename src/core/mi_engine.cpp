@@ -5,12 +5,14 @@
 #include <memory>
 #include <cstdio>
 #include <mutex>
+#include <span>
 
 #include "core/checkpoint.h"
 
 #include "parallel/barrier.h"
 #include "parallel/parallel_for.h"
 #include "parallel/reduction.h"
+#include "util/str.h"
 #include "util/timer.h"
 
 namespace tinge {
@@ -36,12 +38,23 @@ PanelPlan plan_panels(const BsplineMi& estimator, const TingeConfig& config) {
           kernel_name(resolve_panel_kernel(kernel, table.order()))};
 }
 
+// Per-context tally of one engine pass. Plain counters on per-thread slots:
+// the observability layer costs one integer bump per tile/panel/pair in
+// thread-private cache lines, nothing shared.
+struct TileCounters {
+  std::uint64_t tiles = 0;   ///< tiles this context completed
+  std::uint64_t pairs = 0;   ///< pairs this context computed
+  std::uint64_t panels = 0;  ///< panel sweeps this context ran
+};
+
 /// Sweeps one tile with the row-reuse panel kernel; emit(i, j, mi) fires
 /// once per pair in row-major order — the same order for_each_pair visits.
+/// Tallies pairs and panel sweeps into `counters`.
 template <typename Emit>
 void sweep_tile_panels(const BsplineMi& estimator, const RankedMatrix& ranks,
                        const Tile& tile, const PanelPlan& plan,
-                       JointHistogram& scratch, Emit&& emit) {
+                       JointHistogram& scratch, TileCounters& counters,
+                       Emit&& emit) {
   const std::uint32_t* ry[kMaxPanelWidth];
   double mi[kMaxPanelWidth];
   for_each_row_panel(
@@ -51,11 +64,105 @@ void sweep_tile_panels(const BsplineMi& estimator, const RankedMatrix& ranks,
           ry[p] = ranks.ranks(j0 + p).data();
         estimator.mi_panel(ranks.ranks(i), ry, width, scratch, plan.kernel,
                            mi);
+        ++counters.panels;
+        counters.pairs += width;
         for (std::size_t p = 0; p < width; ++p) emit(i, j0 + p, mi[p]);
       });
 }
 
+/// The one place every engine path reports through: fills EngineStats (when
+/// requested) and publishes the identical numbers as deltas into the
+/// engine.* instruments of the process-wide registry. Keeping a single
+/// finalizer is what makes the four paths' accounting consistent by
+/// construction.
+void finalize_pass(EngineStats* stats, const PanelPlan& plan,
+                   const TileSet& tiles, double seconds,
+                   std::span<const TileCounters> per_thread,
+                   std::size_t edges_emitted, std::size_t tiles_resumed,
+                   std::size_t pairs_resumed) {
+  std::uint64_t pairs = 0, panels = 0, tiles_done = 0;
+  for (const TileCounters& c : per_thread) {
+    pairs += c.pairs;
+    panels += c.panels;
+    tiles_done += c.tiles;
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("engine.runs").add(1);
+  registry.counter("engine.pairs_computed").add(pairs);
+  registry.counter("engine.pairs_resumed").add(pairs_resumed);
+  registry.counter("engine.edges_emitted").add(edges_emitted);
+  registry.counter("engine.tiles_completed").add(tiles_done);
+  registry.counter("engine.tiles_resumed").add(tiles_resumed);
+  registry.counter("engine.panels_swept").add(panels);
+  registry.gauge("engine.panel_width").set(plan.width);
+  registry.gauge("engine.seconds").set(seconds);
+  registry.histogram("engine.pass_seconds").record(seconds);
+  for (std::size_t tid = 0; tid < per_thread.size(); ++tid) {
+    registry.counter(strprintf("engine.thread.%zu.tiles", tid))
+        .add(per_thread[tid].tiles);
+    registry.counter(strprintf("engine.thread.%zu.pairs", tid))
+        .add(per_thread[tid].pairs);
+  }
+
+  if (stats != nullptr) {
+    stats->pairs_computed = pairs + pairs_resumed;
+    stats->pairs_resumed = pairs_resumed;
+    stats->edges_emitted = edges_emitted;
+    stats->tiles = tiles.count();
+    stats->tiles_resumed = tiles_resumed;
+    stats->panels_swept = panels;
+    stats->seconds = seconds;
+    stats->kernel = plan.name;
+    stats->panel_width = plan.width;
+    stats->tiles_per_thread.assign(per_thread.size(), 0);
+    stats->pairs_per_thread.assign(per_thread.size(), 0);
+    for (std::size_t tid = 0; tid < per_thread.size(); ++tid) {
+      stats->tiles_per_thread[tid] = per_thread[tid].tiles;
+      stats->pairs_per_thread[tid] = per_thread[tid].pairs;
+    }
+  }
+}
+
+std::vector<TileCounters> collect(const par::PerThread<TileCounters>& state) {
+  std::vector<TileCounters> all(static_cast<std::size_t>(state.size()));
+  for (int t = 0; t < state.size(); ++t)
+    all[static_cast<std::size_t>(t)] = state.local(t);
+  return all;
+}
+
 }  // namespace
+
+EngineStats engine_stats_from_metrics(const obs::MetricsSnapshot& snapshot) {
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const auto it = snapshot.counters.find(name);
+    return it != snapshot.counters.end() ? it->second : 0;
+  };
+  EngineStats stats;
+  stats.pairs_resumed = counter("engine.pairs_resumed");
+  stats.pairs_computed = counter("engine.pairs_computed") + stats.pairs_resumed;
+  stats.edges_emitted = counter("engine.edges_emitted");
+  stats.tiles_resumed = counter("engine.tiles_resumed");
+  stats.tiles = counter("engine.tiles_completed") + stats.tiles_resumed;
+  stats.panels_swept = counter("engine.panels_swept");
+  const auto gauge = [&](const char* name) -> double {
+    const auto it = snapshot.gauges.find(name);
+    return it != snapshot.gauges.end() ? it->second : 0.0;
+  };
+  stats.seconds = gauge("engine.seconds");
+  stats.panel_width = static_cast<int>(gauge("engine.panel_width"));
+  for (const auto& [name, value] : snapshot.counters) {
+    std::size_t tid = 0;
+    char what[16] = {0};
+    if (std::sscanf(name.c_str(), "engine.thread.%zu.%15s", &tid, what) != 2)
+      continue;
+    auto& sink = std::string_view(what) == "tiles" ? stats.tiles_per_thread
+                                                   : stats.pairs_per_thread;
+    if (sink.size() <= tid) sink.resize(tid + 1, 0);
+    sink[tid] += value;
+  }
+  return stats;
+}
 
 MiEngine::MiEngine(const BsplineMi& estimator, const RankedMatrix& ranks)
     : estimator_(estimator), ranks_(ranks) {
@@ -78,7 +185,7 @@ GeneNetwork MiEngine::compute_network(double threshold,
 
   struct ThreadState {
     std::vector<Edge> edges;
-    std::size_t pairs = 0;
+    TileCounters counters;
   };
   par::PerThread<ThreadState> state(threads);
 
@@ -89,10 +196,10 @@ GeneNetwork MiEngine::compute_network(double threshold,
         ThreadState& local = state.local(tid);
         const float threshold_f = static_cast<float>(threshold);
         for (std::size_t t = tile_begin; t < tile_end; ++t) {
+          ++local.counters.tiles;
           sweep_tile_panels(
-              estimator_, ranks_, tiles.tile(t), plan, scratch,
+              estimator_, ranks_, tiles.tile(t), plan, scratch, local.counters,
               [&](std::size_t i, std::size_t j, double mi) {
-                ++local.pairs;
                 const float mi_f = static_cast<float>(mi);
                 if (mi_f >= threshold_f) {
                   local.edges.push_back(Edge{static_cast<std::uint32_t>(i),
@@ -104,21 +211,17 @@ GeneNetwork MiEngine::compute_network(double threshold,
       });
 
   GeneNetwork network(ranks_.gene_names());
-  std::size_t pairs = 0;
+  std::vector<TileCounters> counters(static_cast<std::size_t>(state.size()));
   for (int t = 0; t < state.size(); ++t) {
     network.add_edges(state.local(t).edges);
-    pairs += state.local(t).pairs;
+    counters[static_cast<std::size_t>(t)] = state.local(t).counters;
   }
   network.finalize();
 
-  if (stats != nullptr) {
-    stats->pairs_computed = pairs;
-    stats->edges_emitted = network.n_edges();
-    stats->tiles = tiles.count();
-    stats->seconds = watch.seconds();
-    stats->kernel = plan.name;
-    stats->panel_width = plan.width;
-  }
+  finalize_pass(stats, plan, tiles, watch.seconds(), counters,
+                network.n_edges(), /*tiles_resumed=*/0, /*pairs_resumed=*/0);
+  std::uint64_t pairs = 0;
+  for (const TileCounters& c : counters) pairs += c.pairs;
   TINGE_ENSURES(pairs == tiles.total_pairs());
   return network;
 }
@@ -154,6 +257,13 @@ GeneNetwork MiEngine::compute_network_checkpointed(
       }
     }
   }
+  // Resumed tiles count toward the pass totals (the result covers their
+  // pairs) but are tracked separately — the scheduler counters only cover
+  // work this run actually executed.
+  std::size_t pairs_resumed = 0;
+  for (const TileRecord& record : prior_records)
+    pairs_resumed +=
+        tiles.tile(static_cast<std::size_t>(record.tile_index)).pair_count();
 
   // Rewrite the journal fresh (drops any torn tail), replaying prior tiles.
   CheckpointWriter writer(checkpoint_path, signature);
@@ -173,23 +283,21 @@ GeneNetwork MiEngine::compute_network_checkpointed(
   std::atomic<std::size_t> last_reported{prior_records.size()};
   std::atomic<std::int64_t> last_report_us{0};
   std::atomic<std::size_t> tiles_done{prior_records.size()};
-  std::atomic<std::size_t> pairs_computed{0};
-  std::atomic<std::size_t> edges_found{0};
+  par::PerThread<TileCounters> state(threads);
 
   par::parallel_for(
       pool, threads, 0, tiles.count(), 1, config.schedule,
-      [&](std::size_t tile_begin, std::size_t tile_end, int /*tid*/) {
+      [&](std::size_t tile_begin, std::size_t tile_end, int tid) {
         JointHistogram scratch = estimator_.make_scratch();
+        TileCounters& local = state.local(tid);
         std::vector<Edge> tile_edges;
         const float threshold_f = static_cast<float>(threshold);
         for (std::size_t t = tile_begin; t < tile_end; ++t) {
           if (done[t]) continue;
           tile_edges.clear();
-          std::size_t tile_pairs = 0;
           sweep_tile_panels(
-              estimator_, ranks_, tiles.tile(t), plan, scratch,
+              estimator_, ranks_, tiles.tile(t), plan, scratch, local,
               [&](std::size_t i, std::size_t j, double mi) {
-                ++tile_pairs;
                 const float mi_f = static_cast<float>(mi);
                 if (mi_f >= threshold_f) {
                   tile_edges.push_back(Edge{static_cast<std::uint32_t>(i),
@@ -198,8 +306,7 @@ GeneNetwork MiEngine::compute_network_checkpointed(
                 }
               });
           writer.append_tile(t, tile_edges);
-          pairs_computed.fetch_add(tile_pairs, std::memory_order_relaxed);
-          edges_found.fetch_add(tile_edges.size(), std::memory_order_relaxed);
+          ++local.tiles;
           const std::size_t completed =
               tiles_done.fetch_add(1, std::memory_order_acq_rel) + 1;
           if (progress) {
@@ -237,14 +344,8 @@ GeneNetwork MiEngine::compute_network_checkpointed(
   network.finalize();
   std::remove(checkpoint_path.c_str());
 
-  if (stats != nullptr) {
-    stats->pairs_computed = pairs_computed.load();
-    stats->edges_emitted = network.n_edges();
-    stats->tiles = tiles.count();
-    stats->seconds = watch.seconds();
-    stats->kernel = plan.name;
-    stats->panel_width = plan.width;
-  }
+  finalize_pass(stats, plan, tiles, watch.seconds(), collect(state),
+                network.n_edges(), prior_records.size(), pairs_resumed);
   return network;
 }
 
@@ -267,7 +368,7 @@ GeneNetwork MiEngine::compute_network_teamed(double threshold,
 
   struct ThreadState {
     std::vector<Edge> edges;
-    std::size_t pairs = 0;
+    TileCounters counters;
   };
   par::PerThread<ThreadState> state(threads);
 
@@ -301,6 +402,9 @@ GeneNetwork MiEngine::compute_network_teamed(double threshold,
       team.barrier->arrive_and_wait();
       const std::size_t t = team.tile;
       if (t >= tiles.count()) break;
+      // The tile is attributed to the claiming leader in the scheduler
+      // counters; panel/pair work is attributed to the member that ran it.
+      if (member == 0) ++local.counters.tiles;
       std::size_t panel_index = 0;
       for_each_row_panel(
           tiles.tile(t), static_cast<std::size_t>(plan.width),
@@ -313,7 +417,8 @@ GeneNetwork MiEngine::compute_network_teamed(double threshold,
               ry[p] = ranks_.ranks(j0 + p).data();
             estimator_.mi_panel(ranks_.ranks(i), ry, width, scratch,
                                 plan.kernel, mi);
-            local.pairs += width;
+            ++local.counters.panels;
+            local.counters.pairs += width;
             for (std::size_t p = 0; p < width; ++p) {
               const float mi_f = static_cast<float>(mi[p]);
               if (mi_f >= threshold_f) {
@@ -330,21 +435,17 @@ GeneNetwork MiEngine::compute_network_teamed(double threshold,
   });
 
   GeneNetwork network(ranks_.gene_names());
-  std::size_t pairs = 0;
+  std::vector<TileCounters> counters(static_cast<std::size_t>(state.size()));
   for (int t = 0; t < state.size(); ++t) {
     network.add_edges(state.local(t).edges);
-    pairs += state.local(t).pairs;
+    counters[static_cast<std::size_t>(t)] = state.local(t).counters;
   }
   network.finalize();
 
-  if (stats != nullptr) {
-    stats->pairs_computed = pairs;
-    stats->edges_emitted = network.n_edges();
-    stats->tiles = tiles.count();
-    stats->seconds = watch.seconds();
-    stats->kernel = plan.name;
-    stats->panel_width = plan.width;
-  }
+  finalize_pass(stats, plan, tiles, watch.seconds(), counters,
+                network.n_edges(), /*tiles_resumed=*/0, /*pairs_resumed=*/0);
+  std::uint64_t pairs = 0;
+  for (const TileCounters& c : counters) pairs += c.pairs;
   TINGE_ENSURES(pairs == tiles.total_pairs());
   return network;
 }
@@ -362,33 +463,26 @@ std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
                           ? std::min(config.threads, pool.max_threads())
                           : pool.max_threads();
   const PanelPlan plan = plan_panels(estimator_, config);
-  std::atomic<std::size_t> pairs{0};
+  par::PerThread<TileCounters> state(threads);
 
   par::parallel_for(
       pool, threads, 0, tiles.count(), 1, config.schedule,
-      [&](std::size_t tile_begin, std::size_t tile_end, int /*tid*/) {
+      [&](std::size_t tile_begin, std::size_t tile_end, int tid) {
         JointHistogram scratch = estimator_.make_scratch();
-        std::size_t local_pairs = 0;
+        TileCounters& local = state.local(tid);
         for (std::size_t t = tile_begin; t < tile_end; ++t) {
+          ++local.tiles;
           sweep_tile_panels(estimator_, ranks_, tiles.tile(t), plan, scratch,
-                            [&](std::size_t i, std::size_t j, double mi) {
+                            local, [&](std::size_t i, std::size_t j, double mi) {
                               const float mi_f = static_cast<float>(mi);
                               mi_matrix[i * n + j] = mi_f;
                               mi_matrix[j * n + i] = mi_f;
-                              ++local_pairs;
                             });
         }
-        pairs.fetch_add(local_pairs, std::memory_order_relaxed);
       });
 
-  if (stats != nullptr) {
-    stats->pairs_computed = pairs.load();
-    stats->edges_emitted = 0;
-    stats->tiles = tiles.count();
-    stats->seconds = watch.seconds();
-    stats->kernel = plan.name;
-    stats->panel_width = plan.width;
-  }
+  finalize_pass(stats, plan, tiles, watch.seconds(), collect(state),
+                /*edges_emitted=*/0, /*tiles_resumed=*/0, /*pairs_resumed=*/0);
   return mi_matrix;
 }
 

@@ -21,15 +21,29 @@
 #include "core/tile.h"
 #include "graph/network.h"
 #include "mi/bspline_mi.h"
+#include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 #include "preprocess/rank_transform.h"
 
 namespace tinge {
 
+/// Per-call accounting of one engine pass. All four engine paths (plain,
+/// checkpointed, teamed, dense) populate every field through one shared
+/// finalizer, which also publishes the same numbers as deltas into the
+/// engine.* counters of obs::MetricsRegistry::global() — EngineStats is a
+/// per-call view over the registry, not a second bookkeeping scheme
+/// (engine_stats_from_metrics reads the numeric fields back out of a
+/// registry delta).
 struct EngineStats {
+  /// Pairs the returned result covers — always the full n*(n-1)/2 of the
+  /// pass, including pairs of tiles replayed from a checkpoint.
   std::size_t pairs_computed = 0;
   std::size_t edges_emitted = 0;
   std::size_t tiles = 0;
+  /// Tiles loaded from a checkpoint journal instead of recomputed.
+  std::size_t tiles_resumed = 0;
+  /// Row-reuse panel sweeps executed (kernel invocations).
+  std::size_t panels_swept = 0;
   double seconds = 0.0;
 
   /// Name of the kernel variant actually run (config Auto resolved through
@@ -38,6 +52,27 @@ struct EngineStats {
   /// Panel width B actually used by the row-reuse sweep (>= 1).
   int panel_width = 0;
 
+  /// Pairs of tiles that were replayed from a checkpoint (subset of
+  /// pairs_computed; zero outside resumed runs).
+  std::size_t pairs_resumed = 0;
+
+  /// Tile-scheduler outcome: tiles completed per pool context (teamed runs
+  /// attribute a tile to the team leader's tid). Sums to
+  /// tiles - tiles_resumed.
+  std::vector<std::uint64_t> tiles_per_thread;
+  /// Pairs computed per pool context. Sums to pairs_computed - pairs_resumed.
+  std::vector<std::uint64_t> pairs_per_thread;
+
+  /// Average panel occupancy: computed pairs per sweep over the configured
+  /// width (1.0 = every sweep ran at full width; ragged tile edges lower it).
+  double panel_fill_ratio() const {
+    return panels_swept > 0 && panel_width > 0
+               ? static_cast<double>(pairs_computed - pairs_resumed) /
+                     (static_cast<double>(panels_swept) *
+                      static_cast<double>(panel_width))
+               : 0.0;
+  }
+
   /// Pair-sample throughput: pairs * m / seconds.
   double cell_rate(std::size_t m) const {
     return seconds > 0.0 ? static_cast<double>(pairs_computed) *
@@ -45,6 +80,12 @@ struct EngineStats {
                          : 0.0;
   }
 };
+
+/// Reads the engine.* counters of a metrics snapshot (typically a
+/// run-scoped delta) back into the numeric EngineStats fields. kernel /
+/// panel_width / seconds come from gauges where available; the per-thread
+/// vectors are reassembled from the engine.thread.<tid>.* counters.
+EngineStats engine_stats_from_metrics(const obs::MetricsSnapshot& snapshot);
 
 class MiEngine {
  public:

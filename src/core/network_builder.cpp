@@ -26,9 +26,12 @@ BuildResult NetworkBuilder::build(ExpressionMatrix&& expression) const {
 }
 
 BuildResult NetworkBuilder::run(ExpressionMatrix working) const {
-  const Stopwatch total_watch;
   BuildResult result;
   result.genes_in = working.n_genes();
+  result.trace = std::make_shared<obs::Trace>();
+  obs::Trace& trace = *result.trace;
+  const obs::MetricsSnapshot metrics_before =
+      obs::MetricsRegistry::global().snapshot();
 
   const int pool_threads = config_.threads > 0
                                ? config_.threads
@@ -38,23 +41,36 @@ BuildResult NetworkBuilder::run(ExpressionMatrix working) const {
   // Stage 1: preprocessing -------------------------------------------------
   RankedMatrix ranked;
   {
-    const ScopedAccumulator timer(result.times.preprocess);
-    result.imputed_cells = impute_missing_with_median(working);
-    FilterResult filtered = filter_genes(working, config_.filter);
-    result.genes_used = filtered.matrix.n_genes();
+    const obs::TraceSpan span(trace, "preprocess");
+    std::size_t dropped_low_variance = 0, dropped_missing = 0;
+    {
+      const obs::TraceSpan impute_span(trace, "impute");
+      result.imputed_cells = impute_missing_with_median(working);
+    }
+    {
+      const obs::TraceSpan filter_span(trace, "filter");
+      FilterResult filtered = filter_genes(working, config_.filter);
+      result.genes_used = filtered.matrix.n_genes();
+      dropped_low_variance = filtered.dropped_low_variance;
+      dropped_missing = filtered.dropped_missing;
+      TINGE_EXPECTS(filtered.matrix.n_genes() >= 2);
+      working = std::move(filtered.matrix);
+    }
+    {
+      const obs::TraceSpan rank_span(trace, "rank");
+      ranked = RankedMatrix(working);
+    }
+    result.samples = ranked.n_samples();
     log(strprintf("preprocess: %zu/%zu genes kept (%zu low-variance, %zu "
                   "missing dropped), %zu cells imputed",
-                  result.genes_used, result.genes_in,
-                  filtered.dropped_low_variance, filtered.dropped_missing,
-                  result.imputed_cells));
-    TINGE_EXPECTS(filtered.matrix.n_genes() >= 2);
-    ranked = RankedMatrix(filtered.matrix);
+                  result.genes_used, result.genes_in, dropped_low_variance,
+                  dropped_missing, result.imputed_cells));
   }
 
   // Stage 2: shared B-spline weight table -----------------------------------
   std::unique_ptr<BsplineMi> estimator;
   {
-    const ScopedAccumulator timer(result.times.weight_table);
+    const obs::TraceSpan span(trace, "weight_table");
     estimator = std::make_unique<BsplineMi>(config_.bins, config_.spline_order,
                                             ranked.n_samples());
     result.marginal_entropy = estimator->marginal_entropy();
@@ -65,19 +81,23 @@ BuildResult NetworkBuilder::run(ExpressionMatrix working) const {
 
   // Stage 3: universal permutation null -------------------------------------
   {
-    const ScopedAccumulator timer(result.times.null_build);
+    const obs::TraceSpan span(trace, "null");
     result.null = std::make_shared<EmpiricalDistribution>(
         build_null_distribution(*estimator, config_.permutations, config_.seed,
                                 pool, config_.threads, config_.kernel));
-    const EmpiricalDistribution& null = *result.null;
-    result.threshold = threshold_for_alpha(null, config_.alpha);
+  }
+  {
+    const obs::TraceSpan span(trace, "threshold");
+    result.threshold = threshold_for_alpha(*result.null, config_.alpha);
+    obs::MetricsRegistry::global().gauge("null.threshold")
+        .set(result.threshold);
     log(strprintf("null: q=%zu draws, I_alpha(%.2e)=%.5f nats",
                   config_.permutations, config_.alpha, result.threshold));
   }
 
   // Stage 4: all-pairs MI with thresholding ---------------------------------
   {
-    const ScopedAccumulator timer(result.times.mi_pass);
+    const obs::TraceSpan span(trace, "mi_sweep");
     const MiEngine engine(*estimator, ranked);
     if (config_.checkpoint_path.empty()) {
       result.network = engine.compute_network(result.threshold, config_, pool,
@@ -99,7 +119,7 @@ BuildResult NetworkBuilder::run(ExpressionMatrix working) const {
 
   // Stage 5: DPI (optional) --------------------------------------------------
   if (config_.apply_dpi) {
-    const ScopedAccumulator timer(result.times.dpi);
+    const obs::TraceSpan span(trace, "dpi");
     result.network =
         apply_dpi(result.network, config_.dpi_tolerance, &result.dpi_stats);
     log(strprintf("dpi: %zu triangles, %zu edges removed, %zu edges remain",
@@ -107,7 +127,22 @@ BuildResult NetworkBuilder::run(ExpressionMatrix working) const {
                   result.dpi_stats.edges_removed, result.network.n_edges()));
   }
 
-  result.times.total = total_watch.seconds();
+  result.pool_busy_seconds = pool.busy_seconds_all();
+  result.pool_lifetime_seconds = pool.lifetime_seconds();
+  trace.finish();
+  result.metrics = obs::snapshot_delta(metrics_before,
+                                       obs::MetricsRegistry::global().snapshot());
+
+  // Flat StageTimes view over the stage tree, for the benches and tests
+  // that predate the trace.
+  const obs::SpanNode& root = trace.root();
+  result.times.preprocess = obs::span_seconds(root, "preprocess");
+  result.times.weight_table = obs::span_seconds(root, "weight_table");
+  result.times.null_build =
+      obs::span_seconds(root, "null") + obs::span_seconds(root, "threshold");
+  result.times.mi_pass = obs::span_seconds(root, "mi_sweep");
+  result.times.dpi = obs::span_seconds(root, "dpi");
+  result.times.total = root.seconds;
   return result;
 }
 

@@ -13,14 +13,18 @@
 #include "core/null_distribution.h"
 #include "data/expression_matrix.h"
 #include "graph/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tinge {
 
-/// Wall-clock seconds per pipeline stage (Table T1).
+/// Wall-clock seconds per pipeline stage (Table T1). Derived from the
+/// run's TraceSpan stage tree (BuildResult::trace) — kept as a flat view
+/// because every bench harness and test reads these fields.
 struct StageTimes {
   double preprocess = 0.0;    ///< impute + filter + rank transform
   double weight_table = 0.0;  ///< B-spline table + marginal entropy
-  double null_build = 0.0;    ///< universal permutation null
+  double null_build = 0.0;    ///< universal permutation null + threshold
   double mi_pass = 0.0;       ///< all-pairs MI + thresholding
   double dpi = 0.0;           ///< indirect-edge filtering (if enabled)
   double total = 0.0;
@@ -37,8 +41,22 @@ struct BuildResult {
   EngineStats engine;
   std::size_t genes_in = 0;        ///< before filtering
   std::size_t genes_used = 0;      ///< after filtering
+  std::size_t samples = 0;         ///< experiments per gene
   std::size_t imputed_cells = 0;
   DpiStats dpi_stats;
+
+  // --- observability (DESIGN.md §6c) ------------------------------------
+  /// Per-run stage tree: run -> preprocess(impute, filter, rank),
+  /// weight_table, null, threshold, mi_sweep, dpi. Callers may append more
+  /// spans (the CLI adds "output") and re-finish() before serializing.
+  std::shared_ptr<obs::Trace> trace;
+  /// Registry activity attributable to this run: process-wide counters
+  /// diffed across the build (engine.*, null.*, checkpoint.*, ...).
+  obs::MetricsSnapshot metrics;
+  /// Thread-pool accounting: cumulative busy seconds per worker context
+  /// and the pool's lifetime, for the manifest's busy/idle section.
+  std::vector<double> pool_busy_seconds;
+  double pool_lifetime_seconds = 0.0;
 };
 
 class NetworkBuilder {

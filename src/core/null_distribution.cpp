@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "parallel/parallel_for.h"
 #include "stats/rng.h"
 
@@ -46,6 +47,9 @@ EmpiricalDistribution build_null_distribution(const BsplineMi& estimator,
         }
       });
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("null.builds").add(1);
+  registry.counter("null.draws").add(q);
   return EmpiricalDistribution(std::move(null_sample));
 }
 

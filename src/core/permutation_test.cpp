@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
 #include "stats/rng.h"
 
 namespace tinge {
@@ -25,6 +26,9 @@ PairTestResult pair_permutation_test(const BsplineMi& estimator,
   }
   result.p_value = (static_cast<double>(at_least) + 1.0) /
                    (static_cast<double>(q) + 1.0);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("permtest.pairs_tested").add(1);
+  registry.counter("permtest.draws").add(q);
   return result;
 }
 

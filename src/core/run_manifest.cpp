@@ -1,0 +1,117 @@
+#include "core/run_manifest.h"
+
+#include <cstdint>
+
+#include "obs/manifest.h"
+
+namespace tinge {
+
+namespace {
+
+obs::Json u64_array(const std::vector<std::uint64_t>& values) {
+  obs::Json array = obs::Json::array();
+  for (const std::uint64_t v : values) array.push_back(obs::Json(v));
+  return array;
+}
+
+obs::Json config_to_json(const TingeConfig& config) {
+  obs::Json json = obs::Json::object();
+  json["bins"] = obs::Json(config.bins);
+  json["spline_order"] = obs::Json(config.spline_order);
+  json["alpha"] = obs::Json(config.alpha);
+  json["permutations"] = obs::Json(config.permutations);
+  json["tile_size"] = obs::Json(config.tile_size);
+  json["threads"] = obs::Json(config.threads);
+  json["kernel"] = obs::Json(std::string(kernel_name(config.kernel)));
+  json["schedule"] = obs::Json(std::string(par::schedule_name(config.schedule)));
+  json["panel_width"] = obs::Json(config.panel_width);
+  json["seed"] = obs::Json(config.seed);
+  json["checkpoint_path"] = obs::Json(config.checkpoint_path);
+  json["apply_dpi"] = obs::Json(config.apply_dpi);
+  json["dpi_tolerance"] = obs::Json(config.dpi_tolerance);
+  return json;
+}
+
+obs::Json engine_to_json(const EngineStats& engine) {
+  obs::Json json = obs::Json::object();
+  json["kernel"] = obs::Json(std::string(engine.kernel));
+  json["panel_width"] = obs::Json(engine.panel_width);
+  json["pairs_computed"] = obs::Json(engine.pairs_computed);
+  json["pairs_resumed"] = obs::Json(engine.pairs_resumed);
+  json["edges_emitted"] = obs::Json(engine.edges_emitted);
+  json["tiles"] = obs::Json(engine.tiles);
+  json["tiles_resumed"] = obs::Json(engine.tiles_resumed);
+  json["panels_swept"] = obs::Json(engine.panels_swept);
+  json["panel_fill_ratio"] = obs::Json(engine.panel_fill_ratio());
+  json["seconds"] = obs::Json(engine.seconds);
+  json["tiles_per_thread"] = u64_array(engine.tiles_per_thread);
+  json["pairs_per_thread"] = u64_array(engine.pairs_per_thread);
+  return json;
+}
+
+obs::Json pool_to_json(const BuildResult& result) {
+  obs::Json json = obs::Json::object();
+  json["lifetime_seconds"] = obs::Json(result.pool_lifetime_seconds);
+  obs::Json workers = obs::Json::array();
+  for (std::size_t tid = 0; tid < result.pool_busy_seconds.size(); ++tid) {
+    const double busy = result.pool_busy_seconds[tid];
+    double idle = result.pool_lifetime_seconds - busy;
+    if (idle < 0.0) idle = 0.0;  // clock-granularity slack
+    obs::Json worker = obs::Json::object();
+    worker["tid"] = obs::Json(tid);
+    worker["busy_seconds"] = obs::Json(busy);
+    worker["idle_seconds"] = obs::Json(idle);
+    workers.push_back(std::move(worker));
+  }
+  json["workers"] = std::move(workers);
+  return json;
+}
+
+}  // namespace
+
+obs::Json make_run_manifest(const BuildResult& result,
+                            const TingeConfig& config) {
+  obs::Json manifest = obs::Json::object();
+  manifest["schema_version"] = obs::Json(kManifestSchemaVersion);
+  manifest["tool"] = obs::Json(std::string("tingex"));
+  manifest["config"] = config_to_json(config);
+
+  obs::Json resolved = obs::Json::object();
+  resolved["kernel"] = obs::Json(std::string(result.engine.kernel));
+  resolved["panel_width"] = obs::Json(result.engine.panel_width);
+  manifest["resolved"] = std::move(resolved);
+
+  obs::Json dataset = obs::Json::object();
+  dataset["genes_in"] = obs::Json(result.genes_in);
+  dataset["genes_used"] = obs::Json(result.genes_used);
+  dataset["samples"] = obs::Json(result.samples);
+  dataset["imputed_cells"] = obs::Json(result.imputed_cells);
+  manifest["dataset"] = std::move(dataset);
+
+  obs::Json run_result = obs::Json::object();
+  run_result["edges"] = obs::Json(result.network.n_edges());
+  run_result["threshold"] = obs::Json(result.threshold);
+  run_result["marginal_entropy"] = obs::Json(result.marginal_entropy);
+  run_result["pairs_computed"] = obs::Json(result.engine.pairs_computed);
+  if (result.dpi_stats.triangles_examined > 0 ||
+      result.dpi_stats.edges_removed > 0) {
+    run_result["dpi_triangles_examined"] =
+        obs::Json(result.dpi_stats.triangles_examined);
+    run_result["dpi_edges_removed"] = obs::Json(result.dpi_stats.edges_removed);
+  }
+  manifest["result"] = std::move(run_result);
+
+  if (result.trace)
+    manifest["stages"] = obs::span_to_json(result.trace->root());
+  manifest["engine"] = engine_to_json(result.engine);
+  manifest["pool"] = pool_to_json(result);
+  manifest["metrics"] = obs::metrics_to_json(result.metrics);
+  return manifest;
+}
+
+void write_run_manifest(const BuildResult& result, const TingeConfig& config,
+                        const std::string& path) {
+  obs::write_json_file(make_run_manifest(result, config), path);
+}
+
+}  // namespace tinge

@@ -1,0 +1,34 @@
+// The run manifest: one stable JSON document per pipeline run.
+//
+// Serializes everything a later reader needs to understand what the run
+// did without re-running it: the configuration as requested, the kernel
+// and panel width actually resolved, the per-stage wall-time tree, the
+// tile-scheduler outcome (tiles/pairs per pool context, panel fill),
+// thread-pool busy/idle accounting, and the run-scoped metrics delta
+// (null draws, checkpoint journal events, cluster byte/message counts).
+// The golden-run regression test pins this document's shape.
+#pragma once
+
+#include <string>
+
+#include "core/config.h"
+#include "core/network_builder.h"
+#include "obs/json.h"
+
+namespace tinge {
+
+/// Bumped whenever a field is renamed or removed (additions are free).
+inline constexpr int kManifestSchemaVersion = 1;
+
+/// Assembles the manifest document from a finished build. The caller may
+/// have appended extra spans (e.g. the CLI's "output") and re-finished the
+/// trace; whatever the tree holds at call time is serialized.
+obs::Json make_run_manifest(const BuildResult& result,
+                            const TingeConfig& config);
+
+/// make_run_manifest + obs::write_json_file. Throws std::runtime_error on
+/// I/O failure.
+void write_run_manifest(const BuildResult& result, const TingeConfig& config,
+                        const std::string& path);
+
+}  // namespace tinge

@@ -1,0 +1,100 @@
+// Minimal JSON document model for the observability layer.
+//
+// The run manifest (obs/manifest.h, core/run_manifest.h) must be written as
+// *stable* machine-readable JSON — key order is insertion order so two runs
+// with the same configuration produce byte-comparable documents — and the
+// regression tests must be able to parse a manifest back and assert on its
+// structure. Both directions live here so the schema has exactly one
+// serialization. This is a document model for small reports, not a
+// streaming parser for gigabyte inputs.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tinge::obs {
+
+/// Malformed document handed to Json::parse.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;                      ///< null
+  Json(std::nullptr_t) {}                ///< null
+  Json(bool value) : type_(Type::Bool), bool_(value) {}
+  Json(double value) : type_(Type::Number), number_(value) {}
+  Json(const char* value) : type_(Type::String), string_(value) {}
+  Json(std::string value) : type_(Type::String), string_(std::move(value)) {}
+  Json(std::string_view value) : type_(Type::String), string_(value) {}
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  Json(T value) : type_(Type::Number), number_(static_cast<double>(value)) {}
+
+  static Json object() { Json j; j.type_ = Type::Object; return j; }
+  static Json array() { Json j; j.type_ = Type::Array; return j; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_object() const { return type_ == Type::Object; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_bool() const { return type_ == Type::Bool; }
+
+  double as_double() const;
+  std::int64_t as_int() const;
+  bool as_bool() const;
+  const std::string& as_string() const;
+
+  /// Object: get-or-append the member `key` (insertion order preserved).
+  Json& operator[](std::string_view key);
+  /// Object lookup; nullptr when absent (or not an object).
+  const Json* find(std::string_view key) const;
+  /// Object lookup; throws JsonError when absent.
+  const Json& at(std::string_view key) const;
+
+  /// Array append.
+  void push_back(Json value);
+  /// Array element.
+  const Json& at(std::size_t index) const;
+
+  /// Array elements / object member count.
+  std::size_t size() const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+  const std::vector<Json>& elements() const { return elements_; }
+
+  /// Serializes with 2-space indentation and insertion-ordered keys.
+  /// Numbers that hold integral values print without a fraction; other
+  /// numbers print with enough digits (%.17g) to round-trip a double.
+  std::string dump() const;
+
+  /// Parses a complete JSON document; throws JsonError on malformed input
+  /// or trailing garbage.
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void dump_to(std::string& out, int indent) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> elements_;                         // Array
+  std::vector<std::pair<std::string, Json>> members_;  // Object
+};
+
+}  // namespace tinge::obs

@@ -1,0 +1,33 @@
+// JSON serialization of the observability primitives.
+//
+// The run manifest assembled in core/run_manifest.h is the pipeline-shaped
+// document; this header owns the generic pieces: span tree -> JSON,
+// metrics snapshot -> JSON, and the atomic-ish file write (temp + rename
+// would need platform code; a plain write of a small document is enough —
+// the consumer is a test harness or a metrics scraper, not a journal).
+#pragma once
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tinge::obs {
+
+/// {"name": ..., "seconds": ..., "children": [...]} recursively. Children
+/// are serialized in execution order.
+Json span_to_json(const SpanNode& node);
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+/// min, max, p50, p90, p99}}} with keys in lexicographic order.
+Json metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// Writes `document.dump()` to `path`; throws std::runtime_error on I/O
+/// failure.
+void write_json_file(const Json& document, const std::string& path);
+
+/// Reads and parses a JSON file; throws std::runtime_error / JsonError.
+Json read_json_file(const std::string& path);
+
+}  // namespace tinge::obs

@@ -1,0 +1,124 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tinge::obs {
+
+void Histogram::record(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(value);
+  sum_ += value;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+namespace {
+
+double nearest_rank(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const std::size_t index = static_cast<std::size_t>(
+      std::clamp(rank - 1.0, 0.0, static_cast<double>(sorted.size() - 1)));
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(index),
+                   sorted.end());
+  return sorted[index];
+}
+
+}  // namespace
+
+double Histogram::quantile(double q) const {
+  std::vector<double> copy;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    copy = samples_;
+  }
+  return nearest_rank(copy, q);
+}
+
+HistogramSummary Histogram::summary() const {
+  std::vector<double> copy;
+  double total = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    copy = samples_;
+    total = sum_;
+  }
+  HistogramSummary s;
+  s.count = copy.size();
+  s.sum = total;
+  if (!copy.empty()) {
+    const auto [lo, hi] = std::minmax_element(copy.begin(), copy.end());
+    s.min = *lo;
+    s.max = *hi;
+    s.p50 = nearest_rank(copy, 0.50);
+    s.p90 = nearest_rank(copy, 0.90);
+    s.p99 = nearest_rank(copy, 0.99);
+  }
+  return s;
+}
+
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    const auto prior = before.counters.find(name);
+    const std::uint64_t base = prior != before.counters.end() ? prior->second : 0;
+    if (value > base) delta.counters[name] = value - base;
+  }
+  delta.gauges = after.gauges;
+  delta.histograms = after.histograms;
+  return delta;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_)
+    snap.counters[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) snap.gauges[name] = gauge->value();
+  for (const auto& [name, histogram] : histograms_)
+    snap.histograms[name] = histogram->summary();
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace tinge::obs

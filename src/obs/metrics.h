@@ -1,0 +1,135 @@
+// Structured metrics for the whole pipeline.
+//
+// The paper's claims are throughput numbers, and the ROADMAP's production
+// target needs machine-readable accounting rather than ad-hoc printfs: this
+// module provides monotonic Counters, last-write Gauges and sample
+// Histograms registered by name in a MetricsRegistry. Instrumented layers
+// (engine, null builder, checkpoint journal, cluster transport, thread
+// pool) tally locally in their hot loops and publish *deltas* into the
+// process-wide registry when a pass finishes — so observability never adds
+// work per pair, only per run. Reports (core/run_manifest.h) snapshot the
+// registry before and after a run and serialize the difference.
+//
+// Thread-safety: Counter/Gauge methods are lock-free atomics callable from
+// any thread; Histogram::record and registry get-or-create take a mutex
+// (both are per-pass, not per-pair, operations).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace tinge::obs {
+
+/// Monotonic event count. add() is race-free and wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (resolved panel width, rank count...).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Sample distribution (stage latencies, per-tile durations). Keeps the raw
+/// samples — callers record per-pass values, not per-pair ones, so the
+/// retained set stays small.
+class Histogram {
+ public:
+  void record(double value);
+
+  std::uint64_t count() const;
+  double sum() const;
+  /// Nearest-rank quantile, q in [0, 1]; 0.0 on an empty histogram.
+  double quantile(double q) const;
+  HistogramSummary summary() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+/// Records elapsed seconds into a histogram on destruction.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram& histogram)
+      : histogram_(histogram) {}
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+  ~ScopedHistogramTimer() { histogram_.record(watch_.seconds()); }
+
+ private:
+  Histogram& histogram_;
+  Stopwatch watch_;
+};
+
+/// Point-in-time view of a registry; counter maps are diffable across a run.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
+/// Run-scoped view: counters become after-minus-before (entries that did not
+/// move are dropped); gauges and histograms keep their `after` state.
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
+/// Named instrument store. counter()/gauge()/histogram() get-or-create;
+/// returned references stay valid for the registry's lifetime, so call
+/// sites resolve names once and hold the reference across a hot pass.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// The process-wide registry every instrumented layer emits into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace tinge::obs

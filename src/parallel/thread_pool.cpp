@@ -1,12 +1,17 @@
 #include "parallel/thread_pool.h"
 
+#include <algorithm>
+
 #include "util/contracts.h"
 
 namespace tinge::par {
 
 ThreadPool::ThreadPool(int max_threads, Placement placement, Topology topo)
-    : max_threads_(max_threads) {
+    : max_threads_(max_threads),
+      busy_micros_(new std::atomic<std::uint64_t>[static_cast<std::size_t>(
+          std::max(max_threads, 1))]) {
   TINGE_EXPECTS(max_threads >= 1);
+  for (int t = 0; t < max_threads; ++t) busy_micros_[t].store(0);
   if (placement != Placement::None) {
     const int cpu = placement == Placement::Scatter ? topo.scatter_cpu(0)
                                                     : topo.compact_cpu(0);
@@ -57,11 +62,13 @@ void ThreadPool::worker_loop(int /*worker_index*/) {
     if (tid < 0) continue;
 
     std::exception_ptr error;
+    const Stopwatch busy_watch;
     try {
       (*body)(tid, width);
     } catch (...) {
       error = std::current_exception();
     }
+    add_busy(tid, busy_watch.seconds());
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (error && !first_error_) first_error_ = error;
@@ -74,9 +81,12 @@ void ThreadPool::worker_loop(int /*worker_index*/) {
 void ThreadPool::run(int nthreads, const std::function<void(int, int)>& body) {
   TINGE_EXPECTS(nthreads >= 1);
   TINGE_EXPECTS(nthreads <= max_threads_);
+  regions_.fetch_add(1, std::memory_order_relaxed);
 
   if (nthreads == 1) {
+    const Stopwatch busy_watch;
     body(0, 1);
+    add_busy(0, busy_watch.seconds());
     return;
   }
 
@@ -93,11 +103,13 @@ void ThreadPool::run(int nthreads, const std::function<void(int, int)>& body) {
   cv_start_.notify_all();
 
   std::exception_ptr caller_error;
+  const Stopwatch busy_watch;
   try {
     body(0, nthreads);
   } catch (...) {
     caller_error = std::current_exception();
   }
+  add_busy(0, busy_watch.seconds());
 
   std::unique_lock<std::mutex> lock(mutex_);
   cv_done_.wait(lock, [&] { return finished_ == region_width_ - 1; });
@@ -109,6 +121,24 @@ void ThreadPool::run(int nthreads, const std::function<void(int, int)>& body) {
 
   if (caller_error) std::rethrow_exception(caller_error);
   if (worker_error) std::rethrow_exception(worker_error);
+}
+
+void ThreadPool::add_busy(int tid, double seconds) {
+  busy_micros_[tid].fetch_add(static_cast<std::uint64_t>(seconds * 1e6),
+                              std::memory_order_relaxed);
+}
+
+double ThreadPool::busy_seconds(int tid) const {
+  TINGE_EXPECTS(tid >= 0 && tid < max_threads_);
+  return static_cast<double>(
+             busy_micros_[tid].load(std::memory_order_relaxed)) *
+         1e-6;
+}
+
+std::vector<double> ThreadPool::busy_seconds_all() const {
+  std::vector<double> busy(static_cast<std::size_t>(max_threads_));
+  for (int t = 0; t < max_threads_; ++t) busy[static_cast<std::size_t>(t)] = busy_seconds(t);
+  return busy;
 }
 
 ThreadPool& ThreadPool::global() {

@@ -12,14 +12,18 @@
 // sweeps past the Phi's core count into its 4-way SMT region.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "parallel/affinity.h"
 #include "parallel/topology.h"
+#include "util/timer.h"
 
 namespace tinge::par {
 
@@ -48,11 +52,32 @@ class ThreadPool {
   /// Process-wide pool sized to the host's hardware concurrency.
   static ThreadPool& global();
 
+  // --- observability (obs manifest's pool section) -----------------------
+  // Busy time is measured around each context's region-body execution with
+  // two clock reads per region — regions wrap whole passes, so the cost is
+  // noise. Idle time is lifetime minus busy.
+
+  /// Cumulative seconds context slot `tid` has spent executing region
+  /// bodies across all run() calls.
+  double busy_seconds(int tid) const;
+  /// Busy seconds for every context slot, indexed by tid.
+  std::vector<double> busy_seconds_all() const;
+  /// Wall seconds since the pool was constructed.
+  double lifetime_seconds() const { return lifetime_.seconds(); }
+  /// Number of run() regions executed (including width-1 shortcuts).
+  std::uint64_t regions_run() const {
+    return regions_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop(int worker_index);
+  void add_busy(int tid, double seconds);
 
   const int max_threads_;
   std::vector<std::thread> workers_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> busy_micros_;  // per tid
+  std::atomic<std::uint64_t> regions_{0};
+  Stopwatch lifetime_;
 
   std::mutex mutex_;
   std::condition_variable cv_start_;

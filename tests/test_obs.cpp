@@ -1,0 +1,308 @@
+// The observability substrate: metrics registry semantics (monotonic
+// counters, race-free concurrent increments, histogram quantiles),
+// trace-span nesting, and JSON round-tripping — the pieces the run
+// manifest and the golden-run regression test are built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+
+namespace tinge::obs {
+namespace {
+
+// ---- counters / gauges ----------------------------------------------------
+
+TEST(Metrics, CounterStartsAtZeroAndIsMonotonic) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  EXPECT_EQ(counter.value(), 1u);
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    counter.add(static_cast<std::uint64_t>(i));
+    EXPECT_GE(counter.value(), last);
+    last = counter.value();
+  }
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsAreRaceFree) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  par::ThreadPool pool(kThreads);
+  pool.run(kThreads, [&](int /*tid*/, int /*width*/) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add();
+  });
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(3.5);
+  gauge.set(-1.25);
+  EXPECT_EQ(gauge.value(), -1.25);
+}
+
+// ---- histograms -----------------------------------------------------------
+
+TEST(Metrics, HistogramQuantilesAreNearestRank) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.quantile(0.5), 0.0);  // empty
+  for (int v = 100; v >= 1; --v) histogram.record(v);  // unsorted insert
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_EQ(histogram.sum(), 5050.0);
+  EXPECT_EQ(histogram.quantile(0.0), 1.0);
+  EXPECT_EQ(histogram.quantile(0.5), 50.0);
+  EXPECT_EQ(histogram.quantile(0.9), 90.0);
+  EXPECT_EQ(histogram.quantile(0.99), 99.0);
+  EXPECT_EQ(histogram.quantile(1.0), 100.0);
+
+  const HistogramSummary summary = histogram.summary();
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_EQ(summary.min, 1.0);
+  EXPECT_EQ(summary.max, 100.0);
+  EXPECT_EQ(summary.p50, 50.0);
+  EXPECT_EQ(summary.p90, 90.0);
+  EXPECT_EQ(summary.p99, 99.0);
+}
+
+TEST(Metrics, ConcurrentHistogramRecordsLoseNothing) {
+  Histogram histogram;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  par::ThreadPool pool(kThreads);
+  pool.run(kThreads, [&](int tid, int /*width*/) {
+    for (int i = 0; i < kPerThread; ++i)
+      histogram.record(static_cast<double>(tid));
+  });
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram.sum(), (0.0 + 1.0 + 2.0 + 3.0) * kPerThread);
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(Metrics, RegistryGetOrCreateReturnsTheSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x.count");
+  Counter& b = registry.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(&registry.gauge("x.gauge"), &registry.gauge("x.gauge"));
+  EXPECT_EQ(&registry.histogram("x.hist"), &registry.histogram("x.hist"));
+}
+
+TEST(Metrics, SnapshotCapturesAllInstruments) {
+  MetricsRegistry registry;
+  registry.counter("a").add(3);
+  registry.gauge("b").set(2.5);
+  registry.histogram("c").record(1.0);
+  registry.histogram("c").record(3.0);
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.count("a"), 1u);
+  EXPECT_EQ(snapshot.counters.at("a"), 3u);
+  EXPECT_EQ(snapshot.gauges.at("b"), 2.5);
+  EXPECT_EQ(snapshot.histograms.at("c").count, 2u);
+  EXPECT_EQ(snapshot.histograms.at("c").sum, 4.0);
+}
+
+TEST(Metrics, SnapshotDeltaDiffsCountersAndDropsUnmoved) {
+  MetricsRegistry registry;
+  registry.counter("moved").add(10);
+  registry.counter("still").add(5);
+  const MetricsSnapshot before = registry.snapshot();
+  registry.counter("moved").add(7);
+  registry.counter("fresh").add(2);
+  registry.gauge("g").set(1.5);
+  const MetricsSnapshot after = registry.snapshot();
+
+  const MetricsSnapshot delta = snapshot_delta(before, after);
+  EXPECT_EQ(delta.counters.at("moved"), 7u);
+  EXPECT_EQ(delta.counters.at("fresh"), 2u);
+  EXPECT_EQ(delta.counters.count("still"), 0u);  // unmoved entries dropped
+  EXPECT_EQ(delta.gauges.at("g"), 1.5);          // gauges keep `after`
+}
+
+// ---- trace spans ----------------------------------------------------------
+
+TEST(Trace, SpansNestIntoTheStageTree) {
+  Trace trace;
+  {
+    const TraceSpan outer(trace, "outer");
+    { const TraceSpan inner_a(trace, "inner_a"); }
+    { const TraceSpan inner_b(trace, "inner_b"); }
+  }
+  { const TraceSpan sibling(trace, "sibling"); }
+  trace.finish();
+
+  const SpanNode& root = trace.root();
+  EXPECT_EQ(root.name, "run");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->name, "outer");
+  EXPECT_EQ(root.children[1]->name, "sibling");
+  ASSERT_EQ(root.children[0]->children.size(), 2u);
+  EXPECT_EQ(root.children[0]->children[0]->name, "inner_a");
+  EXPECT_EQ(root.children[0]->children[1]->name, "inner_b");
+
+  // A parent span covers its children.
+  const SpanNode& outer = *root.children[0];
+  EXPECT_GE(outer.seconds,
+            outer.children[0]->seconds + outer.children[1]->seconds);
+  EXPECT_GE(root.seconds, outer.seconds);
+}
+
+TEST(Trace, FindSpanAndSecondsLookups) {
+  Trace trace;
+  {
+    const TraceSpan a(trace, "alpha");
+    { const TraceSpan b(trace, "beta"); }
+  }
+  trace.finish();
+  ASSERT_NE(find_span(trace.root(), "beta"), nullptr);
+  EXPECT_EQ(find_span(trace.root(), "beta")->name, "beta");
+  EXPECT_EQ(find_span(trace.root(), "missing"), nullptr);
+  EXPECT_GE(span_seconds(trace.root(), "alpha"),
+            span_seconds(trace.root(), "beta"));
+  EXPECT_EQ(span_seconds(trace.root(), "missing"), 0.0);
+}
+
+TEST(Trace, FinishIsIdempotentAndCoversLateSpans) {
+  Trace trace;
+  { const TraceSpan early(trace, "early"); }
+  trace.finish();
+  const double first = trace.root().seconds;
+  { const TraceSpan late(trace, "late"); }
+  trace.finish();
+  EXPECT_GE(trace.root().seconds, first);
+  EXPECT_EQ(trace.root().children.size(), 2u);
+}
+
+TEST(Trace, FormatTraceListsEveryStage) {
+  Trace trace;
+  {
+    const TraceSpan outer(trace, "mi_sweep");
+    { const TraceSpan inner(trace, "panel"); }
+  }
+  trace.finish();
+  const std::string text = format_trace(trace.root());
+  EXPECT_NE(text.find("run"), std::string::npos);
+  EXPECT_NE(text.find("mi_sweep"), std::string::npos);
+  EXPECT_NE(text.find("panel"), std::string::npos);
+  EXPECT_NE(text.find('%'), std::string::npos);
+}
+
+// ---- JSON -----------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTripPreservesTheDocument) {
+  Json document = Json::object();
+  document["int"] = Json(42);
+  document["big"] = Json(std::uint64_t{1} << 52);
+  document["negative"] = Json(-17);
+  document["pi"] = Json(3.141592653589793);
+  document["tiny"] = Json(5.0e-324);
+  document["flag"] = Json(true);
+  document["off"] = Json(false);
+  document["nothing"] = Json(nullptr);
+  document["text"] = Json("plain");
+  document["escapes"] = Json(std::string("quote\" slash\\ tab\t nl\n ctl\x01"));
+  Json list = Json::array();
+  list.push_back(Json(1));
+  list.push_back(Json("two"));
+  list.push_back(Json::object());
+  document["list"] = std::move(list);
+
+  const Json reparsed = Json::parse(document.dump());
+  EXPECT_EQ(reparsed, document);
+  EXPECT_EQ(reparsed.at("int").as_int(), 42);
+  EXPECT_EQ(reparsed.at("pi").as_double(), 3.141592653589793);
+  EXPECT_EQ(reparsed.at("escapes").as_string(),
+            "quote\" slash\\ tab\t nl\n ctl\x01");
+  EXPECT_EQ(reparsed.at("list").size(), 3u);
+}
+
+TEST(Json, InsertionOrderIsStable) {
+  Json document = Json::object();
+  document["zebra"] = Json(1);
+  document["alpha"] = Json(2);
+  document["middle"] = Json(3);
+  const std::string text = document.dump();
+  EXPECT_LT(text.find("zebra"), text.find("alpha"));
+  EXPECT_LT(text.find("alpha"), text.find("middle"));
+  // Re-parsing keeps the order too.
+  const Json reparsed = Json::parse(text);
+  ASSERT_EQ(reparsed.members().size(), 3u);
+  EXPECT_EQ(reparsed.members()[0].first, "zebra");
+  EXPECT_EQ(reparsed.members()[2].first, "middle");
+}
+
+TEST(Json, ParseRejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\": 1,}"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+  EXPECT_THROW(Json::parse("{} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
+}
+
+TEST(Json, ParseHandlesUnicodeEscapes) {
+  const Json parsed = Json::parse("\"a\\u00e9b\\u0041\"");
+  EXPECT_EQ(parsed.as_string(), "a\xc3\xa9"
+                                "bA");
+}
+
+// ---- manifest serialization helpers --------------------------------------
+
+TEST(Manifest, SpanTreeSerializesRecursively) {
+  Trace trace;
+  {
+    const TraceSpan outer(trace, "preprocess");
+    { const TraceSpan inner(trace, "impute"); }
+  }
+  trace.finish();
+  const Json json = span_to_json(trace.root());
+  EXPECT_EQ(json.at("name").as_string(), "run");
+  ASSERT_EQ(json.at("children").size(), 1u);
+  const Json& outer = json.at("children").at(0);
+  EXPECT_EQ(outer.at("name").as_string(), "preprocess");
+  EXPECT_EQ(outer.at("children").at(0).at("name").as_string(), "impute");
+  EXPECT_GE(outer.at("seconds").as_double(),
+            outer.at("children").at(0).at("seconds").as_double());
+}
+
+TEST(Manifest, MetricsSnapshotSerializesAllThreeKinds) {
+  MetricsRegistry registry;
+  registry.counter("c.events").add(9);
+  registry.gauge("g.width").set(8.0);
+  registry.histogram("h.seconds").record(0.25);
+
+  const Json json = metrics_to_json(registry.snapshot());
+  EXPECT_EQ(json.at("counters").at("c.events").as_int(), 9);
+  EXPECT_EQ(json.at("gauges").at("g.width").as_double(), 8.0);
+  EXPECT_EQ(json.at("histograms").at("h.seconds").at("count").as_int(), 1);
+  EXPECT_EQ(json.at("histograms").at("h.seconds").at("max").as_double(), 0.25);
+}
+
+TEST(Manifest, JsonFileRoundTrip) {
+  Json document = Json::object();
+  document["key"] = Json("value");
+  const std::string path = testing::TempDir() + "tingex_obs_roundtrip.json";
+  write_json_file(document, path);
+  EXPECT_EQ(read_json_file(path), document);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_json_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tinge::obs
