@@ -3,10 +3,16 @@
 // Prior work (TINGe-classic) needed a distributed-memory cluster for
 // whole-genome MI networks; the paper's contribution is doing it on one
 // chip. This harness runs the actual ring-pipelined distributed algorithm
-// (on a simulated in-process transport with real data movement) and reports
-// what the cluster costs beyond the computation itself: bytes moved around
-// the ring, messages, load balance — and extrapolates the communication
-// volume to the paper's full problem.
+// and reports what the cluster costs beyond the computation itself: bytes
+// moved around the ring, messages, load balance — and extrapolates the
+// communication volume to the paper's full problem.
+//
+// Two transports (--transport=inproc|tcp|both):
+//   * inproc — rank-threads with mailbox copies: measures communication
+//     volume and algorithmic structure, not latency;
+//   * tcp — every rank speaks real framed localhost sockets, so the
+//     seconds column includes genuine kernel/network time for the same
+//     byte volume.
 #include "bench_common.h"
 #include "cluster/ring_mi.h"
 #include "core/mi_engine.h"
@@ -20,14 +26,24 @@ int main(int argc, char** argv) {
   args.add("genes", "genes in the test matrix", "256");
   args.add("samples", "experiments per gene", "512");
   args.add("max-ranks", "largest simulated cluster size", "8");
+  args.add("transport", "cluster transport to bench: inproc|tcp|both",
+           "both");
   args.parse(argc, argv);
 
   const auto n = static_cast<std::size_t>(args.get_int("genes"));
   const auto m = static_cast<std::size_t>(args.get_int("samples"));
   const int max_ranks = static_cast<int>(args.get_int("max-ranks"));
+  const std::string transport_arg = args.get("transport");
+
+  std::vector<cluster::TransportKind> kinds;
+  if (transport_arg == "both") {
+    kinds = {cluster::TransportKind::InProcess, cluster::TransportKind::Tcp};
+  } else {
+    kinds = {cluster::parse_transport_kind(transport_arg)};
+  }
 
   bench::print_header(
-      "T4: single chip vs simulated cluster (TINGe-classic baseline)",
+      "T4: single chip vs cluster transports (TINGe-classic baseline)",
       strprintf("all-pairs MI over %zu genes x %zu samples; ring-pipelined "
                 "block distribution, real buffer movement",
                 n, m));
@@ -48,29 +64,33 @@ int main(int argc, char** argv) {
   const GeneNetwork reference =
       engine.compute_network(threshold, single_config, pool, &single_stats);
 
-  Table table({"configuration", "ring MB moved", "messages", "imbalance",
-               "edges", "seconds"});
-  table.add_row({"single chip (paper)", "0.0", "0", "1.00",
+  Table table({"configuration", "transport", "ring MB moved", "messages",
+               "imbalance", "edges", "seconds"});
+  table.add_row({"single chip (paper)", "-", "0.0", "0", "1.00",
                  std::to_string(reference.n_edges()),
                  strprintf("%.3f", single_stats.seconds)});
 
-  for (int ranks = 2; ranks <= max_ranks; ranks *= 2) {
-    cluster::ClusterStats stats;
-    const GeneNetwork network = cluster::cluster_compute_network(
-        estimator, data.ranked(), threshold, ranks, config, &stats);
-    table.add_row(
-        {strprintf("%d-rank cluster", ranks),
-         strprintf("%.1f", static_cast<double>(stats.bytes_transferred) / 1e6),
-         std::to_string(stats.messages),
-         strprintf("%.2f", stats.imbalance()),
-         std::to_string(network.n_edges()),
-         strprintf("%.3f", stats.seconds)});
+  for (const cluster::TransportKind kind : kinds) {
+    for (int ranks = 2; ranks <= max_ranks; ranks *= 2) {
+      cluster::ClusterStats stats;
+      const GeneNetwork network = cluster::cluster_compute_network(
+          estimator, data.ranked(), threshold, ranks, config, &stats, kind);
+      table.add_row(
+          {strprintf("%d-rank cluster", ranks), stats.transport,
+           strprintf("%.1f",
+                     static_cast<double>(stats.bytes_transferred) / 1e6),
+           std::to_string(stats.messages),
+           strprintf("%.2f", stats.imbalance()),
+           std::to_string(network.n_edges()),
+           strprintf("%.3f", stats.seconds)});
+    }
   }
   table.print();
   std::printf(
-      "(wall times on this single-core container measure arithmetic plus\n"
-      "transport copies only — no real network latency; the informative\n"
-      "columns are MB moved, messages, and imbalance)\n");
+      "(inproc rows measure arithmetic plus transport copies only; tcp rows\n"
+      "add real localhost socket time — framing, kernel buffers, wakeups —\n"
+      "for the same byte volume. MB moved, messages and imbalance are\n"
+      "transport-invariant, and the edge lists are identical by test.)\n");
 
   // Communication volume at the paper's scale: each of the P blocks of
   // n/P genes x m u32 ranks traverses P-1 hops, plus the edge gather.

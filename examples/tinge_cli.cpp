@@ -2,51 +2,122 @@
 //
 //   tinge_cli --in=expression.tsv --out=network.tsv [options]
 //   tinge_cli --synthetic=500 --out=network.tsv           (demo without data)
+//   tinge_cli --synthetic=500 --cluster=4 --transport=tcp (sharded run)
 //
 // Reads a TSV expression matrix (genes x experiments, NA for missing),
 // constructs the mutual-information network with permutation-test
 // thresholding, and writes a weighted edge list (and optionally SIF).
+//
+// With --cluster=N the pipeline runs sharded over N ranks using the
+// TINGe-classic ring sweep: --transport=inproc executes the ranks as
+// threads in this process, --transport=tcp spawns N tinge_worker
+// processes that rendezvous over localhost sockets. Both produce the
+// same network as the single-process engine for the same inputs.
 #include <cstdio>
 
+#include "cli_common.h"
+#include "cluster/launcher.h"
+#include "cluster/sharded_pipeline.h"
 #include "core/network_builder.h"
 #include "core/run_manifest.h"
-#include "data/binary_io.h"
-#include "data/series_matrix.h"
-#include "data/tsv_io.h"
 #include "graph/graph_io.h"
 #include "simd/feature.h"
-#include "synth/expression.h"
 #include "util/args.h"
+
+namespace {
+
+/// Sharded run over in-process rank-threads: same process, simulated
+/// network, identical result.
+int run_cluster_inproc(const tinge::ArgParser& args,
+                       const tinge::TingeConfig& config,
+                       const tinge::ExpressionMatrix& expression) {
+  using namespace tinge;
+  const auto cluster = cluster::make_cluster(cluster::TransportKind::InProcess,
+                                             config.cluster_ranks);
+  cluster::ShardedBuildResult result;
+  cluster->run([&](cluster::Comm& comm) {
+    cluster::ShardedBuildResult local =
+        cluster::sharded_build(comm, expression, config);
+    if (comm.rank() == 0) result = std::move(local);
+  });
+
+  cli::write_network_outputs(args, result.network, result.null);
+  if (args.has("metrics-out"))
+    cluster::write_cluster_run_manifest(result, config,
+                                        args.get("metrics-out"));
+  if (!args.get_flag("quiet")) {
+    std::printf(
+        "done (cluster inproc, %d ranks): %zu genes, %zu edges, threshold "
+        "%.5f nats, %.2f s total\n",
+        config.cluster_ranks, result.genes_used, result.network.n_edges(),
+        result.threshold, result.seconds);
+    std::printf("cluster traffic: %llu bytes in %llu messages, imbalance "
+                "%.2f\n",
+                static_cast<unsigned long long>(
+                    result.cluster.bytes_transferred),
+                static_cast<unsigned long long>(result.cluster.messages),
+                result.cluster.imbalance());
+    std::printf("network written to %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
+/// Sharded run over real worker processes: spawn N tinge_worker siblings,
+/// hand them this invocation's options and a fresh rendezvous directory.
+int run_cluster_tcp(const tinge::ArgParser& args,
+                    const tinge::TingeConfig& config, int argc,
+                    const char* const* argv) {
+  using namespace tinge;
+  const std::string worker =
+      cluster::sibling_binary_path(argv[0], "tinge_worker");
+  // The workers re-parse this invocation minus the dispatch options (the
+  // launcher appends their per-rank identity).
+  std::vector<std::string> worker_args =
+      cli::forward_args(argc, argv, {"cluster", "transport"});
+  worker_args.push_back("--transport=tcp");
+  const std::string rendezvous = cluster::make_rendezvous_dir();
+  if (!args.get_flag("quiet"))
+    std::printf("cluster tcp: launching %d x %s\n", config.cluster_ranks,
+                worker.c_str());
+  std::vector<cluster::WorkerExit> exits;
+  try {
+    exits = cluster::launch_workers(worker, worker_args, config.cluster_ranks,
+                                    rendezvous);
+  } catch (...) {
+    cluster::remove_rendezvous_dir(rendezvous);
+    throw;
+  }
+  cluster::remove_rendezvous_dir(rendezvous);
+  if (!cluster::all_workers_succeeded(exits)) {
+    for (const cluster::WorkerExit& exit : exits)
+      if (exit.exit_code != 0)
+        std::fprintf(stderr, "error: worker rank %d exited with code %d\n",
+                     exit.rank, exit.exit_code);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tinge;
 
   ArgParser args;
-  args.add("in", "input expression TSV (gene rows, sample columns)");
-  args.add("binary-in", "input expression matrix in TNGX binary format");
-  args.add("series-matrix", "input NCBI GEO Series Matrix file");
-  args.add("synthetic", "generate a synthetic dataset of N genes instead", "0");
+  cli::add_dataset_options(args);
   args.add("out", "output edge list path", "network.tsv");
   args.add("sif", "also write a Cytoscape SIF file to this path");
-  args.add("bins", "B-spline histogram bins", "10");
-  args.add("order", "B-spline order", "3");
-  args.add("alpha", "permutation-test significance level", "0.0001");
-  args.add("permutations", "null-distribution draws", "10000");
-  args.add("threads", "worker threads (0 = all)", "0");
-  args.add("tile", "tile size (genes per tile side)", "64");
-  args.add("panel", "MI panel width B, 1-8 (0 = auto from cache footprint)",
-           "0");
-  args.add("kernel", "MI kernel: auto|scalar|unrolled|simd|replicated|gather512",
-           "auto");
-  args.add("seed", "RNG seed for the permutation null", "20140519");
-  args.add("min-variance", "drop genes with variance below this", "1e-12");
-  args.add("max-missing", "drop genes with more than this missing fraction",
-           "0.3");
-  args.add("dpi-tolerance", "DPI tolerance (with --dpi)", "0.1");
-  args.add("checkpoint", "journal completed tiles here; resumes if present");
+  cli::add_pipeline_options(args);
+  {
+    const TingeConfig defaults;
+    args.add("cluster",
+             "run sharded over N ranks (0 = single-process engine)",
+             strprintf("%d", defaults.cluster_ranks));
+    args.add("transport", "cluster transport: inproc|tcp",
+             defaults.cluster_transport);
+  }
   args.add("metrics-out", "write a JSON run manifest (stages, metrics) here");
   args.add_flag("trace", "print the per-stage trace tree to stderr");
-  args.add_flag("dpi", "apply DPI indirect-edge filtering");
   args.add_flag("describe", "print a dataset summary and exit (no inference)");
   args.add_flag("pvalues", "append a null-p-value column to the edge list");
   args.add_flag("quiet", "suppress progress output");
@@ -69,39 +140,21 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // ---- configure (before load: flag errors should fail fast) ------------
+    TingeConfig config = cli::config_from_args(args);
+    config.cluster_ranks = static_cast<int>(args.get_int("cluster"));
+    config.cluster_transport = args.get("transport");
+    config.validate();
+
+    // The TCP path never loads data here — the workers load it themselves
+    // (--describe still runs locally; it does no inference).
+    if (config.cluster_ranks > 0 && config.cluster_transport == "tcp" &&
+        !args.get_flag("describe"))
+      return run_cluster_tcp(args, config, argc, argv);
+
     // ---- load ---------------------------------------------------------------
-    ExpressionMatrix expression;
-    if (args.has("in")) {
-      if (!args.get_flag("quiet"))
-        std::printf("reading %s...\n", args.get("in").c_str());
-      expression = read_expression_tsv_file(args.get("in"));
-    } else if (args.has("binary-in")) {
-      expression = read_expression_binary_file(args.get("binary-in"));
-    } else if (args.has("series-matrix")) {
-      SeriesMatrix series = read_series_matrix_file(args.get("series-matrix"));
-      expression = std::move(series.expression);
-      if (!args.get_flag("quiet")) {
-        const auto title = series.metadata.find("Series_title");
-        std::printf("series: %s (%zu probes x %zu samples)\n",
-                    title != series.metadata.end() ? title->second.c_str()
-                                                   : "untitled",
-                    expression.n_genes(), expression.n_samples());
-      }
-    } else if (args.get_int("synthetic") > 0) {
-      GrnParams grn;
-      grn.n_genes = static_cast<std::size_t>(args.get_int("synthetic"));
-      ExpressionParams arrays;
-      arrays.n_samples = 400;
-      expression = simulate_expression(generate_grn(grn), arrays);
-      if (!args.get_flag("quiet"))
-        std::printf("generated synthetic dataset: %zu genes x %zu samples\n",
-                    expression.n_genes(), expression.n_samples());
-    } else {
-      std::fprintf(stderr,
-                   "error: provide --in=<tsv>, --binary-in=<tngx>, --series-matrix=<txt> "
-                   "or --synthetic=<genes> (see --help)\n");
-      return 2;
-    }
+    ExpressionMatrix expression =
+        cli::load_dataset(args, args.get_flag("quiet"));
 
     if (args.get_flag("describe")) {
       std::printf("dataset: %zu genes x %zu samples\n", expression.n_genes(),
@@ -124,40 +177,8 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    // ---- configure ------------------------------------------------------------
-    TingeConfig config;
-    config.bins = static_cast<int>(args.get_int("bins"));
-    config.spline_order = static_cast<int>(args.get_int("order"));
-    config.alpha = args.get_double("alpha");
-    config.permutations =
-        static_cast<std::size_t>(args.get_int("permutations"));
-    config.threads = static_cast<int>(args.get_int("threads"));
-    config.tile_size = static_cast<std::size_t>(args.get_int("tile"));
-    config.panel_width = static_cast<int>(args.get_int("panel"));
-    {
-      const std::string kernel_arg = args.get("kernel");
-      bool matched = false;
-      for (const MiKernel candidate :
-           {MiKernel::Auto, MiKernel::Scalar, MiKernel::Unrolled,
-            MiKernel::Simd, MiKernel::Replicated, MiKernel::Gather512}) {
-        if (kernel_arg == kernel_name(candidate)) {
-          config.kernel = candidate;
-          matched = true;
-          break;
-        }
-      }
-      if (!matched) {
-        std::fprintf(stderr, "error: unknown --kernel=%s\n",
-                     kernel_arg.c_str());
-        return 2;
-      }
-    }
-    config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    config.apply_dpi = args.get_flag("dpi");
-    config.dpi_tolerance = args.get_double("dpi-tolerance");
-    if (args.has("checkpoint")) config.checkpoint_path = args.get("checkpoint");
-    config.filter.min_variance = args.get_double("min-variance");
-    config.filter.max_missing_fraction = args.get_double("max-missing");
+    if (config.cluster_ranks > 0)
+      return run_cluster_inproc(args, config, expression);
 
     NetworkBuilder builder(config);
     if (!args.get_flag("quiet")) {
@@ -174,16 +195,7 @@ int main(int argc, char** argv) {
     // ---- write ----------------------------------------------------------------
     {
       const obs::TraceSpan output_span(*result.trace, "output");
-      if (args.get_flag("pvalues")) {
-        const auto null = result.null;
-        write_edge_list_with_pvalues_file(
-            result.network,
-            [null](float mi) { return null->p_value(static_cast<double>(mi)); },
-            args.get("out"));
-      } else {
-        write_edge_list_file(result.network, args.get("out"));
-      }
-      if (args.has("sif")) write_sif_file(result.network, args.get("sif"));
+      cli::write_network_outputs(args, result.network, result.null);
     }
     result.trace->finish();  // fold the output span into the root's total
 

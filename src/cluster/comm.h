@@ -1,129 +1,12 @@
-// Message-passing substrate for the cluster baseline.
+// Compatibility umbrella for the pre-redesign single-header cluster API.
 //
-// The paper's pitch is that one chip replaces the cluster that TINGe-classic
-// (Zola et al.) needed. To make that comparison concrete we implement the
-// cluster algorithm too — over an in-process transport: every "rank" is a
-// thread, messages are real buffer copies through per-rank mailboxes, and
-// every transferred byte is counted. The interface is a deliberately tiny
-// MPI-flavoured subset (ranked SPMD, tagged point-to-point, barrier), so the
-// distributed driver reads like the MPI code it models; a real MPI backend
-// would slot behind the same interface.
-//
-// DESIGN.md §2: this is a *simulated* cluster — it measures communication
-// volume and algorithmic structure exactly, and latency/bandwidth not at
-// all (everything is a memcpy). That is the honest scope: the experiment it
-// feeds (bench_cluster_baseline) reports bytes moved and balance, not
-// network time.
+// The message-passing substrate now lives behind the pluggable Transport
+// interface (transport.h) with two backends: the in-process rank-thread
+// simulation (inproc_transport.h) and real framed TCP sockets
+// (tcp_transport.h). `Comm` is the rank-handle facade in transport.h;
+// construct backends through make_cluster()/make_transport() instead of
+// naming them directly.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
-#include <cstddef>
-#include <cstdint>
-#include <cstring>
-#include <deque>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <vector>
-
-#include "util/contracts.h"
-
-namespace tinge::cluster {
-
-class InProcessCluster;
-
-/// Per-rank handle passed to the SPMD body. Methods are called by the
-/// owning rank-thread only.
-class Comm {
- public:
-  int rank() const { return rank_; }
-  int size() const { return size_; }
-
-  /// Buffered, tagged point-to-point send (never blocks; the message is
-  /// copied into the destination mailbox).
-  void send(int dest, const void* data, std::size_t bytes, int tag);
-
-  /// Blocks until a message with (src, tag) arrives; returns its payload.
-  std::vector<std::byte> recv(int src, int tag);
-
-  /// All ranks must arrive before any proceeds. Reusable.
-  void barrier();
-
-  template <typename T>
-  void send_vector(int dest, const std::vector<T>& values, int tag) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    send(dest, values.data(), values.size() * sizeof(T), tag);
-  }
-
-  template <typename T>
-  std::vector<T> recv_vector(int src, int tag) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const std::vector<std::byte> raw = recv(src, tag);
-    TINGE_ENSURES(raw.size() % sizeof(T) == 0);
-    std::vector<T> values(raw.size() / sizeof(T));
-    if (!raw.empty()) std::memcpy(values.data(), raw.data(), raw.size());
-    return values;
-  }
-
- private:
-  friend class InProcessCluster;
-  Comm(InProcessCluster* cluster, int rank, int size)
-      : cluster_(cluster), rank_(rank), size_(size) {}
-
-  InProcessCluster* cluster_;
-  int rank_;
-  int size_;
-};
-
-/// Owns the mailboxes and rank-threads for one SPMD execution.
-class InProcessCluster {
- public:
-  explicit InProcessCluster(int size);
-
-  int size() const { return size_; }
-
-  /// Runs body(comm) on `size` rank-threads; returns when all complete.
-  /// Exceptions from any rank are rethrown on the caller (first wins).
-  void run(const std::function<void(Comm&)>& body);
-
-  /// Total payload bytes moved through send() across all run() calls.
-  std::uint64_t bytes_transferred() const {
-    return bytes_transferred_.load(std::memory_order_relaxed);
-  }
-  /// Total messages sent.
-  std::uint64_t messages_sent() const {
-    return messages_sent_.load(std::memory_order_relaxed);
-  }
-
- private:
-  friend class Comm;
-
-  struct Message {
-    int src;
-    int tag;
-    std::vector<std::byte> payload;
-  };
-
-  struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Message> messages;
-  };
-
-  void deliver(int dest, Message message);
-  std::vector<std::byte> wait_for(int rank, int src, int tag);
-  void barrier_wait();
-
-  const int size_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::atomic<std::uint64_t> bytes_transferred_{0};
-  std::atomic<std::uint64_t> messages_sent_{0};
-
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_arrived_ = 0;
-  std::uint64_t barrier_generation_ = 0;
-};
-
-}  // namespace tinge::cluster
+#include "cluster/inproc_transport.h"
+#include "cluster/transport.h"

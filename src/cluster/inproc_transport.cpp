@@ -1,30 +1,35 @@
-#include "cluster/comm.h"
+#include "cluster/inproc_transport.h"
 
-#include <atomic>
 #include <cstring>
+#include <exception>
 #include <thread>
 
-#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace tinge::cluster {
 
-void Comm::send(int dest, const void* data, std::size_t bytes, int tag) {
-  TINGE_EXPECTS(dest >= 0 && dest < size_);
+void InProcessTransport::send(int dest, const void* data, std::size_t bytes,
+                              int tag) {
+  TINGE_EXPECTS(dest >= 0 && dest < size());
   InProcessCluster::Message message;
   message.src = rank_;
   message.tag = tag;
   message.payload.resize(bytes);
   if (bytes > 0) std::memcpy(message.payload.data(), data, bytes);
-  cluster_->deliver(dest, std::move(message));
+  hub_->deliver(dest, std::move(message));
+  PeerTraffic& peer = peer_traffic_[static_cast<std::size_t>(dest)];
+  peer.bytes_sent += bytes;
+  ++peer.messages_sent;
 }
 
-std::vector<std::byte> Comm::recv(int src, int tag) {
-  TINGE_EXPECTS(src >= 0 && src < size_);
-  return cluster_->wait_for(rank_, src, tag);
+std::vector<std::byte> InProcessTransport::recv(int src, int tag) {
+  TINGE_EXPECTS(src >= 0 && src < size());
+  std::vector<std::byte> payload = hub_->wait_for(rank_, src, tag);
+  PeerTraffic& peer = peer_traffic_[static_cast<std::size_t>(src)];
+  peer.bytes_received += payload.size();
+  ++peer.messages_received;
+  return payload;
 }
-
-void Comm::barrier() { cluster_->barrier_wait(); }
 
 InProcessCluster::InProcessCluster(int size) : size_(size) {
   TINGE_EXPECTS(size >= 1);
@@ -49,6 +54,8 @@ std::vector<std::byte> InProcessCluster::wait_for(int rank, int src, int tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
   std::unique_lock<std::mutex> lock(box.mutex);
   while (true) {
+    // Match by (src, tag), FIFO within a match: interleaved tags from the
+    // same source are skipped over and stay queued for their own recv.
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       if (it->src == src && it->tag == tag) {
         std::vector<std::byte> payload = std::move(it->payload);
@@ -74,6 +81,11 @@ void InProcessCluster::barrier_wait() {
 }
 
 void InProcessCluster::run(const std::function<void(Comm&)>& body) {
+  std::vector<std::unique_ptr<InProcessTransport>> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r)
+    endpoints.push_back(std::make_unique<InProcessTransport>(*this, r));
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size_));
   std::mutex error_mutex;
@@ -84,8 +96,9 @@ void InProcessCluster::run(const std::function<void(Comm&)>& body) {
   const std::uint64_t messages_before = messages_sent();
   const Stopwatch watch;
   for (int r = 0; r < size_; ++r) {
-    threads.emplace_back([this, r, &body, &error_mutex, &first_error] {
-      Comm comm(this, r, size_);
+    InProcessTransport& endpoint = *endpoints[static_cast<std::size_t>(r)];
+    threads.emplace_back([&endpoint, &body, &error_mutex, &first_error] {
+      Comm comm(endpoint);
       try {
         body(comm);
       } catch (...) {
@@ -95,14 +108,18 @@ void InProcessCluster::run(const std::function<void(Comm&)>& body) {
     });
   }
   for (auto& thread : threads) thread.join();
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
-  registry.counter("cluster.runs").add(1);
-  registry.counter("cluster.bytes_transferred")
-      .add(bytes_transferred() - bytes_before);
-  registry.counter("cluster.messages_sent")
-      .add(messages_sent() - messages_before);
-  registry.gauge("cluster.ranks").set(size_);
-  registry.histogram("cluster.run_seconds").record(watch.seconds());
+
+  last_rank_traffic_.assign(static_cast<std::size_t>(size_), PeerTraffic{});
+  for (int r = 0; r < size_; ++r) {
+    for (const PeerTraffic& peer :
+         endpoints[static_cast<std::size_t>(r)]->peer_traffic())
+      last_rank_traffic_[static_cast<std::size_t>(r)] += peer;
+  }
+
+  publish_cluster_run_metrics(TransportKind::InProcess, size_,
+                              bytes_transferred() - bytes_before,
+                              messages_sent() - messages_before,
+                              watch.seconds());
   // Drain leftover messages so a failed run cannot poison the next one.
   if (first_error) {
     for (auto& box : mailboxes_) {

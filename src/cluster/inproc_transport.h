@@ -1,0 +1,109 @@
+// The in-process transport backend: every "rank" is a thread, messages are
+// real buffer copies through per-rank mailboxes, and every transferred byte
+// is counted. This is the *simulated* cluster of DESIGN.md §2 — it measures
+// communication volume and algorithmic structure exactly, and
+// latency/bandwidth not at all (everything is a memcpy). The TCP backend
+// (tcp_transport.h) fills the same Transport interface with a real network
+// path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/transport.h"
+
+namespace tinge::cluster {
+
+/// Owns the mailboxes and rank-threads for SPMD executions over the
+/// in-process transport.
+class InProcessCluster final : public Cluster {
+ public:
+  explicit InProcessCluster(int size);
+
+  int size() const override { return size_; }
+  TransportKind kind() const override { return TransportKind::InProcess; }
+
+  /// Runs body(comm) on `size` rank-threads; returns when all complete.
+  /// Exceptions from any rank are rethrown on the caller (first wins).
+  void run(const std::function<void(Comm&)>& body) override;
+
+  std::uint64_t bytes_transferred() const override {
+    return bytes_transferred_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_sent() const override {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  std::vector<PeerTraffic> rank_traffic() const override {
+    return last_rank_traffic_;
+  }
+
+ private:
+  friend class InProcessTransport;
+
+  struct Message {
+    int src;
+    int tag;
+    std::vector<std::byte> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  void deliver(int dest, Message message);
+  std::vector<std::byte> wait_for(int rank, int src, int tag);
+  void barrier_wait();
+
+  const int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<std::uint64_t> bytes_transferred_{0};
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::vector<PeerTraffic> last_rank_traffic_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+/// One rank's endpoint onto an InProcessCluster's mailboxes. Created by
+/// InProcessCluster::run for each rank-thread; also constructible directly
+/// when a test wants to drive endpoints without the thread harness.
+class InProcessTransport final : public Transport {
+ public:
+  InProcessTransport(InProcessCluster& hub, int rank)
+      : hub_(&hub),
+        rank_(rank),
+        peer_traffic_(static_cast<std::size_t>(hub.size())) {
+    TINGE_EXPECTS(rank >= 0 && rank < hub.size());
+  }
+
+  int rank() const override { return rank_; }
+  int size() const override { return hub_->size(); }
+  TransportKind kind() const override { return TransportKind::InProcess; }
+
+  void send(int dest, const void* data, std::size_t bytes, int tag) override;
+  std::vector<std::byte> recv(int src, int tag) override;
+  void barrier() override { hub_->barrier_wait(); }
+
+  std::vector<PeerTraffic> peer_traffic() const override {
+    return peer_traffic_;
+  }
+
+ private:
+  InProcessCluster* hub_;
+  int rank_;
+  /// Counters are owned by the rank-thread (no atomics needed); the hub
+  /// aggregates them into rank_traffic() after the rank-threads join.
+  std::vector<PeerTraffic> peer_traffic_;
+};
+
+}  // namespace tinge::cluster

@@ -1,0 +1,139 @@
+#include "cluster/launcher.h"
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/str.h"
+
+namespace tinge::cluster {
+
+std::string make_rendezvous_dir() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  if (tmpdir == nullptr || tmpdir[0] == '\0') tmpdir = "/tmp";
+  std::string pattern = strprintf("%s/tingex-rdv-XXXXXX", tmpdir);
+  if (::mkdtemp(pattern.data()) == nullptr)
+    throw std::runtime_error(strprintf("mkdtemp(%s): %s", pattern.c_str(),
+                                       std::strerror(errno)));
+  return pattern;
+}
+
+void remove_rendezvous_dir(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle != nullptr) {
+    while (const dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(handle);
+  }
+  ::rmdir(dir.c_str());
+}
+
+std::vector<WorkerExit> launch_workers(
+    const std::string& program, const std::vector<std::string>& common_args,
+    int size, const std::string& rendezvous_dir) {
+  std::vector<pid_t> pids(static_cast<std::size_t>(size), -1);
+  std::vector<WorkerExit> exits(static_cast<std::size_t>(size));
+
+  for (int rank = 0; rank < size; ++rank) {
+    std::vector<std::string> args;
+    args.push_back(program);
+    args.insert(args.end(), common_args.begin(), common_args.end());
+    args.push_back(strprintf("--cluster-rank=%d", rank));
+    args.push_back(strprintf("--cluster-size=%d", size));
+    args.push_back("--rendezvous=" + rendezvous_dir);
+
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Could not spawn the full mesh: tear down what we started and fail.
+      for (int started = 0; started < rank; ++started)
+        ::kill(pids[static_cast<std::size_t>(started)], SIGTERM);
+      for (int started = 0; started < rank; ++started)
+        ::waitpid(pids[static_cast<std::size_t>(started)], nullptr, 0);
+      throw std::runtime_error(
+          strprintf("fork failed for worker rank %d: %s", rank,
+                    std::strerror(errno)));
+    }
+    if (pid == 0) {
+      ::execv(program.c_str(), argv.data());
+      std::fprintf(stderr, "exec %s: %s\n", program.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    pids[static_cast<std::size_t>(rank)] = pid;
+    exits[static_cast<std::size_t>(rank)].rank = rank;
+  }
+
+  // Reap in completion order so one crashed worker fails the run promptly
+  // instead of after the survivors' rendezvous/recv timeouts.
+  int remaining = size;
+  bool terminated_survivors = false;
+  while (remaining > 0) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      break;  // ECHILD: nothing left to reap
+    }
+    int rank = -1;
+    for (int r = 0; r < size; ++r)
+      if (pids[static_cast<std::size_t>(r)] == pid) rank = r;
+    if (rank < 0) continue;  // not one of ours (caller had other children)
+    --remaining;
+    WorkerExit& exit = exits[static_cast<std::size_t>(rank)];
+    if (WIFEXITED(status))
+      exit.exit_code = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+      exit.exit_code = 128 + WTERMSIG(status);
+    else
+      exit.exit_code = -1;
+    if (exit.exit_code != 0 && !terminated_survivors) {
+      terminated_survivors = true;
+      for (int r = 0; r < size; ++r) {
+        if (r == rank) continue;
+        const pid_t survivor = pids[static_cast<std::size_t>(r)];
+        if (survivor > 0) ::kill(survivor, SIGTERM);
+      }
+    }
+  }
+  return exits;
+}
+
+bool all_workers_succeeded(const std::vector<WorkerExit>& exits) {
+  for (const WorkerExit& exit : exits)
+    if (exit.exit_code != 0) return false;
+  return !exits.empty();
+}
+
+std::string sibling_binary_path(const char* argv0, const std::string& name) {
+  char self[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  std::string dir;
+  if (len > 0) {
+    self[len] = '\0';
+    dir = self;
+  } else if (argv0 != nullptr) {
+    dir = argv0;
+  }
+  const std::size_t slash = dir.rfind('/');
+  dir = (slash == std::string::npos) ? "." : dir.substr(0, slash);
+  return dir + "/" + name;
+}
+
+}  // namespace tinge::cluster

@@ -1,0 +1,45 @@
+// Multi-process launch support for the TCP transport: rendezvous directory
+// lifecycle plus a fork/exec worker launcher. tinge_cli uses this to spawn
+// N tinge_worker processes that join one mesh; each worker calls
+// make_transport(TransportKind::Tcp, ...) with the rendezvous directory the
+// launcher hands it on the command line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tinge::cluster {
+
+/// Creates a fresh private directory for TCP rendezvous port files under
+/// $TMPDIR (or /tmp). Remove it with remove_rendezvous_dir when the run is
+/// over.
+std::string make_rendezvous_dir();
+
+/// Best-effort removal of a rendezvous directory and the files inside it.
+void remove_rendezvous_dir(const std::string& dir);
+
+/// One worker process's outcome.
+struct WorkerExit {
+  int rank = 0;
+  int exit_code = 0;  ///< 0 on success; 128+signal if killed by a signal
+};
+
+/// Spawns `size` copies of `program`, appending
+///   --cluster-rank=<r> --cluster-size=<size> --rendezvous=<dir>
+/// to `common_args`, and reaps them all. If any worker fails, the
+/// survivors are SIGTERMed so a half-dead mesh cannot hang the launcher
+/// past the workers' own rendezvous timeout. Returns per-worker exits
+/// indexed by rank.
+std::vector<WorkerExit> launch_workers(
+    const std::string& program, const std::vector<std::string>& common_args,
+    int size, const std::string& rendezvous_dir);
+
+/// True iff every worker exited with status 0.
+bool all_workers_succeeded(const std::vector<WorkerExit>& exits);
+
+/// Path of the binary `name` living next to the currently running
+/// executable (resolved via /proc/self/exe, falling back to argv0's
+/// directory) — how tinge_cli finds tinge_worker without an install step.
+std::string sibling_binary_path(const char* argv0, const std::string& name);
+
+}  // namespace tinge::cluster

@@ -80,120 +80,147 @@ Block unpack_block(const std::vector<std::uint32_t>& wire) {
 
 }  // namespace
 
+GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
+                       const RankedMatrix& ranked, double threshold,
+                       const TingeConfig& config,
+                       std::vector<std::size_t>* pairs_per_rank_out) {
+  TINGE_EXPECTS(estimator.n_samples() == ranked.n_samples());
+  const std::size_t m = ranked.n_samples();
+  const float threshold_f = static_cast<float>(threshold);
+  const int r = comm.rank();
+  const int p = comm.size();
+  // The engine computes MI with panel sweeps, where every SIMD-family
+  // kernel (including Auto's measured resolution) shares one accumulation
+  // order; pick the per-pair kernel that reproduces those bits so the
+  // sharded network is byte-identical to the single-chip one.
+  const MiKernel kernel = panel_equivalent_kernel(config.kernel);
+
+  // "Local load" of the resident block (not communication).
+  const Block resident = load_block(ranked, p, static_cast<std::uint32_t>(r));
+
+  JointHistogram scratch = estimator.make_scratch();
+  std::vector<Edge> edges;
+  std::size_t pairs = 0;
+
+  const auto compute_cross = [&](const Block& a, const Block& b) {
+    for (std::size_t i = 0; i < a.gene_count; ++i) {
+      const std::uint32_t* ri = a.ranks.data() + i * m;
+      const auto gi = static_cast<std::uint32_t>(a.first_gene + i);
+      for (std::size_t j = 0; j < b.gene_count; ++j) {
+        const std::uint32_t* rj = b.ranks.data() + j * m;
+        const auto gj = static_cast<std::uint32_t>(b.first_gene + j);
+        // Kernel arguments in global gene order: the joint histogram is
+        // mathematically symmetric but its float summation order is not,
+        // and results must be bit-identical to the single-chip engine.
+        const double h =
+            gi < gj ? joint_entropy(estimator.table(), ri, rj, m, scratch,
+                                    kernel)
+                    : joint_entropy(estimator.table(), rj, ri, m, scratch,
+                                    kernel);
+        const float mi =
+            static_cast<float>(2.0 * estimator.marginal_entropy() - h);
+        ++pairs;
+        if (mi >= threshold_f) {
+          edges.push_back(gi < gj ? Edge{gi, gj, mi} : Edge{gj, gi, mi});
+        }
+      }
+    }
+  };
+
+  // Diagonal (within-block) pairs.
+  for (std::size_t i = 0; i < resident.gene_count; ++i) {
+    const std::uint32_t* ri = resident.ranks.data() + i * m;
+    const auto gi = static_cast<std::uint32_t>(resident.first_gene + i);
+    for (std::size_t j = i + 1; j < resident.gene_count; ++j) {
+      const std::uint32_t* rj = resident.ranks.data() + j * m;
+      const auto gj = static_cast<std::uint32_t>(resident.first_gene + j);
+      const double h =
+          joint_entropy(estimator.table(), ri, rj, m, scratch, kernel);
+      const float mi =
+          static_cast<float>(2.0 * estimator.marginal_entropy() - h);
+      ++pairs;
+      if (mi >= threshold_f) edges.push_back(Edge{gi, gj, mi});
+    }
+  }
+
+  // Ring pipeline: forward the traveling block, compute owned pairs.
+  Block traveling = resident;
+  for (int step = 1; step < p; ++step) {
+    const int next = (r + 1) % p;
+    const int prev = (r - 1 + p) % p;
+    comm.send_vector(next, pack_block(traveling), kTagRing + step);
+    traveling =
+        unpack_block(comm.recv_vector<std::uint32_t>(prev, kTagRing + step));
+    const int a = std::min(r, static_cast<int>(traveling.id));
+    const int b = std::max(r, static_cast<int>(traveling.id));
+    if (a != b && block_pair_owner(a, b, p) == r)
+      compute_cross(resident, traveling);
+  }
+
+  // Results to rank 0; rank 0 merges in rank order (0, 1, ..., p-1) so the
+  // edge list is deterministic regardless of arrival order.
+  GeneNetwork network(ranked.gene_names());
+  if (r == 0) {
+    std::vector<std::size_t> pairs_per_rank(static_cast<std::size_t>(p), 0);
+    network.add_edges(edges);
+    pairs_per_rank[0] = pairs;
+    std::size_t total_pairs = pairs;
+    for (int src = 1; src < p; ++src) {
+      network.add_edges(comm.recv_vector<Edge>(src, kTagEdges));
+      const auto count = comm.recv_vector<std::uint64_t>(src, kTagPairCount);
+      pairs_per_rank[static_cast<std::size_t>(src)] =
+          static_cast<std::size_t>(count.at(0));
+      total_pairs += pairs_per_rank[static_cast<std::size_t>(src)];
+    }
+    network.finalize();
+    TINGE_ENSURES(total_pairs ==
+                  ranked.n_genes() * (ranked.n_genes() - 1) / 2);
+    if (pairs_per_rank_out != nullptr)
+      *pairs_per_rank_out = std::move(pairs_per_rank);
+  } else {
+    comm.send_vector(0, edges, kTagEdges);
+    comm.send_vector(
+        0, std::vector<std::uint64_t>{static_cast<std::uint64_t>(pairs)},
+        kTagPairCount);
+    network.finalize();
+  }
+  return network;
+}
+
 GeneNetwork cluster_compute_network(const BsplineMi& estimator,
                                     const RankedMatrix& ranked,
                                     double threshold, int ranks,
                                     const TingeConfig& config,
-                                    ClusterStats* stats) {
+                                    ClusterStats* stats, TransportKind kind,
+                                    const TransportOptions& options) {
   TINGE_EXPECTS(ranks >= 1);
-  TINGE_EXPECTS(estimator.n_samples() == ranked.n_samples());
   const Stopwatch watch;
-  const std::size_t m = ranked.n_samples();
-  const float threshold_f = static_cast<float>(threshold);
 
-  InProcessCluster cluster(ranks);
-  std::vector<std::vector<Edge>> merged_edges(static_cast<std::size_t>(ranks));
-  std::vector<std::size_t> pairs_per_rank(static_cast<std::size_t>(ranks), 0);
+  const std::unique_ptr<Cluster> cluster = make_cluster(kind, ranks, options);
+  GeneNetwork network(ranked.gene_names());
+  std::vector<std::size_t> pairs_per_rank;
 
-  cluster.run([&](Comm& comm) {
-    const int r = comm.rank();
-    const int p = comm.size();
-    // "Local load" of the resident block (not communication).
-    const Block resident =
-        load_block(ranked, p, static_cast<std::uint32_t>(r));
-
-    JointHistogram scratch = estimator.make_scratch();
-    std::vector<Edge> edges;
-    std::size_t pairs = 0;
-
-    const auto compute_cross = [&](const Block& a, const Block& b) {
-      for (std::size_t i = 0; i < a.gene_count; ++i) {
-        const std::uint32_t* ri = a.ranks.data() + i * m;
-        const auto gi = static_cast<std::uint32_t>(a.first_gene + i);
-        for (std::size_t j = 0; j < b.gene_count; ++j) {
-          const std::uint32_t* rj = b.ranks.data() + j * m;
-          const auto gj = static_cast<std::uint32_t>(b.first_gene + j);
-          // Kernel arguments in global gene order: the joint histogram is
-          // mathematically symmetric but its float summation order is not,
-          // and results must be bit-identical to the single-chip engine.
-          const double h =
-              gi < gj ? joint_entropy(estimator.table(), ri, rj, m, scratch,
-                                      config.kernel)
-                      : joint_entropy(estimator.table(), rj, ri, m, scratch,
-                                      config.kernel);
-          const float mi =
-              static_cast<float>(2.0 * estimator.marginal_entropy() - h);
-          ++pairs;
-          if (mi >= threshold_f) {
-            edges.push_back(gi < gj ? Edge{gi, gj, mi} : Edge{gj, gi, mi});
-          }
-        }
-      }
-    };
-
-    // Diagonal (within-block) pairs.
-    for (std::size_t i = 0; i < resident.gene_count; ++i) {
-      const std::uint32_t* ri = resident.ranks.data() + i * m;
-      const auto gi = static_cast<std::uint32_t>(resident.first_gene + i);
-      for (std::size_t j = i + 1; j < resident.gene_count; ++j) {
-        const std::uint32_t* rj = resident.ranks.data() + j * m;
-        const auto gj = static_cast<std::uint32_t>(resident.first_gene + j);
-        const double h = joint_entropy(estimator.table(), ri, rj, m, scratch,
-                                       config.kernel);
-        const float mi =
-            static_cast<float>(2.0 * estimator.marginal_entropy() - h);
-        ++pairs;
-        if (mi >= threshold_f) edges.push_back(Edge{gi, gj, mi});
-      }
-    }
-
-    // Ring pipeline: forward the traveling block, compute owned pairs.
-    Block traveling = resident;
-    for (int step = 1; step < p; ++step) {
-      const int next = (r + 1) % p;
-      const int prev = (r - 1 + p) % p;
-      comm.send_vector(next, pack_block(traveling), kTagRing + step);
-      traveling = unpack_block(
-          comm.recv_vector<std::uint32_t>(prev, kTagRing + step));
-      const int a = std::min(r, static_cast<int>(traveling.id));
-      const int b = std::max(r, static_cast<int>(traveling.id));
-      if (a != b && block_pair_owner(a, b, p) == r)
-        compute_cross(resident, traveling);
-    }
-
-    // Results to rank 0 (rank 0 keeps its own in place).
-    if (r == 0) {
-      merged_edges[0] = std::move(edges);
-      pairs_per_rank[0] = pairs;
-      for (int src = 1; src < p; ++src) {
-        merged_edges[static_cast<std::size_t>(src)] =
-            comm.recv_vector<Edge>(src, kTagEdges);
-        const auto count = comm.recv_vector<std::uint64_t>(src, kTagPairCount);
-        pairs_per_rank[static_cast<std::size_t>(src)] =
-            static_cast<std::size_t>(count.at(0));
-      }
-    } else {
-      comm.send_vector(0, edges, kTagEdges);
-      comm.send_vector(
-          0, std::vector<std::uint64_t>{static_cast<std::uint64_t>(pairs)},
-          kTagPairCount);
+  cluster->run([&](Comm& comm) {
+    std::vector<std::size_t> pairs;
+    GeneNetwork merged =
+        ring_sweep(comm, estimator, ranked, threshold, config, &pairs);
+    if (comm.rank() == 0) {  // only rank 0 touches the shared result
+      network = std::move(merged);
+      pairs_per_rank = std::move(pairs);
     }
   });
 
-  GeneNetwork network(ranked.gene_names());
   std::size_t total_pairs = 0;
-  for (std::size_t r = 0; r < merged_edges.size(); ++r) {
-    network.add_edges(merged_edges[r]);
-    total_pairs += pairs_per_rank[r];
-  }
-  network.finalize();
-  TINGE_ENSURES(total_pairs ==
-                ranked.n_genes() * (ranked.n_genes() - 1) / 2);
+  for (const std::size_t count : pairs_per_rank) total_pairs += count;
 
   if (stats != nullptr) {
     stats->ranks = ranks;
-    stats->bytes_transferred = cluster.bytes_transferred();
-    stats->messages = cluster.messages_sent();
+    stats->transport = transport_kind_name(kind);
+    stats->bytes_transferred = cluster->bytes_transferred();
+    stats->messages = cluster->messages_sent();
+    stats->bytes_per_rank.clear();
+    for (const PeerTraffic& rank : cluster->rank_traffic())
+      stats->bytes_per_rank.push_back(rank.bytes_sent);
     stats->pairs_per_rank = pairs_per_rank;
     stats->pairs_total = total_pairs;
     stats->seconds = watch.seconds();

@@ -15,12 +15,17 @@
 // The communication cost this incurs — each block traverses the whole ring,
 // so ~(P-1) * (n*m*4 bytes / P) per step schedule — is the quantity
 // bench_cluster_baseline reports against the paper's "zero, it's one chip".
+//
+// The sweep itself (ring_sweep) is written against the rank-handle Comm
+// facade only, so it runs unchanged over the in-process rank-thread backend
+// and over real TCP worker processes (see transport.h / launcher.h).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
-#include "cluster/comm.h"
+#include "cluster/transport.h"
 #include "core/config.h"
 #include "graph/network.h"
 #include "mi/bspline_mi.h"
@@ -30,8 +35,10 @@ namespace tinge::cluster {
 
 struct ClusterStats {
   int ranks = 0;
+  std::string transport = "inproc";
   std::uint64_t bytes_transferred = 0;  ///< payload bytes through the ring
   std::uint64_t messages = 0;
+  std::vector<std::uint64_t> bytes_per_rank;  ///< payload bytes sent, by rank
   std::vector<std::size_t> pairs_per_rank;
   std::size_t pairs_total = 0;
   double seconds = 0.0;
@@ -40,16 +47,30 @@ struct ClusterStats {
   double imbalance() const;
 };
 
-/// Runs the distributed computation on `ranks` simulated ranks and returns
-/// the merged thresholded network (identical, up to edge order, to
-/// MiEngine::compute_network on the same inputs — test-enforced).
-/// `config` supplies the kernel choice; threading inside a rank is not used
-/// (one thread per rank, as in the classic flat-MPI TINGe).
-GeneNetwork cluster_compute_network(const BsplineMi& estimator,
-                                    const RankedMatrix& ranked,
-                                    double threshold, int ranks,
-                                    const TingeConfig& config,
-                                    ClusterStats* stats = nullptr);
+/// One rank's share of the distributed sweep, callable from any Transport
+/// endpoint (in-process rank-thread or a real worker process). Every rank
+/// loads its resident gene block from `ranked`, circulates blocks around
+/// the ring and ships surviving edges to rank 0.
+///
+/// Returns the merged, finalized network on rank 0 and an empty finalized
+/// network elsewhere. If `pairs_per_rank_out` is non-null it is filled on
+/// rank 0 with per-rank computed-pair counts (left empty on other ranks).
+GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
+                       const RankedMatrix& ranked, double threshold,
+                       const TingeConfig& config,
+                       std::vector<std::size_t>* pairs_per_rank_out = nullptr);
+
+/// Runs the distributed computation on `ranks` ranks over the chosen
+/// backend and returns the merged thresholded network (identical, up to
+/// edge order, to MiEngine::compute_network on the same inputs —
+/// test-enforced, for both backends). `config` supplies the kernel choice;
+/// threading inside a rank is not used (one thread per rank, as in the
+/// classic flat-MPI TINGe).
+GeneNetwork cluster_compute_network(
+    const BsplineMi& estimator, const RankedMatrix& ranked, double threshold,
+    int ranks, const TingeConfig& config, ClusterStats* stats = nullptr,
+    TransportKind kind = TransportKind::InProcess,
+    const TransportOptions& options = {});
 
 /// The block-pair ownership rule, exposed for tests: which rank computes
 /// unordered block pair {a, b} (a <= b) among `ranks` blocks.

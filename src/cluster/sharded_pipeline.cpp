@@ -1,0 +1,226 @@
+#include "cluster/sharded_pipeline.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "obs/manifest.h"
+#include "parallel/thread_pool.h"
+#include "preprocess/filter.h"
+#include "preprocess/rank_transform.h"
+#include "util/timer.h"
+
+namespace tinge::cluster {
+
+namespace {
+
+// Collective tags, far above the ring sweep's range (ring uses 1..p and
+// 10000/10001).
+constexpr int kTagTableMeta = 20000;
+constexpr int kTagTableWeights = 20001;
+constexpr int kTagTableFirstBin = 20002;
+constexpr int kTagThreshold = 20003;
+constexpr int kTagTraffic = 20004;
+
+struct TableMeta {
+  std::uint64_t m = 0;
+  std::int32_t bins = 0;
+  std::int32_t order = 0;
+  std::uint64_t weight_stride = 0;
+  double marginal_entropy = 0.0;
+};
+static_assert(std::is_trivially_copyable_v<TableMeta>);
+
+struct TrafficReport {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_sent = 0;
+};
+static_assert(std::is_trivially_copyable_v<TrafficReport>);
+
+/// Rank 0 builds the weight table; everyone else receives it. Keeps every
+/// rank's estimator bit-identical without re-deriving the basis per rank.
+BsplineMi broadcast_estimator(Comm& comm, const RankedMatrix& ranked,
+                              const TingeConfig& config) {
+  const int p = comm.size();
+  if (comm.rank() == 0) {
+    BsplineMi estimator(config.bins, config.spline_order, ranked.n_samples());
+    const WeightTable& table = estimator.table();
+    TableMeta meta;
+    meta.m = table.n_samples();
+    meta.bins = table.bins();
+    meta.order = table.order();
+    meta.weight_stride = table.weight_stride();
+    meta.marginal_entropy = table.marginal_entropy();
+    const std::vector<float> weights(
+        table.weights_data(),
+        table.weights_data() + meta.m * meta.weight_stride);
+    const std::vector<std::int32_t> first_bin(
+        table.first_bin_data(), table.first_bin_data() + meta.m);
+    for (int dest = 1; dest < p; ++dest) {
+      comm.send_vector(dest, std::vector<TableMeta>{meta}, kTagTableMeta);
+      comm.send_vector(dest, weights, kTagTableWeights);
+      comm.send_vector(dest, first_bin, kTagTableFirstBin);
+    }
+    return estimator;
+  }
+  const TableMeta meta =
+      comm.recv_vector<TableMeta>(0, kTagTableMeta).at(0);
+  const std::vector<float> weights =
+      comm.recv_vector<float>(0, kTagTableWeights);
+  const std::vector<std::int32_t> first_bin =
+      comm.recv_vector<std::int32_t>(0, kTagTableFirstBin);
+  WeightTable table(static_cast<std::size_t>(meta.m), meta.bins, meta.order,
+                    static_cast<std::size_t>(meta.weight_stride), weights,
+                    first_bin, meta.marginal_entropy);
+  return BsplineMi(std::move(table));
+}
+
+}  // namespace
+
+ShardedBuildResult sharded_build(Comm& comm,
+                                 const ExpressionMatrix& expression,
+                                 const TingeConfig& config) {
+  config.validate();
+  const Stopwatch watch;
+  const int r = comm.rank();
+  const int p = comm.size();
+
+  ShardedBuildResult result;
+  result.genes_in = expression.n_genes();
+
+  // Stage 1: rank-local preprocessing (deterministic on every rank).
+  ExpressionMatrix working = expression.clone();
+  result.imputed_cells = impute_missing_with_median(working);
+  FilterResult filtered = filter_genes(working, config.filter);
+  TINGE_EXPECTS(filtered.matrix.n_genes() >= 2);
+  result.genes_used = filtered.matrix.n_genes();
+  working = std::move(filtered.matrix);
+  const RankedMatrix ranked(working);
+  result.samples = ranked.n_samples();
+
+  // Stage 2: shared weight table, built once and broadcast.
+  const BsplineMi estimator = broadcast_estimator(comm, ranked, config);
+  result.marginal_entropy = estimator.marginal_entropy();
+
+  // Stage 3: universal permutation null on rank 0, threshold broadcast.
+  // build_null_distribution is deterministic for a seed regardless of
+  // thread count, so one rank computing it reproduces the single-process
+  // pipeline exactly.
+  if (r == 0) {
+    const int pool_threads =
+        config.threads > 0 ? config.threads
+                           : par::detect_host_topology().total_threads();
+    par::ThreadPool pool(pool_threads);
+    result.null = std::make_shared<EmpiricalDistribution>(
+        build_null_distribution(estimator, config.permutations, config.seed,
+                                pool, config.threads, config.kernel));
+    result.threshold = threshold_for_alpha(*result.null, config.alpha);
+    for (int dest = 1; dest < p; ++dest)
+      comm.send_vector(dest, std::vector<double>{result.threshold},
+                       kTagThreshold);
+  } else {
+    result.threshold = comm.recv_vector<double>(0, kTagThreshold).at(0);
+  }
+
+  // Stage 4: the distributed ring MI sweep.
+  std::vector<std::size_t> pairs_per_rank;
+  result.network =
+      ring_sweep(comm, estimator, ranked, result.threshold, config,
+                 &pairs_per_rank);
+
+  // Stage 5: DPI on the merged network (rank 0 only).
+  if (r == 0 && config.apply_dpi)
+    result.network =
+        apply_dpi(result.network, config.dpi_tolerance, &result.dpi_stats);
+
+  // Traffic gather: snapshot local totals first so the gather itself is
+  // not part of the reported algorithm traffic.
+  TrafficReport own;
+  own.bytes_sent = comm.transport().bytes_sent();
+  own.messages_sent = comm.transport().messages_sent();
+  result.cluster.ranks = p;
+  result.cluster.transport = transport_kind_name(comm.transport().kind());
+  result.cluster.bytes_per_rank.assign(static_cast<std::size_t>(p), 0);
+  result.cluster.bytes_per_rank[static_cast<std::size_t>(r)] = own.bytes_sent;
+  if (r == 0) {
+    result.cluster.bytes_transferred = own.bytes_sent;
+    result.cluster.messages = own.messages_sent;
+    for (int src = 1; src < p; ++src) {
+      const TrafficReport peer =
+          comm.recv_vector<TrafficReport>(src, kTagTraffic).at(0);
+      result.cluster.bytes_per_rank[static_cast<std::size_t>(src)] =
+          peer.bytes_sent;
+      result.cluster.bytes_transferred += peer.bytes_sent;
+      result.cluster.messages += peer.messages_sent;
+    }
+    result.cluster.pairs_per_rank = pairs_per_rank;
+    for (const std::size_t count : pairs_per_rank)
+      result.pairs_total += count;
+    result.cluster.pairs_total = result.pairs_total;
+  } else {
+    comm.send_vector(0, std::vector<TrafficReport>{own}, kTagTraffic);
+  }
+
+  // Everyone leaves together (a finished rank closing its endpoint early
+  // would look like a failure to peers still mid-recv on TCP).
+  comm.barrier();
+  comm.transport().publish_metrics();
+  result.seconds = watch.seconds();
+  result.cluster.seconds = result.seconds;
+  return result;
+}
+
+ClusterManifest to_cluster_manifest(const ClusterStats& stats) {
+  ClusterManifest manifest;
+  manifest.transport = stats.transport;
+  manifest.ranks = stats.ranks;
+  manifest.bytes_transferred = stats.bytes_transferred;
+  manifest.messages = stats.messages;
+  manifest.bytes_per_rank = stats.bytes_per_rank;
+  manifest.pairs_per_rank.reserve(stats.pairs_per_rank.size());
+  for (const std::size_t pairs : stats.pairs_per_rank)
+    manifest.pairs_per_rank.push_back(static_cast<std::uint64_t>(pairs));
+  manifest.imbalance = stats.imbalance();
+  manifest.seconds = stats.seconds;
+  return manifest;
+}
+
+obs::Json make_cluster_run_manifest(const ShardedBuildResult& result,
+                                    const TingeConfig& config) {
+  obs::Json manifest = obs::Json::object();
+  manifest["schema_version"] = obs::Json(kManifestSchemaVersion);
+  manifest["tool"] = obs::Json(std::string("tingex"));
+  manifest["mode"] = obs::Json(std::string("cluster"));
+  manifest["config"] = config_to_json(config);
+
+  obs::Json dataset = obs::Json::object();
+  dataset["genes_in"] = obs::Json(result.genes_in);
+  dataset["genes_used"] = obs::Json(result.genes_used);
+  dataset["samples"] = obs::Json(result.samples);
+  dataset["imputed_cells"] = obs::Json(result.imputed_cells);
+  manifest["dataset"] = std::move(dataset);
+
+  obs::Json run_result = obs::Json::object();
+  run_result["edges"] = obs::Json(result.network.n_edges());
+  run_result["threshold"] = obs::Json(result.threshold);
+  run_result["marginal_entropy"] = obs::Json(result.marginal_entropy);
+  run_result["pairs_computed"] = obs::Json(result.pairs_total);
+  if (result.dpi_stats.triangles_examined > 0 ||
+      result.dpi_stats.edges_removed > 0) {
+    run_result["dpi_triangles_examined"] =
+        obs::Json(result.dpi_stats.triangles_examined);
+    run_result["dpi_edges_removed"] =
+        obs::Json(result.dpi_stats.edges_removed);
+  }
+  manifest["result"] = std::move(run_result);
+
+  manifest["cluster"] = cluster_to_json(to_cluster_manifest(result.cluster));
+  return manifest;
+}
+
+void write_cluster_run_manifest(const ShardedBuildResult& result,
+                                const TingeConfig& config,
+                                const std::string& path) {
+  obs::write_json_file(make_cluster_run_manifest(result, config), path);
+}
+
+}  // namespace tinge::cluster

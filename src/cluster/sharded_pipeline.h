@@ -1,0 +1,75 @@
+// The full TINGe pipeline as one rank of a cluster: everything the
+// single-process NetworkBuilder does, sharded over a Comm endpoint so it
+// runs identically on in-process rank-threads and on real TCP worker
+// processes.
+//
+// Stage plan (deterministic, so the result is byte-identical to the
+// single-process engine for the same inputs — test-enforced):
+//   * every rank loads the expression matrix and preprocesses locally
+//     (impute -> filter -> rank transform is deterministic, so this costs
+//     no communication and no reproducibility);
+//   * rank 0 builds the shared B-spline weight table and broadcasts it
+//     (receivers reconstruct via WeightTable's deserializing constructor);
+//   * rank 0 draws the universal permutation null, derives I_alpha and
+//     broadcasts the threshold (the null is deterministic for a seed
+//     regardless of thread count, so computing it once is both cheaper and
+//     exactly what the single-process pipeline produces);
+//   * all ranks run the TINGe-classic ring MI sweep (ring_mi.h); rank 0
+//     merges, optionally applies DPI, and gathers per-rank traffic.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/ring_mi.h"
+#include "core/config.h"
+#include "core/dpi.h"
+#include "core/null_distribution.h"
+#include "core/run_manifest.h"
+#include "data/expression_matrix.h"
+#include "graph/network.h"
+
+namespace tinge::cluster {
+
+struct ShardedBuildResult {
+  /// Merged, thresholded (and optionally DPI-filtered) network on rank 0;
+  /// empty finalized network on other ranks.
+  GeneNetwork network;
+  /// The universal permutation null (rank 0 only).
+  std::shared_ptr<const EmpiricalDistribution> null;
+  double threshold = 0.0;
+  double marginal_entropy = 0.0;
+  std::size_t genes_in = 0;
+  std::size_t genes_used = 0;
+  std::size_t samples = 0;
+  std::size_t imputed_cells = 0;
+  std::size_t pairs_total = 0;  ///< rank 0 only
+  DpiStats dpi_stats;
+  /// Communication accounting for the whole sharded run (rank 0 only;
+  /// other ranks carry just their own totals in bytes_per_rank[rank]).
+  ClusterStats cluster;
+  double seconds = 0.0;
+};
+
+/// Runs this rank's share of the pipeline. Collective: every rank of
+/// `comm`'s cluster must call it with the same expression matrix and
+/// config.
+ShardedBuildResult sharded_build(Comm& comm,
+                                 const ExpressionMatrix& expression,
+                                 const TingeConfig& config);
+
+/// Maps the cluster stats + pair counts into the core manifest section.
+ClusterManifest to_cluster_manifest(const ClusterStats& stats);
+
+/// Manifest document for a sharded run (mode "cluster"): config echo,
+/// dataset and result sections as in the single-process manifest, plus the
+/// "cluster" section with per-rank bytes and imbalance. Call on rank 0.
+obs::Json make_cluster_run_manifest(const ShardedBuildResult& result,
+                                    const TingeConfig& config);
+
+/// make_cluster_run_manifest + obs::write_json_file.
+void write_cluster_run_manifest(const ShardedBuildResult& result,
+                                const TingeConfig& config,
+                                const std::string& path);
+
+}  // namespace tinge::cluster

@@ -1,0 +1,102 @@
+// The TCP socket transport backend: ranks are real OS processes (or
+// threads) on localhost, messages are length-prefixed frames over
+// stream sockets, and wall-clock includes real kernel/network time.
+//
+// Rendezvous is file-based (no coordinator process): every rank binds an
+// ephemeral 127.0.0.1 port and publishes it atomically as
+// `<rendezvous_dir>/rank<r>.port`; rank r dials every lower rank (polling
+// for the port file and retrying refused connections with exponential
+// backoff, so late-starting workers join cleanly) and accepts from every
+// higher rank. A per-endpoint receiver thread drains every connection into
+// a (src, tag)-matched mailbox, which makes send() non-blocking in
+// practice and recv() robust to interleaved tags — the same semantics the
+// in-process backend has, test-enforced by the conformance suite.
+//
+// Barrier is message-based (gather-to-0 then release) using control frames
+// in the reserved negative tag space; control traffic is excluded from the
+// payload byte accounting so both backends report the same quantity.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/transport.h"
+
+namespace tinge::cluster {
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds, rendezvouses and connects the full peer mesh; throws
+  /// std::runtime_error if the mesh is not up within
+  /// options.connect_timeout_seconds.
+  explicit TcpTransport(const TransportOptions& options);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  int rank() const override { return rank_; }
+  int size() const override { return size_; }
+  TransportKind kind() const override { return TransportKind::Tcp; }
+
+  void send(int dest, const void* data, std::size_t bytes, int tag) override;
+
+  /// Blocks until a matching message arrives. Throws std::runtime_error if
+  /// the peer's connection closes with no matching message queued (a died
+  /// or finished peer must not deadlock the survivors).
+  std::vector<std::byte> recv(int src, int tag) override;
+
+  void barrier() override;
+
+  std::vector<PeerTraffic> peer_traffic() const override;
+
+ private:
+  struct Message {
+    int src = 0;
+    int tag = 0;
+    std::vector<std::byte> payload;
+  };
+
+  struct Peer {
+    int fd = -1;
+    bool open = false;
+    PeerTraffic traffic;
+  };
+
+  void rendezvous(const TransportOptions& options);
+  void send_frame(int dest, std::uint32_t frame_kind, int tag,
+                  const void* data, std::size_t bytes);
+  std::vector<std::byte> wait_for(int src, int tag, bool count);
+  void receiver_loop();
+  void close_all();
+
+  int rank_ = 0;
+  int size_ = 1;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+
+  mutable std::mutex mailbox_mutex_;  // guards mailbox_, peers_[*].open/traffic
+  std::condition_variable mailbox_cv_;
+  std::deque<Message> mailbox_;
+  std::vector<Peer> peers_;
+
+  std::atomic<bool> stopping_{false};
+  std::thread receiver_;
+};
+
+/// Cluster runtime over the TCP backend: N rank-threads in this process,
+/// each with a real socket endpoint rendezvoused through a fresh temporary
+/// directory (removed after the run). Real framing, real kernel path, one
+/// process — what bench_cluster_baseline's tcp mode and the conformance
+/// tests use; multi-process execution goes through launcher.h instead.
+std::unique_ptr<Cluster> make_loopback_tcp_cluster(
+    int size, const TransportOptions& options);
+
+}  // namespace tinge::cluster

@@ -1,0 +1,179 @@
+#include "cluster/transport.h"
+
+#include <deque>
+#include <stdexcept>
+
+#include "cluster/inproc_transport.h"
+#include "cluster/tcp_transport.h"
+#include "obs/metrics.h"
+#include "util/str.h"
+
+namespace tinge::cluster {
+
+const char* transport_kind_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::InProcess: return "inproc";
+    case TransportKind::Tcp: return "tcp";
+  }
+  return "unknown";
+}
+
+TransportKind parse_transport_kind(std::string_view name) {
+  if (name == "inproc") return TransportKind::InProcess;
+  if (name == "tcp") return TransportKind::Tcp;
+  throw std::invalid_argument(
+      strprintf("unknown transport '%.*s' (expected inproc|tcp)",
+                static_cast<int>(name.size()), name.data()));
+}
+
+std::uint64_t Transport::bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const PeerTraffic& peer : peer_traffic()) total += peer.bytes_sent;
+  return total;
+}
+
+std::uint64_t Transport::bytes_received() const {
+  std::uint64_t total = 0;
+  for (const PeerTraffic& peer : peer_traffic()) total += peer.bytes_received;
+  return total;
+}
+
+std::uint64_t Transport::messages_sent() const {
+  std::uint64_t total = 0;
+  for (const PeerTraffic& peer : peer_traffic()) total += peer.messages_sent;
+  return total;
+}
+
+std::uint64_t Transport::messages_received() const {
+  std::uint64_t total = 0;
+  for (const PeerTraffic& peer : peer_traffic())
+    total += peer.messages_received;
+  return total;
+}
+
+void Transport::publish_metrics() const {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::vector<PeerTraffic> peers = peer_traffic();
+  PeerTraffic total;
+  for (std::size_t peer = 0; peer < peers.size(); ++peer) {
+    total += peers[peer];
+    // Per-peer counters are only interesting when non-zero; skipping the
+    // silent peers keeps the registry proportional to actual topology.
+    if (peers[peer].messages_sent == 0 && peers[peer].messages_received == 0)
+      continue;
+    registry.counter(strprintf("cluster.transport.peer%zu.bytes_sent", peer))
+        .add(peers[peer].bytes_sent);
+    registry
+        .counter(strprintf("cluster.transport.peer%zu.bytes_received", peer))
+        .add(peers[peer].bytes_received);
+  }
+  registry.counter("cluster.transport.bytes_sent").add(total.bytes_sent);
+  registry.counter("cluster.transport.bytes_received")
+      .add(total.bytes_received);
+  registry.counter("cluster.transport.messages_sent").add(total.messages_sent);
+  registry.counter("cluster.transport.messages_received")
+      .add(total.messages_received);
+  registry.gauge("cluster.transport.rank").set(rank());
+  registry.gauge("cluster.transport.ranks").set(size());
+}
+
+void publish_cluster_run_metrics(TransportKind kind, int ranks,
+                                 std::uint64_t bytes, std::uint64_t messages,
+                                 double seconds) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("cluster.runs").add(1);
+  registry.counter("cluster.bytes_transferred").add(bytes);
+  registry.counter("cluster.messages_sent").add(messages);
+  registry.gauge("cluster.ranks").set(ranks);
+  registry.histogram("cluster.run_seconds").record(seconds);
+  registry
+      .counter(strprintf("cluster.%s.runs", transport_kind_name(kind)))
+      .add(1);
+}
+
+namespace {
+
+/// The one-rank cluster: a self-loop mailbox. Lets a single worker process
+/// run the same SPMD code path as a real cluster of size 1.
+class LocalTransport final : public Transport {
+ public:
+  LocalTransport() = default;
+
+  int rank() const override { return 0; }
+  int size() const override { return 1; }
+  TransportKind kind() const override { return TransportKind::InProcess; }
+
+  void send(int dest, const void* data, std::size_t bytes, int tag) override {
+    TINGE_EXPECTS(dest == 0);
+    Message message;
+    message.tag = tag;
+    message.payload.resize(bytes);
+    if (bytes > 0) std::memcpy(message.payload.data(), data, bytes);
+    mailbox_.push_back(std::move(message));
+    traffic_.bytes_sent += bytes;
+    ++traffic_.messages_sent;
+  }
+
+  std::vector<std::byte> recv(int src, int tag) override {
+    TINGE_EXPECTS(src == 0);
+    for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
+      if (it->tag == tag) {
+        std::vector<std::byte> payload = std::move(it->payload);
+        mailbox_.erase(it);
+        traffic_.bytes_received += payload.size();
+        ++traffic_.messages_received;
+        return payload;
+      }
+    }
+    throw std::runtime_error(
+        "LocalTransport::recv would deadlock: no queued self-message "
+        "matches the requested tag");
+  }
+
+  void barrier() override {}
+
+  std::vector<PeerTraffic> peer_traffic() const override {
+    return {traffic_};
+  }
+
+ private:
+  struct Message {
+    int tag = 0;
+    std::vector<std::byte> payload;
+  };
+  std::deque<Message> mailbox_;
+  PeerTraffic traffic_;
+};
+
+}  // namespace
+
+std::unique_ptr<Cluster> make_cluster(TransportKind kind, int size,
+                                      const TransportOptions& options) {
+  TINGE_EXPECTS(size >= 1);
+  switch (kind) {
+    case TransportKind::InProcess:
+      return std::make_unique<InProcessCluster>(size);
+    case TransportKind::Tcp:
+      return make_loopback_tcp_cluster(size, options);
+  }
+  throw std::invalid_argument("make_cluster: unknown transport kind");
+}
+
+std::unique_ptr<Transport> make_transport(TransportKind kind,
+                                          const TransportOptions& options) {
+  TINGE_EXPECTS(options.size >= 1);
+  TINGE_EXPECTS(options.rank >= 0 && options.rank < options.size);
+  switch (kind) {
+    case TransportKind::InProcess:
+      if (options.size != 1)
+        throw std::invalid_argument(
+            "make_transport(inproc) joins a single-rank cluster only; use "
+            "make_cluster(TransportKind::InProcess, n) for n rank-threads");
+      return std::make_unique<LocalTransport>();
+    case TransportKind::Tcp:
+      return std::make_unique<TcpTransport>(options);
+  }
+  throw std::invalid_argument("make_transport: unknown transport kind");
+}
+
+}  // namespace tinge::cluster

@@ -1,0 +1,207 @@
+// The pluggable cluster transport: the seam between the distributed TINGe
+// algorithm and whatever moves its bytes.
+//
+// The paper's pitch is that one chip replaces the cluster that TINGe-classic
+// (Zola et al.) needed. To make that comparison concrete we implement the
+// cluster algorithm over an abstract `Transport` — a deliberately tiny
+// MPI-flavoured subset (ranked SPMD, tagged point-to-point, barrier, byte
+// accounting) — with two interchangeable backends:
+//
+//   * InProcessCluster (inproc_transport.h): every rank is a thread,
+//     messages are buffer copies through per-rank mailboxes. Measures
+//     communication volume exactly, latency not at all.
+//   * TcpTransport (tcp_transport.h): every rank is a real OS process (or
+//     thread) speaking length-prefixed frames over localhost sockets, with
+//     file-based rendezvous and connect retry/backoff. Measures real
+//     network seconds.
+//
+// Call sites never name a concrete backend: they go through make_cluster()
+// (SPMD over N ranks in one process) or make_transport() (join as one rank
+// of a multi-process cluster), and talk through the `Comm` rank-handle
+// facade. Both backends are test-enforced to deliver identical message
+// semantics and identical pipeline results (tests/test_transport.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace tinge::cluster {
+
+/// Which concrete backend carries the messages.
+enum class TransportKind {
+  InProcess,  ///< rank-threads + mailboxes in one process (simulated network)
+  Tcp,        ///< framed localhost TCP sockets (real network path)
+};
+
+/// Stable short name ("inproc" / "tcp"), used in CLI flags and manifests.
+const char* transport_kind_name(TransportKind kind);
+
+/// Inverse of transport_kind_name. Throws std::invalid_argument on an
+/// unknown name so typos in scripts fail loudly.
+TransportKind parse_transport_kind(std::string_view name);
+
+/// Payload traffic between one rank and one peer. Control frames (barrier
+/// tokens, connection handshakes) are excluded so both backends account
+/// the same quantity: bytes the *algorithm* moved.
+struct PeerTraffic {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_received = 0;
+
+  PeerTraffic& operator+=(const PeerTraffic& other) {
+    bytes_sent += other.bytes_sent;
+    messages_sent += other.messages_sent;
+    bytes_received += other.bytes_received;
+    messages_received += other.messages_received;
+    return *this;
+  }
+};
+
+/// Options for constructing a transport endpoint / cluster runtime.
+struct TransportOptions {
+  int rank = 0;  ///< this endpoint's rank (make_transport only)
+  int size = 1;  ///< total ranks in the cluster
+  /// TCP rendezvous directory: each rank binds an ephemeral localhost port
+  /// and publishes it as `<dir>/rank<r>.port`; peers poll for the file and
+  /// connect with exponential backoff (so late-starting workers are fine).
+  /// Empty = make_cluster creates (and removes) a fresh one per run;
+  /// make_transport(Tcp) requires it.
+  std::string rendezvous_dir;
+  /// Give up on rendezvous/connect after this long.
+  double connect_timeout_seconds = 30.0;
+};
+
+/// One rank's endpoint: the pure transport interface. Methods are called
+/// by the owning rank (thread or process) only. Tags must be >= 0 — the
+/// negative tag space is reserved for internal control traffic.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+  virtual TransportKind kind() const = 0;
+
+  /// Buffered, tagged point-to-point send (never blocks indefinitely on
+  /// the receiver: every backend drains incoming frames to a mailbox).
+  virtual void send(int dest, const void* data, std::size_t bytes,
+                    int tag) = 0;
+
+  /// Blocks until a message with (src, tag) arrives; returns its payload.
+  /// Messages from the same source with *other* tags may arrive first and
+  /// are left queued — matching is by (src, tag), FIFO within a match.
+  virtual std::vector<std::byte> recv(int src, int tag) = 0;
+
+  /// All ranks must arrive before any proceeds. Reusable.
+  virtual void barrier() = 0;
+
+  /// Per-peer payload traffic of this endpoint, indexed by peer rank
+  /// (self-sends count under the own rank's slot).
+  virtual std::vector<PeerTraffic> peer_traffic() const = 0;
+
+  // --- aggregate accounting (sums of peer_traffic) ----------------------
+  std::uint64_t bytes_sent() const;
+  std::uint64_t bytes_received() const;
+  std::uint64_t messages_sent() const;
+  std::uint64_t messages_received() const;
+
+  /// Publishes this endpoint's totals and per-peer counters into the
+  /// process-global obs::MetricsRegistry (cluster.transport.* counters).
+  void publish_metrics() const;
+};
+
+/// Rank-handle facade over a Transport endpoint: the typed helpers the
+/// SPMD drivers use. Non-owning; copyable like a reference.
+class Comm {
+ public:
+  explicit Comm(Transport& transport) : transport_(&transport) {}
+
+  int rank() const { return transport_->rank(); }
+  int size() const { return transport_->size(); }
+  Transport& transport() const { return *transport_; }
+
+  void send(int dest, const void* data, std::size_t bytes, int tag) {
+    TINGE_EXPECTS(tag >= 0);
+    transport_->send(dest, data, bytes, tag);
+  }
+
+  std::vector<std::byte> recv(int src, int tag) {
+    TINGE_EXPECTS(tag >= 0);
+    return transport_->recv(src, tag);
+  }
+
+  void barrier() { transport_->barrier(); }
+
+  template <typename T>
+  void send_vector(int dest, const std::vector<T>& values, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, values.data(), values.size() * sizeof(T), tag);
+  }
+
+  template <typename T>
+  std::vector<T> recv_vector(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> raw = recv(src, tag);
+    TINGE_ENSURES(raw.size() % sizeof(T) == 0);
+    std::vector<T> values(raw.size() / sizeof(T));
+    if (!raw.empty()) std::memcpy(values.data(), raw.data(), raw.size());
+    return values;
+  }
+
+ private:
+  Transport* transport_;
+};
+
+/// A cluster runtime: owns the rank endpoints for SPMD executions inside
+/// one process (rank-threads for both backends; the TCP backend gives each
+/// thread a real socket endpoint). Multi-process execution instead uses
+/// make_transport() in each worker — see launcher.h.
+class Cluster {
+ public:
+  virtual ~Cluster() = default;
+
+  virtual int size() const = 0;
+  virtual TransportKind kind() const = 0;
+
+  /// Runs body(comm) on `size` ranks; returns when all complete.
+  /// Exceptions from any rank are rethrown on the caller (first wins).
+  virtual void run(const std::function<void(Comm&)>& body) = 0;
+
+  /// Total payload bytes moved through send() across all run() calls.
+  virtual std::uint64_t bytes_transferred() const = 0;
+  /// Total payload messages sent across all run() calls.
+  virtual std::uint64_t messages_sent() const = 0;
+  /// Per-rank aggregate traffic for the most recent run().
+  virtual std::vector<PeerTraffic> rank_traffic() const = 0;
+};
+
+/// Factory for SPMD-in-one-process execution; call sites never name a
+/// concrete backend. `options.rank`/`options.size` are ignored (the
+/// runtime owns all ranks).
+std::unique_ptr<Cluster> make_cluster(TransportKind kind, int size,
+                                      const TransportOptions& options = {});
+
+/// Factory for joining a (possibly multi-process) cluster as one rank.
+/// Tcp: rendezvous + connect per `options`. InProcess: only size == 1 is
+/// meaningful from a single call site (a loopback self-transport); use
+/// make_cluster for multi-rank in-process execution.
+std::unique_ptr<Transport> make_transport(TransportKind kind,
+                                          const TransportOptions& options);
+
+/// Shared run accounting both Cluster backends publish after an SPMD
+/// execution (cluster.runs / bytes_transferred / messages_sent / ranks /
+/// run_seconds in the global registry).
+void publish_cluster_run_metrics(TransportKind kind, int ranks,
+                                 std::uint64_t bytes, std::uint64_t messages,
+                                 double seconds);
+
+}  // namespace tinge::cluster

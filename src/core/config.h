@@ -46,6 +46,14 @@ struct TingeConfig {
   /// whole-genome runs). Removed automatically on success.
   std::string checkpoint_path;
 
+  // --- cluster execution ---------------------------------------------------
+  /// 0 = single-process engine; >= 1 = shard the pipeline across this many
+  /// ranks with the TINGe-classic ring sweep (same edges, test-enforced).
+  int cluster_ranks = 0;
+  /// Transport backend for cluster runs: "inproc" (rank-threads, simulated
+  /// network) or "tcp" (real framed sockets / worker processes).
+  std::string cluster_transport = "inproc";
+
   // --- post-processing ----------------------------------------------------
   bool apply_dpi = false;      ///< ARACNE-style indirect-edge removal
   double dpi_tolerance = 0.1;  ///< DPI tolerance epsilon

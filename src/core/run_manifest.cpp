@@ -14,6 +14,8 @@ obs::Json u64_array(const std::vector<std::uint64_t>& values) {
   return array;
 }
 
+}  // namespace
+
 obs::Json config_to_json(const TingeConfig& config) {
   obs::Json json = obs::Json::object();
   json["bins"] = obs::Json(config.bins);
@@ -29,8 +31,25 @@ obs::Json config_to_json(const TingeConfig& config) {
   json["checkpoint_path"] = obs::Json(config.checkpoint_path);
   json["apply_dpi"] = obs::Json(config.apply_dpi);
   json["dpi_tolerance"] = obs::Json(config.dpi_tolerance);
+  json["cluster_ranks"] = obs::Json(config.cluster_ranks);
+  json["cluster_transport"] = obs::Json(config.cluster_transport);
   return json;
 }
+
+obs::Json cluster_to_json(const ClusterManifest& cluster) {
+  obs::Json json = obs::Json::object();
+  json["transport"] = obs::Json(cluster.transport);
+  json["ranks"] = obs::Json(cluster.ranks);
+  json["bytes_transferred"] = obs::Json(cluster.bytes_transferred);
+  json["messages"] = obs::Json(cluster.messages);
+  json["bytes_per_rank"] = u64_array(cluster.bytes_per_rank);
+  json["pairs_per_rank"] = u64_array(cluster.pairs_per_rank);
+  json["imbalance"] = obs::Json(cluster.imbalance);
+  json["seconds"] = obs::Json(cluster.seconds);
+  return json;
+}
+
+namespace {
 
 obs::Json engine_to_json(const EngineStats& engine) {
   obs::Json json = obs::Json::object();
@@ -70,7 +89,8 @@ obs::Json pool_to_json(const BuildResult& result) {
 }  // namespace
 
 obs::Json make_run_manifest(const BuildResult& result,
-                            const TingeConfig& config) {
+                            const TingeConfig& config,
+                            const ClusterManifest* cluster) {
   obs::Json manifest = obs::Json::object();
   manifest["schema_version"] = obs::Json(kManifestSchemaVersion);
   manifest["tool"] = obs::Json(std::string("tingex"));
@@ -100,6 +120,8 @@ obs::Json make_run_manifest(const BuildResult& result,
     run_result["dpi_edges_removed"] = obs::Json(result.dpi_stats.edges_removed);
   }
   manifest["result"] = std::move(run_result);
+
+  if (cluster != nullptr) manifest["cluster"] = cluster_to_json(*cluster);
 
   if (result.trace)
     manifest["stages"] = obs::span_to_json(result.trace->root());

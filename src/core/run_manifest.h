@@ -9,7 +9,9 @@
 // The golden-run regression test pins this document's shape.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/config.h"
 #include "core/network_builder.h"
@@ -20,11 +22,34 @@ namespace tinge {
 /// Bumped whenever a field is renamed or removed (additions are free).
 inline constexpr int kManifestSchemaVersion = 1;
 
+/// What a cluster (sharded) run records about its communication layer.
+/// core cannot depend on the cluster module, so the cluster pipeline maps
+/// its own stats into this struct before manifest assembly.
+struct ClusterManifest {
+  std::string transport;  ///< "inproc" or "tcp"
+  int ranks = 0;
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t messages = 0;
+  std::vector<std::uint64_t> bytes_per_rank;
+  std::vector<std::uint64_t> pairs_per_rank;
+  double imbalance = 1.0;  ///< max/min computed pairs across ranks
+  double seconds = 0.0;
+};
+
+/// The "config" section of the manifest (exported for cluster-side
+/// manifest assembly).
+obs::Json config_to_json(const TingeConfig& config);
+
+/// The "cluster" section of the manifest.
+obs::Json cluster_to_json(const ClusterManifest& cluster);
+
 /// Assembles the manifest document from a finished build. The caller may
 /// have appended extra spans (e.g. the CLI's "output") and re-finished the
-/// trace; whatever the tree holds at call time is serialized.
+/// trace; whatever the tree holds at call time is serialized. When
+/// `cluster` is non-null the manifest gains a "cluster" section.
 obs::Json make_run_manifest(const BuildResult& result,
-                            const TingeConfig& config);
+                            const TingeConfig& config,
+                            const ClusterManifest* cluster = nullptr);
 
 /// make_run_manifest + obs::write_json_file. Throws std::runtime_error on
 /// I/O failure.

@@ -454,6 +454,20 @@ MiKernel resolve_panel_kernel(MiKernel kernel, int order) {
   return MiKernel::Simd;
 }
 
+MiKernel panel_equivalent_kernel(MiKernel kernel) {
+  switch (kernel) {
+    case MiKernel::Scalar:
+    case MiKernel::Unrolled:
+      return kernel;
+    case MiKernel::Simd:
+    case MiKernel::Replicated:
+    case MiKernel::Gather512:
+    case MiKernel::Auto:
+      return MiKernel::Simd;
+  }
+  return MiKernel::Simd;
+}
+
 namespace {
 
 // One-shot microbenchmark backing resolve_kernel_measured: times the

@@ -106,6 +106,16 @@ MiKernel resolve_kernel(MiKernel kernel, int order);
 /// or order rules it out.
 MiKernel resolve_panel_kernel(MiKernel kernel, int order);
 
+/// The per-pair kernel whose float accumulation order reproduces the
+/// engine's panel sweep bits for `kernel`: Scalar and Unrolled are exact
+/// per-pair equivalents already, while the whole SIMD family (Simd,
+/// Replicated, Gather512, Auto — including Auto's measured resolution)
+/// shares the panel path's FMA-SIMD accumulation of MiKernel::Simd.
+/// Per-pair code that must match the engine bit-for-bit (e.g. the cluster
+/// ring sweep) routes its kernel choice through this instead of passing
+/// the configured kernel straight to joint_entropy.
+MiKernel panel_equivalent_kernel(MiKernel kernel);
+
 /// Auto resolution backed by a one-shot microbenchmark: on AVX-512F builds
 /// with order <= 4 the FMA-SIMD and gather/scatter formulations are timed
 /// once per process (first table wins; subsequent calls reuse the cached

@@ -17,6 +17,11 @@ class BsplineMi {
   BsplineMi(int bins, int order, std::size_t m)
       : basis_(bins, order), table_(m, basis_) {}
 
+  /// Wraps a pre-built (e.g. broadcast-received) weight table; see the
+  /// WeightTable deserializing constructor.
+  explicit BsplineMi(WeightTable table)
+      : basis_(table.bins(), table.order()), table_(std::move(table)) {}
+
   const BsplineBasis& basis() const { return basis_; }
   const WeightTable& table() const { return table_; }
   std::size_t n_samples() const { return table_.n_samples(); }

@@ -1,5 +1,6 @@
 #include "mi/weight_table.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -37,6 +38,28 @@ WeightTable::WeightTable(std::size_t m, const BsplineBasis& basis)
     if (p > 0.0) h -= p * std::log(p);
   }
   marginal_entropy_ = h;
+}
+
+WeightTable::WeightTable(std::size_t m, int bins, int order,
+                         std::size_t weight_stride,
+                         std::span<const float> weights,
+                         std::span<const std::int32_t> first_bin,
+                         double marginal_entropy)
+    : m_(m),
+      bins_(bins),
+      order_(order),
+      weight_stride_(weight_stride),
+      weights_(m * weight_stride),
+      first_bin_(m),
+      marginal_entropy_(marginal_entropy) {
+  TINGE_EXPECTS(m >= 2);
+  TINGE_EXPECTS(order >= 1 && bins >= order);
+  TINGE_EXPECTS(weight_stride >=
+                round_up(static_cast<std::size_t>(order), 4));
+  TINGE_EXPECTS(weights.size() == m * weight_stride);
+  TINGE_EXPECTS(first_bin.size() == m);
+  std::copy(weights.begin(), weights.end(), weights_.data());
+  std::copy(first_bin.begin(), first_bin.end(), first_bin_.data());
 }
 
 }  // namespace tinge

@@ -27,6 +27,16 @@ class WeightTable {
   /// interval via (r + 0.5)/m, see rank_transform.h).
   WeightTable(std::size_t m, const BsplineBasis& basis);
 
+  /// Reconstructs a table from its serialized pieces (the cluster pipeline
+  /// builds the table once on rank 0 and broadcasts it; receiving ranks use
+  /// this instead of recomputing). `weights` must be m * weight_stride
+  /// floats and `first_bin` m entries, laid out exactly as weights_data()
+  /// / first_bin_data() expose them.
+  WeightTable(std::size_t m, int bins, int order, std::size_t weight_stride,
+              std::span<const float> weights,
+              std::span<const std::int32_t> first_bin,
+              double marginal_entropy);
+
   std::size_t n_samples() const { return m_; }
   int bins() const { return bins_; }
   int order() const { return order_; }

@@ -1,0 +1,66 @@
+# End-to-end cluster equivalence check, run as a ctest script:
+#
+#   cmake -DTINGE_CLI=<path> -DWORK_DIR=<dir> -P cluster_e2e.cmake
+#
+# The same seeded synthetic run must produce byte-identical edge lists:
+#   * single-process engine,
+#   * --cluster=2 --transport=inproc  (rank-threads, simulated network),
+#   * --cluster=2 --transport=tcp    (real worker processes + sockets),
+#   * --cluster=4 --transport=tcp,
+# and the cluster manifests must carry the per-rank traffic section.
+
+if(NOT TINGE_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DTINGE_CLI=... -DWORK_DIR=... -P cluster_e2e.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(COMMON --synthetic=60 --permutations=300 --alpha=0.01 --quiet)
+
+function(run_cli)
+  execute_process(COMMAND "${TINGE_CLI}" ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "tinge_cli ${ARGN} failed (exit ${rc}):\n${out}\n${err}")
+  endif()
+endfunction()
+
+function(require_identical reference candidate)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          "${reference}" "${candidate}"
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${candidate} differs from ${reference}")
+  endif()
+endfunction()
+
+function(require_manifest_key path key)
+  file(READ "${path}" manifest)
+  string(FIND "${manifest}" "${key}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "${path} is missing ${key}")
+  endif()
+endfunction()
+
+run_cli(${COMMON} --out=${WORK_DIR}/single.tsv)
+run_cli(${COMMON} --cluster=2 --transport=inproc
+        --out=${WORK_DIR}/inproc2.tsv --metrics-out=${WORK_DIR}/inproc2.json)
+run_cli(${COMMON} --cluster=2 --transport=tcp
+        --out=${WORK_DIR}/tcp2.tsv --metrics-out=${WORK_DIR}/tcp2.json)
+run_cli(${COMMON} --cluster=4 --transport=tcp --out=${WORK_DIR}/tcp4.tsv)
+
+require_identical(${WORK_DIR}/single.tsv ${WORK_DIR}/inproc2.tsv)
+require_identical(${WORK_DIR}/single.tsv ${WORK_DIR}/tcp2.tsv)
+require_identical(${WORK_DIR}/single.tsv ${WORK_DIR}/tcp4.tsv)
+
+require_manifest_key(${WORK_DIR}/inproc2.json "\"cluster\"")
+require_manifest_key(${WORK_DIR}/inproc2.json "\"bytes_per_rank\"")
+require_manifest_key(${WORK_DIR}/inproc2.json "\"imbalance\"")
+require_manifest_key(${WORK_DIR}/tcp2.json "\"cluster\"")
+require_manifest_key(${WORK_DIR}/tcp2.json "\"transport\": \"tcp\"")
+require_manifest_key(${WORK_DIR}/tcp2.json "\"bytes_per_rank\"")
+
+message(STATUS "cluster e2e: all transports produced identical networks")

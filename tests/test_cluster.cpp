@@ -6,9 +6,13 @@
 #include <numeric>
 #include <set>
 
+#include "cluster/inproc_transport.h"
 #include "cluster/ring_mi.h"
+#include "cluster/sharded_pipeline.h"
 #include "core/mi_engine.h"
+#include "core/network_builder.h"
 #include "stats/rng.h"
+#include "synth/expression.h"
 
 namespace tinge::cluster {
 namespace {
@@ -209,6 +213,81 @@ TEST_F(RingMiFixture, MoreRanksThanGenesStillCorrect) {
       estimator_, ranked, -1.0, 6, config, &stats);
   EXPECT_EQ(network.n_edges(), 3u);  // all pairs kept at threshold < 0
   EXPECT_EQ(stats.pairs_total, 3u);
+}
+
+TEST_F(RingMiFixture, TcpTransportMatchesSingleChipEngine) {
+  const double threshold = 0.2;
+  const GeneNetwork expected = single_chip(threshold);
+  ASSERT_GT(expected.n_edges(), 0u);
+  TingeConfig config;
+  for (const int ranks : {2, 4}) {
+    ClusterStats stats;
+    const GeneNetwork distributed =
+        cluster_compute_network(estimator_, ranked_, threshold, ranks, config,
+                                &stats, TransportKind::Tcp);
+    ASSERT_EQ(distributed.n_edges(), expected.n_edges()) << ranks << " ranks";
+    for (std::size_t i = 0; i < expected.n_edges(); ++i) {
+      EXPECT_EQ(distributed.edges()[i].u, expected.edges()[i].u);
+      EXPECT_EQ(distributed.edges()[i].v, expected.edges()[i].v);
+      EXPECT_EQ(distributed.edges()[i].weight, expected.edges()[i].weight);
+    }
+    EXPECT_EQ(stats.transport, "tcp");
+    EXPECT_GT(stats.bytes_transferred, 0u);
+    ASSERT_EQ(stats.bytes_per_rank.size(), static_cast<std::size_t>(ranks));
+  }
+}
+
+// ---- sharded full pipeline ---------------------------------------------------
+
+TEST(ShardedPipeline, MatchesSingleProcessBuilderOnBothTransports) {
+  GrnParams grn;
+  grn.n_genes = 40;
+  ExpressionParams arrays;
+  arrays.n_samples = 64;
+  const ExpressionMatrix expression =
+      simulate_expression(generate_grn(grn), arrays);
+
+  TingeConfig config;
+  config.permutations = 200;
+  config.alpha = 0.01;
+  config.threads = 1;
+  NetworkBuilder builder(config);
+  const BuildResult expected = builder.build(expression);
+  ASSERT_GT(expected.network.n_edges(), 0u);
+
+  for (const TransportKind kind :
+       {TransportKind::InProcess, TransportKind::Tcp}) {
+    const auto cluster = make_cluster(kind, 3);
+    ShardedBuildResult result;
+    cluster->run([&](Comm& comm) {
+      ShardedBuildResult local = sharded_build(comm, expression, config);
+      if (comm.rank() == 0) result = std::move(local);
+    });
+    EXPECT_EQ(result.threshold, expected.threshold);
+    EXPECT_EQ(result.marginal_entropy, expected.marginal_entropy);
+    EXPECT_EQ(result.genes_used, expected.genes_used);
+    ASSERT_EQ(result.network.n_edges(), expected.network.n_edges())
+        << transport_kind_name(kind);
+    for (std::size_t i = 0; i < expected.network.n_edges(); ++i) {
+      EXPECT_EQ(result.network.edges()[i].u, expected.network.edges()[i].u);
+      EXPECT_EQ(result.network.edges()[i].v, expected.network.edges()[i].v);
+      EXPECT_EQ(result.network.edges()[i].weight,
+                expected.network.edges()[i].weight);
+    }
+    EXPECT_EQ(result.cluster.ranks, 3);
+    EXPECT_EQ(result.cluster.transport, transport_kind_name(kind));
+    EXPECT_GT(result.cluster.bytes_transferred, 0u);
+    ASSERT_EQ(result.cluster.bytes_per_rank.size(), 3u);
+    EXPECT_EQ(result.pairs_total,
+              expected.genes_used * (expected.genes_used - 1) / 2);
+
+    // The manifest section carries the traffic accounting.
+    const obs::Json manifest = make_cluster_run_manifest(result, config);
+    const std::string document = manifest.dump();
+    EXPECT_NE(document.find("\"cluster\""), std::string::npos);
+    EXPECT_NE(document.find("\"bytes_per_rank\""), std::string::npos);
+    EXPECT_NE(document.find("\"imbalance\""), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,273 @@
+// Transport conformance suite: every backend behind make_cluster /
+// make_transport must deliver identical message semantics — tagged
+// point-to-point with (src, tag) matching, FIFO within a match, zero-byte
+// payloads, reusable barriers, and exact payload byte accounting. The
+// same test body runs against the in-process and the TCP backend.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "cluster/launcher.h"
+#include "cluster/tcp_transport.h"
+#include "cluster/transport.h"
+
+namespace tinge::cluster {
+namespace {
+
+std::string kind_label(const ::testing::TestParamInfo<TransportKind>& info) {
+  return transport_kind_name(info.param);
+}
+
+class TransportConformance : public ::testing::TestWithParam<TransportKind> {
+ protected:
+  std::unique_ptr<Cluster> cluster(int size) const {
+    return make_cluster(GetParam(), size);
+  }
+};
+
+TEST_P(TransportConformance, PointToPointRoundtrip) {
+  const auto cluster = this->cluster(2);
+  cluster->run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_vector(1, std::vector<int>{1, 2, 3}, 7);
+      EXPECT_EQ(comm.recv_vector<int>(1, 8), (std::vector<int>{4, 5}));
+    } else {
+      EXPECT_EQ(comm.recv_vector<int>(0, 7), (std::vector<int>{1, 2, 3}));
+      comm.send_vector(0, std::vector<int>{4, 5}, 8);
+    }
+  });
+  EXPECT_EQ(cluster->messages_sent(), 2u);
+  EXPECT_EQ(cluster->bytes_transferred(), 5 * sizeof(int));
+}
+
+TEST_P(TransportConformance, InterleavedTagsFromSameSource) {
+  // recv must match by tag even when messages with other tags from the
+  // same source arrived first — they stay queued for their own recv.
+  const auto cluster = this->cluster(2);
+  cluster->run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_vector(1, std::vector<int>{33}, 3);
+      comm.send_vector(1, std::vector<int>{11}, 1);
+      comm.send_vector(1, std::vector<int>{22}, 2);
+    } else {
+      EXPECT_EQ(comm.recv_vector<int>(0, 2).at(0), 22);
+      EXPECT_EQ(comm.recv_vector<int>(0, 3).at(0), 33);
+      EXPECT_EQ(comm.recv_vector<int>(0, 1).at(0), 11);
+    }
+  });
+}
+
+TEST_P(TransportConformance, FifoWithinOneTag) {
+  const auto cluster = this->cluster(2);
+  cluster->run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int value : {10, 20, 30})
+        comm.send_vector(1, std::vector<int>{value}, 4);
+    } else {
+      EXPECT_EQ(comm.recv_vector<int>(0, 4).at(0), 10);
+      EXPECT_EQ(comm.recv_vector<int>(0, 4).at(0), 20);
+      EXPECT_EQ(comm.recv_vector<int>(0, 4).at(0), 30);
+    }
+  });
+}
+
+TEST_P(TransportConformance, ZeroBytePayloads) {
+  // Zero-byte messages are real messages: they match their (src, tag) and
+  // count toward message (not byte) accounting.
+  const auto cluster = this->cluster(2);
+  cluster->run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, nullptr, 0, 5);
+      comm.send_vector(1, std::vector<int>{42}, 6);
+      comm.send(1, nullptr, 0, 5);
+    } else {
+      EXPECT_TRUE(comm.recv(0, 5).empty());
+      EXPECT_EQ(comm.recv_vector<int>(0, 6).at(0), 42);
+      EXPECT_TRUE(comm.recv(0, 5).empty());
+    }
+  });
+  EXPECT_EQ(cluster->messages_sent(), 3u);
+  EXPECT_EQ(cluster->bytes_transferred(), sizeof(int));
+}
+
+TEST_P(TransportConformance, BarrierIsReusable) {
+  const auto cluster = this->cluster(4);
+  std::atomic<int> counter{0};
+  std::atomic<bool> torn{false};
+  cluster->run([&](Comm& comm) {
+    for (int phase = 0; phase < 10; ++phase) {
+      ++counter;
+      comm.barrier();
+      if (counter.load() < 4 * (phase + 1)) torn = true;
+      comm.barrier();
+    }
+  });
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(counter.load(), 40);
+}
+
+TEST_P(TransportConformance, ByteAccountingIsExact) {
+  // Rank r sends (r + 1) ints around a ring: totals, per-rank traffic and
+  // send/recv symmetry must all be exact (control frames excluded).
+  const auto cluster = this->cluster(3);
+  cluster->run([](Comm& comm) {
+    const int r = comm.rank();
+    const int next = (r + 1) % 3;
+    const int prev = (r + 2) % 3;
+    comm.send_vector(next, std::vector<int>(static_cast<std::size_t>(r + 1), r),
+                     9);
+    const auto received = comm.recv_vector<int>(prev, 9);
+    EXPECT_EQ(received.size(), static_cast<std::size_t>(prev + 1));
+    comm.barrier();  // barrier traffic must not appear in the accounting
+  });
+  EXPECT_EQ(cluster->messages_sent(), 3u);
+  EXPECT_EQ(cluster->bytes_transferred(), (1 + 2 + 3) * sizeof(int));
+  const std::vector<PeerTraffic> traffic = cluster->rank_traffic();
+  ASSERT_EQ(traffic.size(), 3u);
+  for (int r = 0; r < 3; ++r) {
+    const auto& rank = traffic[static_cast<std::size_t>(r)];
+    EXPECT_EQ(rank.bytes_sent, (static_cast<std::size_t>(r) + 1) * sizeof(int));
+    EXPECT_EQ(rank.messages_sent, 1u);
+    EXPECT_EQ(rank.bytes_received,
+              (static_cast<std::size_t>((r + 2) % 3) + 1) * sizeof(int));
+    EXPECT_EQ(rank.messages_received, 1u);
+  }
+}
+
+TEST_P(TransportConformance, SelfSendDeliversAndCounts) {
+  const auto cluster = this->cluster(2);
+  cluster->run([](Comm& comm) {
+    comm.send_vector(comm.rank(), std::vector<int>{comm.rank() + 7}, 2);
+    EXPECT_EQ(comm.recv_vector<int>(comm.rank(), 2).at(0), comm.rank() + 7);
+  });
+  EXPECT_EQ(cluster->messages_sent(), 2u);
+  EXPECT_EQ(cluster->bytes_transferred(), 2 * sizeof(int));
+}
+
+TEST_P(TransportConformance, ExceptionInOneRankPropagates) {
+  const auto cluster = this->cluster(2);
+  EXPECT_THROW(cluster->run([](Comm& comm) {
+                 if (comm.rank() == 1) throw std::runtime_error("rank boom");
+               }),
+               std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
+                         ::testing::Values(TransportKind::InProcess,
+                                           TransportKind::Tcp),
+                         kind_label);
+
+// ---- factory behavior ------------------------------------------------------
+
+TEST(TransportKindNames, RoundtripAndRejection) {
+  EXPECT_EQ(parse_transport_kind("inproc"), TransportKind::InProcess);
+  EXPECT_EQ(parse_transport_kind("tcp"), TransportKind::Tcp);
+  EXPECT_STREQ(transport_kind_name(TransportKind::InProcess), "inproc");
+  EXPECT_STREQ(transport_kind_name(TransportKind::Tcp), "tcp");
+  EXPECT_THROW(parse_transport_kind("mpi"), std::invalid_argument);
+}
+
+TEST(MakeTransport, InprocSingleRankLoopback) {
+  const auto transport =
+      make_transport(TransportKind::InProcess, TransportOptions{});
+  Comm comm(*transport);
+  EXPECT_EQ(comm.size(), 1);
+  comm.barrier();
+  comm.send_vector(0, std::vector<int>{3}, 1);
+  EXPECT_EQ(comm.recv_vector<int>(0, 1).at(0), 3);
+  EXPECT_EQ(transport->bytes_sent(), sizeof(int));
+  EXPECT_EQ(transport->bytes_received(), sizeof(int));
+}
+
+TEST(MakeTransport, InprocMultiRankIsRejected) {
+  TransportOptions options;
+  options.size = 2;
+  EXPECT_THROW(make_transport(TransportKind::InProcess, options),
+               std::invalid_argument);
+}
+
+// ---- TCP-specific behavior -------------------------------------------------
+
+TEST(TcpTransportTest, LateDialerJoinsTheMesh) {
+  // Rank 1 (the dialer) starts 300 ms after rank 0 is already listening;
+  // rank 0's accept loop must wait for it.
+  const std::string dir = make_rendezvous_dir();
+  TransportOptions base;
+  base.size = 2;
+  base.rendezvous_dir = dir;
+  base.connect_timeout_seconds = 10.0;
+  std::thread late([&base] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    TransportOptions options = base;
+    options.rank = 1;
+    TcpTransport transport(options);
+    Comm comm(transport);
+    comm.send_vector(0, std::vector<int>{5}, 1);
+    EXPECT_EQ(comm.recv_vector<int>(0, 2).at(0), 6);
+  });
+  TransportOptions options = base;
+  options.rank = 0;
+  {
+    TcpTransport transport(options);
+    Comm comm(transport);
+    EXPECT_EQ(comm.recv_vector<int>(1, 1).at(0), 5);
+    comm.send_vector(1, std::vector<int>{6}, 2);
+    late.join();
+  }
+  remove_rendezvous_dir(dir);
+}
+
+TEST(TcpTransportTest, LateListenerIsRetriedWithBackoff) {
+  // Rank 0 (the listener) publishes its port 300 ms after rank 1 started
+  // dialing; rank 1 must poll the port file and retry, not fail.
+  const std::string dir = make_rendezvous_dir();
+  TransportOptions base;
+  base.size = 2;
+  base.rendezvous_dir = dir;
+  base.connect_timeout_seconds = 10.0;
+  std::thread dialer([&base] {
+    TransportOptions options = base;
+    options.rank = 1;
+    TcpTransport transport(options);  // starts dialing before rank 0 exists
+    Comm comm(transport);
+    EXPECT_EQ(comm.recv_vector<int>(0, 3).at(0), 1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  TransportOptions options = base;
+  options.rank = 0;
+  {
+    TcpTransport transport(options);
+    Comm comm(transport);
+    comm.send_vector(1, std::vector<int>{1}, 3);
+    dialer.join();
+  }
+  remove_rendezvous_dir(dir);
+}
+
+TEST(TcpTransportTest, RendezvousTimesOutWithoutPeers) {
+  const std::string dir = make_rendezvous_dir();
+  TransportOptions options;
+  options.rank = 1;  // dials rank 0, which never appears
+  options.size = 2;
+  options.rendezvous_dir = dir;
+  options.connect_timeout_seconds = 0.3;
+  EXPECT_THROW(TcpTransport transport(options), std::runtime_error);
+  remove_rendezvous_dir(dir);
+}
+
+TEST(TcpTransportTest, PeerExitWithoutMessageFailsRecv) {
+  // A finished (or crashed) peer must fail a pending recv instead of
+  // deadlocking the survivor.
+  const auto cluster = make_cluster(TransportKind::Tcp, 2);
+  EXPECT_THROW(cluster->run([](Comm& comm) {
+                 if (comm.rank() == 0)
+                   comm.recv(1, 1);  // rank 1 exits without sending
+               }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tinge::cluster
