@@ -11,7 +11,10 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/mi_engine.h"
 #include "data/expression_matrix.h"
+#include "mi/bspline_mi.h"
+#include "parallel/thread_pool.h"
 #include "parallel/topology.h"
 #include "preprocess/rank_transform.h"
 #include "simd/feature.h"
@@ -53,6 +56,46 @@ class RandomRanks {
  private:
   RankedMatrix ranked_;
 };
+
+/// The engine rig every scaling/ablation harness shares: random rank
+/// profiles plus the paper's b=10, k=3 estimator and an MiEngine over them.
+class EngineFixture {
+ public:
+  EngineFixture(std::size_t n_genes, std::size_t m, std::uint64_t seed = 99)
+      : data_(n_genes, m, seed),
+        estimator_(10, 3, m),
+        engine_(estimator_, data_.ranked()) {}
+
+  const RankedMatrix& ranked() const { return data_.ranked(); }
+  const BsplineMi& estimator() const { return estimator_; }
+  const MiEngine& engine() const { return engine_; }
+
+ private:
+  RandomRanks data_;
+  BsplineMi estimator_;
+  MiEngine engine_;
+};
+
+/// Engine config for a perf pass. tile_size 0 keeps the library default.
+inline TingeConfig engine_config(
+    int threads, std::size_t tile_size = 0,
+    par::Schedule schedule = par::Schedule::Dynamic) {
+  TingeConfig config;
+  config.threads = threads;
+  if (tile_size > 0) config.tile_size = tile_size;
+  config.schedule = schedule;
+  return config;
+}
+
+/// One thresholded engine pass. The threshold (10 nats) sits above any
+/// attainable MI, so the edge set stays empty and the timing is pure sweep
+/// cost.
+inline EngineStats timed_pass(const MiEngine& engine, par::ThreadPool& pool,
+                              const TingeConfig& config) {
+  EngineStats stats;
+  engine.compute_network(/*threshold=*/10.0, config, pool, &stats);
+  return stats;
+}
 
 /// Synthetic GRN-backed expression dataset for accuracy experiments.
 inline SyntheticDataset accuracy_dataset(std::size_t genes, std::size_t samples,

@@ -26,19 +26,15 @@ int main(int argc, char** argv) {
       "F3: runtime vs number of genes (fixed m)",
       strprintf("m=%zu samples, %d threads; expect t ~ n^2", m, threads));
 
-  const BsplineMi estimator(10, 3, m);
   par::ThreadPool pool(threads);
 
   Table table({"genes", "pairs", "seconds", "pairs/s", "t/t_prev", "n^2 ratio"});
   double previous_seconds = 0.0;
   std::size_t previous_n = 0;
   for (std::size_t n = max_genes / 8; n <= max_genes; n *= 2) {
-    const bench::RandomRanks data(n, m);
-    const MiEngine engine(estimator, data.ranked());
-    TingeConfig config;
-    config.threads = threads;
-    EngineStats stats;
-    engine.compute_network(10.0, config, pool, &stats);
+    const bench::EngineFixture fixture(n, m);
+    const EngineStats stats = bench::timed_pass(
+        fixture.engine(), pool, bench::engine_config(threads));
     std::string growth = "-", expected = "-";
     if (previous_n != 0) {
       growth = strprintf("%.2fx", stats.seconds / previous_seconds);

@@ -33,13 +33,9 @@ int main(int argc, char** argv) {
   double previous_seconds = 0.0;
   std::size_t previous_m = 0;
   for (std::size_t m = max_m / 16; m <= max_m; m *= 2) {
-    const bench::RandomRanks data(n, m);
-    const BsplineMi estimator(10, 3, m);
-    const MiEngine engine(estimator, data.ranked());
-    TingeConfig config;
-    config.threads = threads;
-    EngineStats stats;
-    engine.compute_network(10.0, config, pool, &stats);
+    const bench::EngineFixture fixture(n, m);
+    const EngineStats stats = bench::timed_pass(
+        fixture.engine(), pool, bench::engine_config(threads));
     std::string growth = "-", expected = "-";
     if (previous_m != 0) {
       growth = strprintf("%.2fx", stats.seconds / previous_seconds);

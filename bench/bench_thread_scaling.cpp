@@ -35,9 +35,7 @@ int main(int argc, char** argv) {
       strprintf("all-pairs MI over %zu genes x %zu samples (%zu pairs)", n, m,
                 n * (n - 1) / 2));
 
-  const bench::RandomRanks data(n, m);
-  const BsplineMi estimator(10, 3, m);
-  const MiEngine engine(estimator, data.ranked());
+  const bench::EngineFixture fixture(n, m);
 
   par::Schedule schedule = par::Schedule::Dynamic;
   if (args.get("schedule") == "static") schedule = par::Schedule::Static;
@@ -51,12 +49,8 @@ int main(int argc, char** argv) {
   double single_thread_rate = 0.0;
   for (const int threads : thread_counts) {
     par::ThreadPool pool(threads);
-    TingeConfig config;
-    config.threads = threads;
-    config.tile_size = 32;
-    config.schedule = schedule;
-    EngineStats stats;
-    engine.compute_network(/*threshold=*/10.0, config, pool, &stats);
+    const EngineStats stats = bench::timed_pass(
+        fixture.engine(), pool, bench::engine_config(threads, 32, schedule));
     if (threads == 1) {
       t1 = stats.seconds;
       single_thread_rate =
@@ -84,12 +78,8 @@ int main(int argc, char** argv) {
     par::ThreadPool pool(sched_threads);
     for (const par::Schedule s : {par::Schedule::Static, par::Schedule::Dynamic,
                                   par::Schedule::Guided}) {
-      TingeConfig config;
-      config.threads = sched_threads;
-      config.tile_size = 32;
-      config.schedule = s;
-      EngineStats stats;
-      engine.compute_network(10.0, config, pool, &stats);
+      const EngineStats stats = bench::timed_pass(
+          fixture.engine(), pool, bench::engine_config(sched_threads, 32, s));
       sched_table.add_row({par::schedule_name(s),
                            strprintf("%.3f", stats.seconds),
                            bench::rate_str(
@@ -109,11 +99,10 @@ int main(int argc, char** argv) {
     par::ThreadPool pool(team_threads);
     for (const int team_size : {1, 2, 4}) {
       if (team_threads % team_size != 0) continue;
-      TingeConfig config;
-      config.threads = team_threads;
-      config.tile_size = 32;
-      EngineStats stats;
-      engine.compute_network_teamed(10.0, config, pool, team_size, &stats);
+      TingeConfig config = bench::engine_config(team_threads, 32);
+      config.team_size = team_size;
+      const EngineStats stats =
+          bench::timed_pass(fixture.engine(), pool, config);
       teamed.add_row({std::to_string(team_threads), std::to_string(team_size),
                       strprintf("%.3f", stats.seconds),
                       bench::rate_str(

@@ -29,9 +29,7 @@ int main(int argc, char** argv) {
                 "set = 2*T*%zu bytes",
                 n, m, threads, m * sizeof(std::uint32_t)));
 
-  const bench::RandomRanks data(n, m);
-  const BsplineMi estimator(10, 3, m);
-  const MiEngine engine(estimator, data.ranked());
+  const bench::EngineFixture fixture(n, m);
   par::ThreadPool pool(threads);
 
   Table table({"tile T", "tiles", "working set", "seconds", "pairs/s",
@@ -46,11 +44,8 @@ int main(int argc, char** argv) {
   double best = 1e300;
   for (std::size_t tile : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
     if (tile > n) break;
-    TingeConfig config;
-    config.threads = threads;
-    config.tile_size = tile;
-    EngineStats stats;
-    engine.compute_network(10.0, config, pool, &stats);
+    const EngineStats stats = bench::timed_pass(
+        fixture.engine(), pool, bench::engine_config(threads, tile));
     rows.push_back(Row{tile, stats.tiles, stats.seconds, stats.pairs_computed});
     best = std::min(best, stats.seconds);
   }

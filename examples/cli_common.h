@@ -46,6 +46,8 @@ inline void add_pipeline_options(ArgParser& args) {
            strprintf("%d", defaults.threads));
   args.add("tile", "tile size (genes per tile side)",
            strprintf("%zu", defaults.tile_size));
+  args.add("team", "threads per tile-claiming team (must divide threads)",
+           strprintf("%d", defaults.team_size));
   args.add("panel", "MI panel width B, 1-8 (0 = auto from cache footprint)",
            strprintf("%d", defaults.panel_width));
   args.add("kernel",
@@ -111,6 +113,7 @@ inline TingeConfig config_from_args(const ArgParser& args) {
   config.permutations = static_cast<std::size_t>(args.get_int("permutations"));
   config.threads = static_cast<int>(args.get_int("threads"));
   config.tile_size = static_cast<std::size_t>(args.get_int("tile"));
+  config.team_size = static_cast<int>(args.get_int("team"));
   config.panel_width = static_cast<int>(args.get_int("panel"));
   const std::string kernel_arg = args.get("kernel");
   bool matched = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/sweep.h"
 #include "util/timer.h"
 
 namespace tinge::cluster {
@@ -86,62 +87,45 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
                        std::vector<std::size_t>* pairs_per_rank_out) {
   TINGE_EXPECTS(estimator.n_samples() == ranked.n_samples());
   const std::size_t m = ranked.n_samples();
-  const float threshold_f = static_cast<float>(threshold);
   const int r = comm.rank();
   const int p = comm.size();
-  // The engine computes MI with panel sweeps, where every SIMD-family
-  // kernel (including Auto's measured resolution) shares one accumulation
-  // order; pick the per-pair kernel that reproduces those bits so the
-  // sharded network is byte-identical to the single-chip one.
-  const MiKernel kernel = panel_equivalent_kernel(config.kernel);
+  // The same panel kernel plan as the single-chip engine: panel results are
+  // bit-identical to per-pair joint_entropy with the matching kernel and
+  // independent of tile/panel grouping, so the sharded network is
+  // byte-identical to the single-chip one even though the rank-block tiles
+  // cut the pair space differently.
+  const PanelPlan panels = plan_panels(estimator, config);
 
   // "Local load" of the resident block (not communication).
   const Block resident = load_block(ranked, p, static_cast<std::uint32_t>(r));
 
-  JointHistogram scratch = estimator.make_scratch();
-  std::vector<Edge> edges;
+  // One thread per rank, no pool (classic flat-MPI TINGe); edges accumulate
+  // across all of this rank's run_sweep calls in one sink.
+  const SweepOptions options;
+  EdgeSink sink(threshold, /*contexts=*/1);
   std::size_t pairs = 0;
 
-  const auto compute_cross = [&](const Block& a, const Block& b) {
-    for (std::size_t i = 0; i < a.gene_count; ++i) {
-      const std::uint32_t* ri = a.ranks.data() + i * m;
-      const auto gi = static_cast<std::uint32_t>(a.first_gene + i);
-      for (std::size_t j = 0; j < b.gene_count; ++j) {
-        const std::uint32_t* rj = b.ranks.data() + j * m;
-        const auto gj = static_cast<std::uint32_t>(b.first_gene + j);
-        // Kernel arguments in global gene order: the joint histogram is
-        // mathematically symmetric but its float summation order is not,
-        // and results must be bit-identical to the single-chip engine.
-        const double h =
-            gi < gj ? joint_entropy(estimator.table(), ri, rj, m, scratch,
-                                    kernel)
-                    : joint_entropy(estimator.table(), rj, ri, m, scratch,
-                                    kernel);
-        const float mi =
-            static_cast<float>(2.0 * estimator.marginal_entropy() - h);
-        ++pairs;
-        if (mi >= threshold_f) {
-          edges.push_back(gi < gj ? Edge{gi, gj, mi} : Edge{gj, gi, mi});
-        }
-      }
-    }
+  // Sweeps the upper-triangle/rectangle plan over the two blocks' buffers.
+  // Rows are always the lower-gene-range block, so kernel arguments stay in
+  // global gene order — the joint histogram is mathematically symmetric but
+  // its float summation order is not.
+  const auto sweep_blocks = [&](const SweepPlan& plan, const Block& lo,
+                                const Block& hi) {
+    const auto row = [&](std::size_t g) {
+      const Block& block = g >= hi.first_gene ? hi : lo;
+      return block.ranks.data() + (g - block.first_gene) * m;
+    };
+    const std::vector<SweepCounters> counters =
+        run_sweep(plan, estimator, row, panels, /*pool=*/nullptr, options,
+                  sink);
+    pairs += counters[0].pairs;
   };
 
   // Diagonal (within-block) pairs.
-  for (std::size_t i = 0; i < resident.gene_count; ++i) {
-    const std::uint32_t* ri = resident.ranks.data() + i * m;
-    const auto gi = static_cast<std::uint32_t>(resident.first_gene + i);
-    for (std::size_t j = i + 1; j < resident.gene_count; ++j) {
-      const std::uint32_t* rj = resident.ranks.data() + j * m;
-      const auto gj = static_cast<std::uint32_t>(resident.first_gene + j);
-      const double h =
-          joint_entropy(estimator.table(), ri, rj, m, scratch, kernel);
-      const float mi =
-          static_cast<float>(2.0 * estimator.marginal_entropy() - h);
-      ++pairs;
-      if (mi >= threshold_f) edges.push_back(Edge{gi, gj, mi});
-    }
-  }
+  sweep_blocks(SweepPlan::triangular(resident.first_gene,
+                                     resident.first_gene + resident.gene_count,
+                                     config.tile_size),
+               resident, resident);
 
   // Ring pipeline: forward the traveling block, compute owned pairs.
   Block traveling = resident;
@@ -153,9 +137,19 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
         unpack_block(comm.recv_vector<std::uint32_t>(prev, kTagRing + step));
     const int a = std::min(r, static_cast<int>(traveling.id));
     const int b = std::max(r, static_cast<int>(traveling.id));
-    if (a != b && block_pair_owner(a, b, p) == r)
-      compute_cross(resident, traveling);
+    if (a != b && block_pair_owner(a, b, p) == r) {
+      const Block& lo =
+          resident.first_gene < traveling.first_gene ? resident : traveling;
+      const Block& hi =
+          resident.first_gene < traveling.first_gene ? traveling : resident;
+      sweep_blocks(
+          SweepPlan::rectangular(lo.first_gene, lo.first_gene + lo.gene_count,
+                                 hi.first_gene, hi.first_gene + hi.gene_count,
+                                 config.tile_size),
+          lo, hi);
+    }
   }
+  std::vector<Edge> edges = sink.take_all();
 
   // Results to rank 0; rank 0 merges in rank order (0, 1, ..., p-1) so the
   // edge list is deterministic regardless of arrival order.

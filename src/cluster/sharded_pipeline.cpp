@@ -1,17 +1,34 @@
 #include "cluster/sharded_pipeline.h"
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 
+#include "core/mi_engine.h"
 #include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "preprocess/filter.h"
 #include "preprocess/rank_transform.h"
+#include "util/str.h"
 #include "util/timer.h"
 
 namespace tinge::cluster {
 
 namespace {
+
+// A stage span that exists only when a local caller grafted a trace on;
+// the cluster CLI path runs span-free.
+class OptionalSpan {
+ public:
+  OptionalSpan(obs::Trace* trace, const char* name) {
+    if (trace != nullptr) span_.emplace(*trace, name);
+  }
+
+ private:
+  std::optional<obs::TraceSpan> span_;
+};
 
 // Collective tags, far above the ring sweep's range (ring uses 1..p and
 // 10000/10001).
@@ -78,7 +95,14 @@ BsplineMi broadcast_estimator(Comm& comm, const RankedMatrix& ranked,
 
 ShardedBuildResult sharded_build(Comm& comm,
                                  const ExpressionMatrix& expression,
-                                 const TingeConfig& config) {
+                                 const TingeConfig& config,
+                                 const LocalPipelineHooks& hooks) {
+  return sharded_build(comm, expression.clone(), config, hooks);
+}
+
+ShardedBuildResult sharded_build(Comm& comm, ExpressionMatrix&& expression,
+                                 const TingeConfig& config,
+                                 const LocalPipelineHooks& hooks) {
   config.validate();
   const Stopwatch watch;
   const int r = comm.rank();
@@ -87,33 +111,85 @@ ShardedBuildResult sharded_build(Comm& comm,
   ShardedBuildResult result;
   result.genes_in = expression.n_genes();
 
+  // The null build and the p == 1 engine sweep share one pool: the
+  // caller's when grafted, otherwise one created on first use.
+  std::unique_ptr<par::ThreadPool> owned_pool;
+  const auto ensure_pool = [&]() -> par::ThreadPool& {
+    if (hooks.pool != nullptr) return *hooks.pool;
+    if (!owned_pool) {
+      const int pool_threads =
+          config.threads > 0 ? config.threads
+                             : par::detect_host_topology().total_threads();
+      owned_pool = std::make_unique<par::ThreadPool>(pool_threads);
+    }
+    return *owned_pool;
+  };
+
   // Stage 1: rank-local preprocessing (deterministic on every rank).
-  ExpressionMatrix working = expression.clone();
-  result.imputed_cells = impute_missing_with_median(working);
-  FilterResult filtered = filter_genes(working, config.filter);
-  TINGE_EXPECTS(filtered.matrix.n_genes() >= 2);
-  result.genes_used = filtered.matrix.n_genes();
-  working = std::move(filtered.matrix);
-  const RankedMatrix ranked(working);
-  result.samples = ranked.n_samples();
+  ExpressionMatrix working = std::move(expression);
+  RankedMatrix ranked;
+  {
+    const OptionalSpan span(hooks.trace, "preprocess");
+    std::size_t dropped_low_variance = 0, dropped_missing = 0;
+    {
+      const OptionalSpan impute_span(hooks.trace, "impute");
+      result.imputed_cells = impute_missing_with_median(working);
+    }
+    {
+      const OptionalSpan filter_span(hooks.trace, "filter");
+      FilterResult filtered = filter_genes(working, config.filter);
+      result.genes_used = filtered.matrix.n_genes();
+      dropped_low_variance = filtered.dropped_low_variance;
+      dropped_missing = filtered.dropped_missing;
+      TINGE_EXPECTS(filtered.matrix.n_genes() >= 2);
+      working = std::move(filtered.matrix);
+    }
+    {
+      const OptionalSpan rank_span(hooks.trace, "rank");
+      ranked = RankedMatrix(working);
+    }
+    result.samples = ranked.n_samples();
+    if (hooks.log)
+      hooks.log(strprintf("preprocess: %zu/%zu genes kept (%zu low-variance, "
+                          "%zu missing dropped), %zu cells imputed",
+                          result.genes_used, result.genes_in,
+                          dropped_low_variance, dropped_missing,
+                          result.imputed_cells));
+  }
 
   // Stage 2: shared weight table, built once and broadcast.
-  const BsplineMi estimator = broadcast_estimator(comm, ranked, config);
+  const BsplineMi estimator = [&] {
+    const OptionalSpan span(hooks.trace, "weight_table");
+    return broadcast_estimator(comm, ranked, config);
+  }();
   result.marginal_entropy = estimator.marginal_entropy();
+  if (hooks.log)
+    hooks.log(strprintf("weight table: b=%d k=%d m=%zu, H_marginal=%.4f nats",
+                        config.bins, config.spline_order, ranked.n_samples(),
+                        result.marginal_entropy));
 
   // Stage 3: universal permutation null on rank 0, threshold broadcast.
   // build_null_distribution is deterministic for a seed regardless of
   // thread count, so one rank computing it reproduces the single-process
   // pipeline exactly.
   if (r == 0) {
-    const int pool_threads =
-        config.threads > 0 ? config.threads
-                           : par::detect_host_topology().total_threads();
-    par::ThreadPool pool(pool_threads);
-    result.null = std::make_shared<EmpiricalDistribution>(
-        build_null_distribution(estimator, config.permutations, config.seed,
-                                pool, config.threads, config.kernel));
-    result.threshold = threshold_for_alpha(*result.null, config.alpha);
+    {
+      const OptionalSpan span(hooks.trace, "null");
+      result.null = std::make_shared<EmpiricalDistribution>(
+          build_null_distribution(estimator, config.permutations, config.seed,
+                                  ensure_pool(), config.threads,
+                                  config.kernel));
+    }
+    {
+      const OptionalSpan span(hooks.trace, "threshold");
+      result.threshold = threshold_for_alpha(*result.null, config.alpha);
+      obs::MetricsRegistry::global().gauge("null.threshold")
+          .set(result.threshold);
+      if (hooks.log)
+        hooks.log(strprintf("null: q=%zu draws, I_alpha(%.2e)=%.5f nats",
+                            config.permutations, config.alpha,
+                            result.threshold));
+    }
     for (int dest = 1; dest < p; ++dest)
       comm.send_vector(dest, std::vector<double>{result.threshold},
                        kTagThreshold);
@@ -121,16 +197,55 @@ ShardedBuildResult sharded_build(Comm& comm,
     result.threshold = comm.recv_vector<double>(0, kTagThreshold).at(0);
   }
 
-  // Stage 4: the distributed ring MI sweep.
+  // Stage 4: the all-pairs MI sweep. A single-rank cluster IS the
+  // single-process pipeline, so it runs the tiled multithreaded engine
+  // (checkpointing and teamed scheduling included); p > 1 runs the
+  // TINGe-classic ring, one single-threaded sweep per rank.
   std::vector<std::size_t> pairs_per_rank;
-  result.network =
-      ring_sweep(comm, estimator, ranked, result.threshold, config,
-                 &pairs_per_rank);
+  {
+    const OptionalSpan span(hooks.trace, "mi_sweep");
+    if (p == 1) {
+      const MiEngine engine(estimator, ranked);
+      EngineStats local_stats;
+      EngineStats* stats =
+          hooks.engine != nullptr ? hooks.engine : &local_stats;
+      if (config.checkpoint_path.empty()) {
+        result.network = engine.compute_network(result.threshold, config,
+                                                ensure_pool(), stats);
+      } else {
+        result.network = engine.compute_network_checkpointed(
+            result.threshold, config, ensure_pool(), config.checkpoint_path,
+            stats);
+      }
+      pairs_per_rank.assign(1, stats->pairs_computed);
+      if (hooks.log)
+        hooks.log(strprintf(
+            "mi pass: kernel=%s panel=%d, %zu pairs, %zu significant "
+            "edges (%.2f%%)",
+            stats->kernel, stats->panel_width, stats->pairs_computed,
+            result.network.n_edges(),
+            stats->pairs_computed > 0
+                ? 100.0 * static_cast<double>(result.network.n_edges()) /
+                      static_cast<double>(stats->pairs_computed)
+                : 0.0));
+    } else {
+      result.network = ring_sweep(comm, estimator, ranked, result.threshold,
+                                  config, &pairs_per_rank);
+    }
+  }
 
   // Stage 5: DPI on the merged network (rank 0 only).
-  if (r == 0 && config.apply_dpi)
+  if (r == 0 && config.apply_dpi) {
+    const OptionalSpan span(hooks.trace, "dpi");
     result.network =
         apply_dpi(result.network, config.dpi_tolerance, &result.dpi_stats);
+    if (hooks.log)
+      hooks.log(strprintf("dpi: %zu triangles, %zu edges removed, %zu edges "
+                          "remain",
+                          result.dpi_stats.triangles_examined,
+                          result.dpi_stats.edges_removed,
+                          result.network.n_edges()));
+  }
 
   // Traffic gather: snapshot local totals first so the gather itself is
   // not part of the reported algorithm traffic.
@@ -161,9 +276,14 @@ ShardedBuildResult sharded_build(Comm& comm,
   }
 
   // Everyone leaves together (a finished rank closing its endpoint early
-  // would look like a failure to peers still mid-recv on TCP).
-  comm.barrier();
-  comm.transport().publish_metrics();
+  // would look like a failure to peers still mid-recv on TCP). At one rank
+  // there is no peer to wait for, and publishing the self-loop transport's
+  // cluster.* counters would dirty the delegated single-process run's
+  // metrics delta.
+  if (p > 1) {
+    comm.barrier();
+    comm.transport().publish_metrics();
+  }
   result.seconds = watch.seconds();
   result.cluster.seconds = result.seconds;
   return result;

@@ -14,12 +14,20 @@
 //     broadcasts the threshold (the null is deterministic for a seed
 //     regardless of thread count, so computing it once is both cheaper and
 //     exactly what the single-process pipeline produces);
-//   * all ranks run the TINGe-classic ring MI sweep (ring_mi.h); rank 0
-//     merges, optionally applies DPI, and gathers per-rank traffic.
+//   * all ranks run the MI sweep — the TINGe-classic ring (ring_mi.h) at
+//     p > 1, the tiled multithreaded engine at p == 1; rank 0 merges,
+//     optionally applies DPI, and gathers per-rank traffic.
+//
+// At one rank over the self-loop transport this IS the single-process
+// pipeline: NetworkBuilder::run delegates here, grafting its trace, logger,
+// pool and engine stats on via LocalPipelineHooks, so the two orchestrations
+// are one code path.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "cluster/ring_mi.h"
 #include "core/config.h"
@@ -28,6 +36,16 @@
 #include "core/run_manifest.h"
 #include "data/expression_matrix.h"
 #include "graph/network.h"
+
+namespace tinge {
+struct EngineStats;
+namespace obs {
+class Trace;
+}  // namespace obs
+namespace par {
+class ThreadPool;
+}  // namespace par
+}  // namespace tinge
 
 namespace tinge::cluster {
 
@@ -51,12 +69,40 @@ struct ShardedBuildResult {
   double seconds = 0.0;
 };
 
+/// Optional grafts from a local caller. NetworkBuilder::run is a 1-rank
+/// sharded_build over the self-loop transport; it threads its trace, pool,
+/// engine stats and logger through here so the delegated build produces
+/// exactly the spans, log lines and stats its own orchestration used to.
+/// Everything may be left null/empty (the cluster CLI path does).
+struct LocalPipelineHooks {
+  /// Stage spans (preprocess(impute, filter, rank), weight_table, null,
+  /// threshold, mi_sweep, dpi) are opened on this trace when non-null.
+  obs::Trace* trace = nullptr;
+  /// Thread pool for the null build and the p == 1 engine sweep; when null
+  /// a pool is created lazily from config.threads / the host topology.
+  par::ThreadPool* pool = nullptr;
+  /// Filled by the p == 1 engine sweep when non-null (untouched at p > 1 —
+  /// the ring ranks are single-threaded and report via ClusterStats).
+  EngineStats* engine = nullptr;
+  /// Stage announcement sink (NetworkBuilder's logger format).
+  std::function<void(std::string_view)> log;
+};
+
 /// Runs this rank's share of the pipeline. Collective: every rank of
 /// `comm`'s cluster must call it with the same expression matrix and
-/// config.
+/// config. At comm.size() == 1 the MI sweep is the tiled multithreaded
+/// engine (honoring config.checkpoint_path and config.team_size) rather
+/// than the ring — this is the single-process pipeline.
 ShardedBuildResult sharded_build(Comm& comm,
                                  const ExpressionMatrix& expression,
-                                 const TingeConfig& config);
+                                 const TingeConfig& config,
+                                 const LocalPipelineHooks& hooks = {});
+
+/// Move-in overload: preprocessing mutates the matrix in place instead of
+/// cloning it (NetworkBuilder's rvalue build path).
+ShardedBuildResult sharded_build(Comm& comm, ExpressionMatrix&& expression,
+                                 const TingeConfig& config,
+                                 const LocalPipelineHooks& hooks = {});
 
 /// Maps the cluster stats + pair counts into the core manifest section.
 ClusterManifest to_cluster_manifest(const ClusterStats& stats);

@@ -25,6 +25,15 @@ struct TingeConfig {
   MiKernel kernel = MiKernel::Auto;
   par::Schedule schedule = par::Schedule::Dynamic;
 
+  /// Threads per tile-claiming team (the Phi's hardware threads of one
+  /// core): 1 = flat dynamic scheduling (one tile per thread); > 1 groups
+  /// that many consecutive pool contexts into teams that claim one tile
+  /// together and split its panels round-robin. Must divide the effective
+  /// thread count (checked when the sweep starts, since `threads = 0`
+  /// resolves against the pool width). Results are bit-identical either
+  /// way.
+  int team_size = 1;
+
   /// Panel width B for the row-reuse MI kernel: each tile row is swept as
   /// batches of B column genes sharing the row gene's table lookups.
   /// 0 = auto (largest B <= kMaxPanelWidth whose histograms fit the panel

@@ -1,134 +1,37 @@
 #include "core/mi_engine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <memory>
 #include <cstdio>
-#include <mutex>
-#include <span>
 
 #include "core/checkpoint.h"
-
-#include "parallel/barrier.h"
-#include "parallel/parallel_for.h"
-#include "parallel/reduction.h"
-#include "util/str.h"
+#include "core/sweep.h"
 #include "util/timer.h"
 
 namespace tinge {
 
 namespace {
 
-// Kernel and panel width resolved once per engine call, before the parallel
-// region: config Auto goes through the one-shot microbenchmark here (not in
-// the hot loop), and the stats report the variant that actually ran.
-struct PanelPlan {
-  MiKernel kernel;   ///< concrete kernel handed to every panel sweep
-  int width;         ///< panel width B (1..kMaxPanelWidth)
-  const char* name;  ///< resolved variant name for EngineStats
-};
+// Every compute_* method is a configuration of run_sweep (core/sweep.h):
+// the same triangular plan and panel kernel, differing only in scheduler
+// options and sink. The executor owns the tile/panel loops, the teamed
+// claiming protocol and the resume filter; the methods below just wire a
+// plan + scheduler + sink together and finalize the stats.
 
-PanelPlan plan_panels(const BsplineMi& estimator, const TingeConfig& config) {
-  const WeightTable& table = estimator.table();
-  const int width = config.panel_width > 0
-                        ? std::min(config.panel_width, kMaxPanelWidth)
-                        : auto_panel_width(table);
-  const MiKernel kernel = resolve_kernel_measured(config.kernel, table, width);
-  return {kernel, width,
-          kernel_name(resolve_panel_kernel(kernel, table.order()))};
+SweepOptions sweep_options(const TingeConfig& config,
+                           const par::ThreadPool& pool) {
+  SweepOptions options;
+  options.threads = config.threads > 0
+                        ? std::min(config.threads, pool.max_threads())
+                        : pool.max_threads();
+  options.schedule = config.schedule;
+  options.team_size = config.team_size;
+  return options;
 }
 
-// Per-context tally of one engine pass. Plain counters on per-thread slots:
-// the observability layer costs one integer bump per tile/panel/pair in
-// thread-private cache lines, nothing shared.
-struct TileCounters {
-  std::uint64_t tiles = 0;   ///< tiles this context completed
-  std::uint64_t pairs = 0;   ///< pairs this context computed
-  std::uint64_t panels = 0;  ///< panel sweeps this context ran
-};
-
-/// Sweeps one tile with the row-reuse panel kernel; emit(i, j, mi) fires
-/// once per pair in row-major order — the same order for_each_pair visits.
-/// Tallies pairs and panel sweeps into `counters`.
-template <typename Emit>
-void sweep_tile_panels(const BsplineMi& estimator, const RankedMatrix& ranks,
-                       const Tile& tile, const PanelPlan& plan,
-                       JointHistogram& scratch, TileCounters& counters,
-                       Emit&& emit) {
-  const std::uint32_t* ry[kMaxPanelWidth];
-  double mi[kMaxPanelWidth];
-  for_each_row_panel(
-      tile, static_cast<std::size_t>(plan.width),
-      [&](std::size_t i, std::size_t j0, std::size_t width) {
-        for (std::size_t p = 0; p < width; ++p)
-          ry[p] = ranks.ranks(j0 + p).data();
-        estimator.mi_panel(ranks.ranks(i), ry, width, scratch, plan.kernel,
-                           mi);
-        ++counters.panels;
-        counters.pairs += width;
-        for (std::size_t p = 0; p < width; ++p) emit(i, j0 + p, mi[p]);
-      });
-}
-
-/// The one place every engine path reports through: fills EngineStats (when
-/// requested) and publishes the identical numbers as deltas into the
-/// engine.* instruments of the process-wide registry. Keeping a single
-/// finalizer is what makes the four paths' accounting consistent by
-/// construction.
-void finalize_pass(EngineStats* stats, const PanelPlan& plan,
-                   const TileSet& tiles, double seconds,
-                   std::span<const TileCounters> per_thread,
-                   std::size_t edges_emitted, std::size_t tiles_resumed,
-                   std::size_t pairs_resumed) {
-  std::uint64_t pairs = 0, panels = 0, tiles_done = 0;
-  for (const TileCounters& c : per_thread) {
-    pairs += c.pairs;
-    panels += c.panels;
-    tiles_done += c.tiles;
-  }
-
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
-  registry.counter("engine.runs").add(1);
-  registry.counter("engine.pairs_computed").add(pairs);
-  registry.counter("engine.pairs_resumed").add(pairs_resumed);
-  registry.counter("engine.edges_emitted").add(edges_emitted);
-  registry.counter("engine.tiles_completed").add(tiles_done);
-  registry.counter("engine.tiles_resumed").add(tiles_resumed);
-  registry.counter("engine.panels_swept").add(panels);
-  registry.gauge("engine.panel_width").set(plan.width);
-  registry.gauge("engine.seconds").set(seconds);
-  registry.histogram("engine.pass_seconds").record(seconds);
-  for (std::size_t tid = 0; tid < per_thread.size(); ++tid) {
-    registry.counter(strprintf("engine.thread.%zu.tiles", tid))
-        .add(per_thread[tid].tiles);
-    registry.counter(strprintf("engine.thread.%zu.pairs", tid))
-        .add(per_thread[tid].pairs);
-  }
-
-  if (stats != nullptr) {
-    stats->pairs_computed = pairs + pairs_resumed;
-    stats->pairs_resumed = pairs_resumed;
-    stats->edges_emitted = edges_emitted;
-    stats->tiles = tiles.count();
-    stats->tiles_resumed = tiles_resumed;
-    stats->panels_swept = panels;
-    stats->seconds = seconds;
-    stats->kernel = plan.name;
-    stats->panel_width = plan.width;
-    stats->tiles_per_thread.assign(per_thread.size(), 0);
-    stats->pairs_per_thread.assign(per_thread.size(), 0);
-    for (std::size_t tid = 0; tid < per_thread.size(); ++tid) {
-      stats->tiles_per_thread[tid] = per_thread[tid].tiles;
-      stats->pairs_per_thread[tid] = per_thread[tid].pairs;
-    }
-  }
-}
-
-std::vector<TileCounters> collect(const par::PerThread<TileCounters>& state) {
-  std::vector<TileCounters> all(static_cast<std::size_t>(state.size()));
-  for (int t = 0; t < state.size(); ++t)
-    all[static_cast<std::size_t>(t)] = state.local(t);
-  return all;
+std::uint64_t total_pairs_swept(const std::vector<SweepCounters>& counters) {
+  std::uint64_t pairs = 0;
+  for (const SweepCounters& c : counters) pairs += c.pairs;
+  return pairs;
 }
 
 }  // namespace
@@ -176,53 +79,24 @@ GeneNetwork MiEngine::compute_network(double threshold,
                                       EngineStats* stats) const {
   config.validate();
   const Stopwatch watch;
-  const std::size_t n = ranks_.n_genes();
-  const TileSet tiles(n, config.tile_size);
-  const int threads = config.threads > 0
-                          ? std::min(config.threads, pool.max_threads())
-                          : pool.max_threads();
-  const PanelPlan plan = plan_panels(estimator_, config);
+  const SweepPlan plan =
+      SweepPlan::triangular(0, ranks_.n_genes(), config.tile_size);
+  const PanelPlan panels = plan_panels(estimator_, config);
+  const SweepOptions options = sweep_options(config, pool);
 
-  struct ThreadState {
-    std::vector<Edge> edges;
-    TileCounters counters;
-  };
-  par::PerThread<ThreadState> state(threads);
-
-  par::parallel_for(
-      pool, threads, 0, tiles.count(), 1, config.schedule,
-      [&](std::size_t tile_begin, std::size_t tile_end, int tid) {
-        JointHistogram scratch = estimator_.make_scratch();
-        ThreadState& local = state.local(tid);
-        const float threshold_f = static_cast<float>(threshold);
-        for (std::size_t t = tile_begin; t < tile_end; ++t) {
-          ++local.counters.tiles;
-          sweep_tile_panels(
-              estimator_, ranks_, tiles.tile(t), plan, scratch, local.counters,
-              [&](std::size_t i, std::size_t j, double mi) {
-                const float mi_f = static_cast<float>(mi);
-                if (mi_f >= threshold_f) {
-                  local.edges.push_back(Edge{static_cast<std::uint32_t>(i),
-                                             static_cast<std::uint32_t>(j),
-                                             mi_f});
-                }
-              });
-        }
-      });
+  EdgeSink sink(threshold, options.threads);
+  const std::vector<SweepCounters> counters = run_sweep(
+      plan, estimator_, [this](std::size_t g) { return ranks_.ranks(g).data(); },
+      panels, &pool, options, sink);
 
   GeneNetwork network(ranks_.gene_names());
-  std::vector<TileCounters> counters(static_cast<std::size_t>(state.size()));
-  for (int t = 0; t < state.size(); ++t) {
-    network.add_edges(state.local(t).edges);
-    counters[static_cast<std::size_t>(t)] = state.local(t).counters;
-  }
+  sink.drain_into(network);
   network.finalize();
 
-  finalize_pass(stats, plan, tiles, watch.seconds(), counters,
-                network.n_edges(), /*tiles_resumed=*/0, /*pairs_resumed=*/0);
-  std::uint64_t pairs = 0;
-  for (const TileCounters& c : counters) pairs += c.pairs;
-  TINGE_ENSURES(pairs == tiles.total_pairs());
+  finalize_engine_pass(stats, panels, plan.count(), watch.seconds(), counters,
+                       network.n_edges(), /*tiles_resumed=*/0,
+                       /*pairs_resumed=*/0);
+  TINGE_ENSURES(total_pairs_swept(counters) == plan.total_pairs());
   return network;
 }
 
@@ -232,120 +106,47 @@ GeneNetwork MiEngine::compute_network_checkpointed(
     const std::function<void(std::size_t, std::size_t)>& progress) const {
   config.validate();
   const Stopwatch watch;
-  const std::size_t n = ranks_.n_genes();
-  const TileSet tiles(n, config.tile_size);
-  const int threads = config.threads > 0
-                          ? std::min(config.threads, pool.max_threads())
-                          : pool.max_threads();
-  const PanelPlan plan = plan_panels(estimator_, config);
+  const SweepPlan plan =
+      SweepPlan::triangular(0, ranks_.n_genes(), config.tile_size);
+  const PanelPlan panels = plan_panels(estimator_, config);
+  SweepOptions options = sweep_options(config, pool);
 
   const RunSignature signature{
-      n, ranks_.n_samples(), config.tile_size,
+      ranks_.n_genes(), ranks_.n_samples(), config.tile_size,
       static_cast<std::uint32_t>(estimator_.basis().bins()),
       static_cast<std::uint32_t>(estimator_.basis().order()), threshold};
-
-  // Resume state: tiles already journaled by a previous attempt.
-  std::vector<char> done(tiles.count(), 0);
-  std::vector<TileRecord> prior_records;
-  if (checkpoint_matches(checkpoint_path, signature)) {
-    CheckpointState state = load_checkpoint(checkpoint_path);
-    for (TileRecord& record : state.records) {
-      if (record.tile_index < tiles.count() &&
-          !done[static_cast<std::size_t>(record.tile_index)]) {
-        done[static_cast<std::size_t>(record.tile_index)] = 1;
-        prior_records.push_back(std::move(record));
-      }
-    }
-  }
-  // Resumed tiles count toward the pass totals (the result covers their
-  // pairs) but are tracked separately — the scheduler counters only cover
-  // work this run actually executed.
-  std::size_t pairs_resumed = 0;
-  for (const TileRecord& record : prior_records)
-    pairs_resumed +=
-        tiles.tile(static_cast<std::size_t>(record.tile_index)).pair_count();
+  const ResumeState resume =
+      load_resume_state(checkpoint_path, signature, plan);
+  options.skip = &resume.done;
 
   // Rewrite the journal fresh (drops any torn tail), replaying prior tiles.
   CheckpointWriter writer(checkpoint_path, signature);
-  for (const TileRecord& record : prior_records)
+  for (const TileRecord& record : resume.records)
     writer.append_tile(record.tile_index, record.edges);
 
-  // Progress throttle: the callback serializes workers behind a mutex, so
-  // at whole-genome tile counts it is invoked at most once per `interval`
-  // tiles or ~100 ms (whichever comes first); the final tile always
-  // reports, and interval == 1 restores exact per-tile callbacks.
   const std::size_t interval =
       config.progress_tile_interval > 0
           ? config.progress_tile_interval
-          : std::max<std::size_t>(1, tiles.count() / 128);
-  constexpr std::int64_t kProgressMinMicros = 100'000;  // ~100 ms
-  std::mutex progress_mutex;
-  std::atomic<std::size_t> last_reported{prior_records.size()};
-  std::atomic<std::int64_t> last_report_us{0};
-  std::atomic<std::size_t> tiles_done{prior_records.size()};
-  par::PerThread<TileCounters> state(threads);
-
-  par::parallel_for(
-      pool, threads, 0, tiles.count(), 1, config.schedule,
-      [&](std::size_t tile_begin, std::size_t tile_end, int tid) {
-        JointHistogram scratch = estimator_.make_scratch();
-        TileCounters& local = state.local(tid);
-        std::vector<Edge> tile_edges;
-        const float threshold_f = static_cast<float>(threshold);
-        for (std::size_t t = tile_begin; t < tile_end; ++t) {
-          if (done[t]) continue;
-          tile_edges.clear();
-          sweep_tile_panels(
-              estimator_, ranks_, tiles.tile(t), plan, scratch, local,
-              [&](std::size_t i, std::size_t j, double mi) {
-                const float mi_f = static_cast<float>(mi);
-                if (mi_f >= threshold_f) {
-                  tile_edges.push_back(Edge{static_cast<std::uint32_t>(i),
-                                            static_cast<std::uint32_t>(j),
-                                            mi_f});
-                }
-              });
-          writer.append_tile(t, tile_edges);
-          ++local.tiles;
-          const std::size_t completed =
-              tiles_done.fetch_add(1, std::memory_order_acq_rel) + 1;
-          if (progress) {
-            bool due = interval <= 1 || completed == tiles.count() ||
-                       completed -
-                               last_reported.load(std::memory_order_relaxed) >=
-                           interval;
-            if (!due) {
-              const auto now_us =
-                  static_cast<std::int64_t>(watch.seconds() * 1e6);
-              due = now_us - last_report_us.load(std::memory_order_relaxed) >=
-                    kProgressMinMicros;
-            }
-            if (due) {
-              std::lock_guard<std::mutex> lock(progress_mutex);
-              last_reported.store(completed, std::memory_order_relaxed);
-              last_report_us.store(
-                  static_cast<std::int64_t>(watch.seconds() * 1e6),
-                  std::memory_order_relaxed);
-              progress(completed, tiles.count());
-            }
-          }
-        }
-      });
-
+          : std::max<std::size_t>(1, plan.count() / 128);
+  JournalSink sink(writer, threshold, options.threads,
+                   {progress, interval, plan.count(), resume.records.size()});
+  const std::vector<SweepCounters> counters = run_sweep(
+      plan, estimator_, [this](std::size_t g) { return ranks_.ranks(g).data(); },
+      panels, &pool, options, sink);
   writer.close();
 
   // All tiles journaled: assemble the network from the (now complete) file
   // so the result is exactly what a resume would produce.
   const CheckpointState final_state = load_checkpoint(checkpoint_path);
-  TINGE_ENSURES(final_state.completed_tiles().size() == tiles.count());
+  TINGE_ENSURES(final_state.completed_tiles().size() == plan.count());
   GeneNetwork network(ranks_.gene_names());
-  const std::vector<Edge> edges = final_state.all_edges();
-  network.add_edges(edges);
+  network.add_edges(final_state.all_edges());
   network.finalize();
   std::remove(checkpoint_path.c_str());
 
-  finalize_pass(stats, plan, tiles, watch.seconds(), collect(state),
-                network.n_edges(), prior_records.size(), pairs_resumed);
+  finalize_engine_pass(stats, panels, plan.count(), watch.seconds(), counters,
+                       network.n_edges(), resume.records.size(),
+                       resume.pairs_resumed);
   return network;
 }
 
@@ -354,100 +155,10 @@ GeneNetwork MiEngine::compute_network_teamed(double threshold,
                                              par::ThreadPool& pool,
                                              int team_size,
                                              EngineStats* stats) const {
-  config.validate();
   TINGE_EXPECTS(team_size >= 1);
-  const Stopwatch watch;
-  const std::size_t n = ranks_.n_genes();
-  const TileSet tiles(n, config.tile_size);
-  const int threads = config.threads > 0
-                          ? std::min(config.threads, pool.max_threads())
-                          : pool.max_threads();
-  TINGE_EXPECTS(threads % team_size == 0);
-  const int n_teams = threads / team_size;
-  const PanelPlan plan = plan_panels(estimator_, config);
-
-  struct ThreadState {
-    std::vector<Edge> edges;
-    TileCounters counters;
-  };
-  par::PerThread<ThreadState> state(threads);
-
-  // Per-team coordination: the leader claims the next tile from the global
-  // counter; a team barrier publishes it to the members; every member then
-  // walks the tile's panels and takes those congruent to its member id
-  // (panels — not pairs — are the unit of splitting, so each member runs
-  // whole row-reuse sweeps).
-  std::atomic<std::size_t> next_tile{0};
-  struct alignas(kSimdAlignment) TeamSlot {
-    std::size_t tile = 0;
-    std::unique_ptr<par::SpinBarrier> barrier;
-  };
-  std::vector<TeamSlot> teams(static_cast<std::size_t>(n_teams));
-  for (auto& team : teams)
-    team.barrier = std::make_unique<par::SpinBarrier>(team_size);
-
-  pool.run(threads, [&](int tid, int /*width*/) {
-    const int team_id = tid / team_size;
-    const int member = tid % team_size;
-    TeamSlot& team = teams[static_cast<std::size_t>(team_id)];
-    JointHistogram scratch = estimator_.make_scratch();
-    ThreadState& local = state.local(tid);
-    const float threshold_f = static_cast<float>(threshold);
-    const std::uint32_t* ry[kMaxPanelWidth];
-    double mi[kMaxPanelWidth];
-
-    while (true) {
-      if (member == 0)
-        team.tile = next_tile.fetch_add(1, std::memory_order_relaxed);
-      team.barrier->arrive_and_wait();
-      const std::size_t t = team.tile;
-      if (t >= tiles.count()) break;
-      // The tile is attributed to the claiming leader in the scheduler
-      // counters; panel/pair work is attributed to the member that ran it.
-      if (member == 0) ++local.counters.tiles;
-      std::size_t panel_index = 0;
-      for_each_row_panel(
-          tiles.tile(t), static_cast<std::size_t>(plan.width),
-          [&](std::size_t i, std::size_t j0, std::size_t width) {
-            if (static_cast<int>(panel_index++ %
-                                 static_cast<std::size_t>(team_size)) !=
-                member)
-              return;
-            for (std::size_t p = 0; p < width; ++p)
-              ry[p] = ranks_.ranks(j0 + p).data();
-            estimator_.mi_panel(ranks_.ranks(i), ry, width, scratch,
-                                plan.kernel, mi);
-            ++local.counters.panels;
-            local.counters.pairs += width;
-            for (std::size_t p = 0; p < width; ++p) {
-              const float mi_f = static_cast<float>(mi[p]);
-              if (mi_f >= threshold_f) {
-                local.edges.push_back(Edge{static_cast<std::uint32_t>(i),
-                                           static_cast<std::uint32_t>(j0 + p),
-                                           mi_f});
-              }
-            }
-          });
-      // Second barrier keeps members in lock-step with the leader's next
-      // claim (the leader must not overwrite team.tile early).
-      team.barrier->arrive_and_wait();
-    }
-  });
-
-  GeneNetwork network(ranks_.gene_names());
-  std::vector<TileCounters> counters(static_cast<std::size_t>(state.size()));
-  for (int t = 0; t < state.size(); ++t) {
-    network.add_edges(state.local(t).edges);
-    counters[static_cast<std::size_t>(t)] = state.local(t).counters;
-  }
-  network.finalize();
-
-  finalize_pass(stats, plan, tiles, watch.seconds(), counters,
-                network.n_edges(), /*tiles_resumed=*/0, /*pairs_resumed=*/0);
-  std::uint64_t pairs = 0;
-  for (const TileCounters& c : counters) pairs += c.pairs;
-  TINGE_ENSURES(pairs == tiles.total_pairs());
-  return network;
+  TingeConfig teamed = config;
+  teamed.team_size = team_size;
+  return compute_network(threshold, teamed, pool, stats);
 }
 
 std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
@@ -458,31 +169,18 @@ std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
   const std::size_t n = ranks_.n_genes();
   TINGE_EXPECTS(n <= 1u << 15);  // dense mode is for study-sized problems
   std::vector<float> mi_matrix(n * n, 0.0f);
-  const TileSet tiles(n, config.tile_size);
-  const int threads = config.threads > 0
-                          ? std::min(config.threads, pool.max_threads())
-                          : pool.max_threads();
-  const PanelPlan plan = plan_panels(estimator_, config);
-  par::PerThread<TileCounters> state(threads);
+  const SweepPlan plan = SweepPlan::triangular(0, n, config.tile_size);
+  const PanelPlan panels = plan_panels(estimator_, config);
+  const SweepOptions options = sweep_options(config, pool);
 
-  par::parallel_for(
-      pool, threads, 0, tiles.count(), 1, config.schedule,
-      [&](std::size_t tile_begin, std::size_t tile_end, int tid) {
-        JointHistogram scratch = estimator_.make_scratch();
-        TileCounters& local = state.local(tid);
-        for (std::size_t t = tile_begin; t < tile_end; ++t) {
-          ++local.tiles;
-          sweep_tile_panels(estimator_, ranks_, tiles.tile(t), plan, scratch,
-                            local, [&](std::size_t i, std::size_t j, double mi) {
-                              const float mi_f = static_cast<float>(mi);
-                              mi_matrix[i * n + j] = mi_f;
-                              mi_matrix[j * n + i] = mi_f;
-                            });
-        }
-      });
+  DenseSink sink(mi_matrix.data(), n);
+  const std::vector<SweepCounters> counters = run_sweep(
+      plan, estimator_, [this](std::size_t g) { return ranks_.ranks(g).data(); },
+      panels, &pool, options, sink);
 
-  finalize_pass(stats, plan, tiles, watch.seconds(), collect(state),
-                /*edges_emitted=*/0, /*tiles_resumed=*/0, /*pairs_resumed=*/0);
+  finalize_engine_pass(stats, panels, plan.count(), watch.seconds(), counters,
+                       /*edges_emitted=*/0, /*tiles_resumed=*/0,
+                       /*pairs_resumed=*/0);
   return mi_matrix;
 }
 

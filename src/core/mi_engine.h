@@ -12,6 +12,13 @@
 // above the significance threshold are kept; everything else is discarded
 // immediately — at whole-genome scale the dense MI matrix (15,575^2 floats
 // ~ 1 GB) is never materialized.
+//
+// Every compute_* method below is a thin configuration of the unified
+// sweep executor (core/sweep.h, DESIGN.md §6d): one triangular tile plan,
+// the scheduler options from the config (flat or teamed, plus the resume
+// filter for checkpointed runs) and a sink (edge buffers, journal, dense
+// matrix). The tile/panel loops, the teamed claiming protocol and the
+// stats finalizer exist once, in the executor.
 #pragma once
 
 #include <functional>
@@ -94,7 +101,8 @@ class MiEngine {
   MiEngine(const BsplineMi& estimator, const RankedMatrix& ranks);
 
   /// All-pairs MI with thresholding: returns the network of pairs with
-  /// MI >= threshold (weights are MI in nats).
+  /// MI >= threshold (weights are MI in nats). Honors config.team_size:
+  /// > 1 runs the teamed scheduler (see compute_network_teamed).
   GeneNetwork compute_network(double threshold, const TingeConfig& config,
                               par::ThreadPool& pool,
                               EngineStats* stats = nullptr) const;
@@ -116,6 +124,8 @@ class MiEngine {
   /// the final tile always reports and an interval of 1 restores per-tile
   /// callbacks. An exception thrown from it aborts the run exactly like a
   /// crash would — which is how the failure-injection tests exercise resume.
+  /// Honors config.team_size, so a checkpointed run can resume under the
+  /// teamed scheduler (and vice versa — the journal is scheduler-agnostic).
   GeneNetwork compute_network_checkpointed(
       double threshold, const TingeConfig& config, par::ThreadPool& pool,
       const std::string& checkpoint_path, EngineStats* stats = nullptr,
@@ -126,7 +136,10 @@ class MiEngine {
   /// its members split the tile's pairs round-robin, so the tile's two gene
   /// blocks are shared in the core's cache instead of each thread streaming
   /// its own tile. team_size must divide config.threads (or the pool width
-  /// when config.threads is 0). Results are identical to compute_network.
+  /// when config.threads is 0) — a clear ContractViolation otherwise.
+  /// Results are identical to compute_network. Equivalent to
+  /// compute_network with config.team_size = team_size (kept as the named
+  /// entry point the paper's teamed experiments call).
   GeneNetwork compute_network_teamed(double threshold,
                                      const TingeConfig& config,
                                      par::ThreadPool& pool, int team_size,

@@ -1,20 +1,17 @@
 #include "core/network_builder.h"
 
 #include <memory>
+#include <utility>
 
-#include "core/dpi.h"
+#include "cluster/sharded_pipeline.h"
+#include "cluster/transport.h"
 #include "parallel/thread_pool.h"
-#include "util/str.h"
 #include "util/timer.h"
 
 namespace tinge {
 
 NetworkBuilder::NetworkBuilder(TingeConfig config) : config_(config) {
   config_.validate();
-}
-
-void NetworkBuilder::log(const std::string& message) const {
-  if (logger_) logger_(message);
 }
 
 BuildResult NetworkBuilder::build(const ExpressionMatrix& expression) const {
@@ -27,7 +24,6 @@ BuildResult NetworkBuilder::build(ExpressionMatrix&& expression) const {
 
 BuildResult NetworkBuilder::run(ExpressionMatrix working) const {
   BuildResult result;
-  result.genes_in = working.n_genes();
   result.trace = std::make_shared<obs::Trace>();
   obs::Trace& trace = *result.trace;
   const obs::MetricsSnapshot metrics_before =
@@ -38,94 +34,30 @@ BuildResult NetworkBuilder::run(ExpressionMatrix working) const {
                                : par::detect_host_topology().total_threads();
   par::ThreadPool pool(pool_threads);
 
-  // Stage 1: preprocessing -------------------------------------------------
-  RankedMatrix ranked;
-  {
-    const obs::TraceSpan span(trace, "preprocess");
-    std::size_t dropped_low_variance = 0, dropped_missing = 0;
-    {
-      const obs::TraceSpan impute_span(trace, "impute");
-      result.imputed_cells = impute_missing_with_median(working);
-    }
-    {
-      const obs::TraceSpan filter_span(trace, "filter");
-      FilterResult filtered = filter_genes(working, config_.filter);
-      result.genes_used = filtered.matrix.n_genes();
-      dropped_low_variance = filtered.dropped_low_variance;
-      dropped_missing = filtered.dropped_missing;
-      TINGE_EXPECTS(filtered.matrix.n_genes() >= 2);
-      working = std::move(filtered.matrix);
-    }
-    {
-      const obs::TraceSpan rank_span(trace, "rank");
-      ranked = RankedMatrix(working);
-    }
-    result.samples = ranked.n_samples();
-    log(strprintf("preprocess: %zu/%zu genes kept (%zu low-variance, %zu "
-                  "missing dropped), %zu cells imputed",
-                  result.genes_used, result.genes_in, dropped_low_variance,
-                  dropped_missing, result.imputed_cells));
-  }
+  // The pipeline itself is the 1-rank case of the sharded cluster build,
+  // run over the self-loop transport — one orchestration for both the
+  // single-process and the distributed paths (DESIGN.md §6d). The hooks
+  // graft this run's trace, pool, engine stats and logger onto it.
+  const std::unique_ptr<cluster::Transport> transport =
+      cluster::make_transport(cluster::TransportKind::InProcess, {});
+  cluster::Comm comm(*transport);
+  cluster::LocalPipelineHooks hooks;
+  hooks.trace = &trace;
+  hooks.pool = &pool;
+  hooks.engine = &result.engine;
+  hooks.log = logger_;
+  cluster::ShardedBuildResult sharded =
+      cluster::sharded_build(comm, std::move(working), config_, hooks);
 
-  // Stage 2: shared B-spline weight table -----------------------------------
-  std::unique_ptr<BsplineMi> estimator;
-  {
-    const obs::TraceSpan span(trace, "weight_table");
-    estimator = std::make_unique<BsplineMi>(config_.bins, config_.spline_order,
-                                            ranked.n_samples());
-    result.marginal_entropy = estimator->marginal_entropy();
-    log(strprintf("weight table: b=%d k=%d m=%zu, H_marginal=%.4f nats",
-                  config_.bins, config_.spline_order, ranked.n_samples(),
-                  result.marginal_entropy));
-  }
-
-  // Stage 3: universal permutation null -------------------------------------
-  {
-    const obs::TraceSpan span(trace, "null");
-    result.null = std::make_shared<EmpiricalDistribution>(
-        build_null_distribution(*estimator, config_.permutations, config_.seed,
-                                pool, config_.threads, config_.kernel));
-  }
-  {
-    const obs::TraceSpan span(trace, "threshold");
-    result.threshold = threshold_for_alpha(*result.null, config_.alpha);
-    obs::MetricsRegistry::global().gauge("null.threshold")
-        .set(result.threshold);
-    log(strprintf("null: q=%zu draws, I_alpha(%.2e)=%.5f nats",
-                  config_.permutations, config_.alpha, result.threshold));
-  }
-
-  // Stage 4: all-pairs MI with thresholding ---------------------------------
-  {
-    const obs::TraceSpan span(trace, "mi_sweep");
-    const MiEngine engine(*estimator, ranked);
-    if (config_.checkpoint_path.empty()) {
-      result.network = engine.compute_network(result.threshold, config_, pool,
-                                              &result.engine);
-    } else {
-      result.network = engine.compute_network_checkpointed(
-          result.threshold, config_, pool, config_.checkpoint_path,
-          &result.engine);
-    }
-    log(strprintf("mi pass: kernel=%s panel=%d, %zu pairs, %zu significant "
-                  "edges (%.2f%%)",
-                  result.engine.kernel, result.engine.panel_width,
-                  result.engine.pairs_computed, result.network.n_edges(),
-                  result.engine.pairs_computed > 0
-                      ? 100.0 * static_cast<double>(result.network.n_edges()) /
-                            static_cast<double>(result.engine.pairs_computed)
-                      : 0.0));
-  }
-
-  // Stage 5: DPI (optional) --------------------------------------------------
-  if (config_.apply_dpi) {
-    const obs::TraceSpan span(trace, "dpi");
-    result.network =
-        apply_dpi(result.network, config_.dpi_tolerance, &result.dpi_stats);
-    log(strprintf("dpi: %zu triangles, %zu edges removed, %zu edges remain",
-                  result.dpi_stats.triangles_examined,
-                  result.dpi_stats.edges_removed, result.network.n_edges()));
-  }
+  result.network = std::move(sharded.network);
+  result.null = std::move(sharded.null);
+  result.threshold = sharded.threshold;
+  result.marginal_entropy = sharded.marginal_entropy;
+  result.genes_in = sharded.genes_in;
+  result.genes_used = sharded.genes_used;
+  result.samples = sharded.samples;
+  result.imputed_cells = sharded.imputed_cells;
+  result.dpi_stats = sharded.dpi_stats;
 
   result.pool_busy_seconds = pool.busy_seconds_all();
   result.pool_lifetime_seconds = pool.lifetime_seconds();

@@ -77,7 +77,6 @@ class NetworkBuilder {
 
  private:
   BuildResult run(ExpressionMatrix working) const;
-  void log(const std::string& message) const;
 
   TingeConfig config_;
   std::function<void(std::string_view)> logger_;

@@ -24,6 +24,7 @@ obs::Json config_to_json(const TingeConfig& config) {
   json["permutations"] = obs::Json(config.permutations);
   json["tile_size"] = obs::Json(config.tile_size);
   json["threads"] = obs::Json(config.threads);
+  json["team_size"] = obs::Json(config.team_size);
   json["kernel"] = obs::Json(std::string(kernel_name(config.kernel)));
   json["schedule"] = obs::Json(std::string(par::schedule_name(config.schedule)));
   json["panel_width"] = obs::Json(config.panel_width);

@@ -1,0 +1,141 @@
+#include "core/sweep.h"
+
+#include <utility>
+
+#include "core/mi_engine.h"
+#include "obs/metrics.h"
+
+namespace tinge {
+
+SweepPlan SweepPlan::triangular(std::size_t gene_begin, std::size_t gene_end,
+                                std::size_t tile_size) {
+  SweepPlan plan;
+  append_triangle_tiles(gene_begin, gene_end, tile_size, plan.tiles_);
+  for (const Tile& tile : plan.tiles_) plan.total_pairs_ += tile.pair_count();
+  return plan;
+}
+
+SweepPlan SweepPlan::rectangular(std::size_t row_begin, std::size_t row_end,
+                                 std::size_t col_begin, std::size_t col_end,
+                                 std::size_t tile_size) {
+  SweepPlan plan;
+  append_rectangle_tiles(row_begin, row_end, col_begin, col_end, tile_size,
+                         plan.tiles_);
+  for (const Tile& tile : plan.tiles_) plan.total_pairs_ += tile.pair_count();
+  return plan;
+}
+
+PanelPlan plan_panels(const BsplineMi& estimator, const TingeConfig& config) {
+  const WeightTable& table = estimator.table();
+  const int width = config.panel_width > 0
+                        ? std::min(config.panel_width, kMaxPanelWidth)
+                        : auto_panel_width(table);
+  const MiKernel kernel = resolve_kernel_measured(config.kernel, table, width);
+  return {kernel, width,
+          kernel_name(resolve_panel_kernel(kernel, table.order()))};
+}
+
+void JournalSink::tile_end(int tid, std::size_t t, int team_width) {
+  if (team_width <= 1) {
+    writer_.append_tile(t, buffers_.local(tid));
+  } else {
+    // Gather the members' shares into one record. Members hold panels
+    // round-robin, so the record is not row-major — the journal does not
+    // promise an intra-tile order, and the network finalizer sorts.
+    std::vector<Edge> merged;
+    for (int member = 0; member < team_width; ++member) {
+      const auto& buffer = buffers_.local(tid + member);
+      merged.insert(merged.end(), buffer.begin(), buffer.end());
+    }
+    writer_.append_tile(t, merged);
+  }
+
+  const std::size_t completed =
+      tiles_done_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (!progress_.callback) return;
+  constexpr std::int64_t kProgressMinMicros = 100'000;  // ~100 ms
+  bool due = progress_.interval <= 1 || completed == progress_.total ||
+             completed - last_reported_.load(std::memory_order_relaxed) >=
+                 progress_.interval;
+  if (!due) {
+    const auto now_us = static_cast<std::int64_t>(watch_.seconds() * 1e6);
+    due = now_us - last_report_us_.load(std::memory_order_relaxed) >=
+          kProgressMinMicros;
+  }
+  if (due) {
+    const std::lock_guard<std::mutex> lock(progress_mutex_);
+    last_reported_.store(completed, std::memory_order_relaxed);
+    last_report_us_.store(static_cast<std::int64_t>(watch_.seconds() * 1e6),
+                          std::memory_order_relaxed);
+    progress_.callback(completed, progress_.total);
+  }
+}
+
+ResumeState load_resume_state(const std::string& path,
+                              const RunSignature& signature,
+                              const SweepPlan& plan) {
+  ResumeState resume;
+  resume.done.assign(plan.count(), 0);
+  if (!checkpoint_matches(path, signature)) return resume;
+  CheckpointState state = load_checkpoint(path);
+  for (TileRecord& record : state.records) {
+    const auto index = static_cast<std::size_t>(record.tile_index);
+    if (index < plan.count() && !resume.done[index]) {
+      resume.done[index] = 1;
+      resume.pairs_resumed += plan.tile(index).pair_count();
+      resume.records.push_back(std::move(record));
+    }
+  }
+  return resume;
+}
+
+void finalize_engine_pass(EngineStats* stats, const PanelPlan& plan,
+                          std::size_t plan_tiles, double seconds,
+                          std::span<const SweepCounters> per_thread,
+                          std::size_t edges_emitted, std::size_t tiles_resumed,
+                          std::size_t pairs_resumed) {
+  std::uint64_t pairs = 0, panels = 0, tiles_done = 0;
+  for (const SweepCounters& c : per_thread) {
+    pairs += c.pairs;
+    panels += c.panels;
+    tiles_done += c.tiles;
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("engine.runs").add(1);
+  registry.counter("engine.pairs_computed").add(pairs);
+  registry.counter("engine.pairs_resumed").add(pairs_resumed);
+  registry.counter("engine.edges_emitted").add(edges_emitted);
+  registry.counter("engine.tiles_completed").add(tiles_done);
+  registry.counter("engine.tiles_resumed").add(tiles_resumed);
+  registry.counter("engine.panels_swept").add(panels);
+  registry.gauge("engine.panel_width").set(plan.width);
+  registry.gauge("engine.seconds").set(seconds);
+  registry.histogram("engine.pass_seconds").record(seconds);
+  for (std::size_t tid = 0; tid < per_thread.size(); ++tid) {
+    registry.counter(strprintf("engine.thread.%zu.tiles", tid))
+        .add(per_thread[tid].tiles);
+    registry.counter(strprintf("engine.thread.%zu.pairs", tid))
+        .add(per_thread[tid].pairs);
+  }
+
+  if (stats != nullptr) {
+    stats->pairs_computed = pairs + pairs_resumed;
+    stats->pairs_resumed = pairs_resumed;
+    stats->edges_emitted = edges_emitted;
+    stats->tiles = plan_tiles;
+    stats->tiles_resumed = tiles_resumed;
+    stats->panels_swept = panels;
+    stats->seconds = seconds;
+    stats->kernel = plan.name;
+    stats->panel_width = plan.width;
+    stats->tiles_per_thread.assign(per_thread.size(), 0);
+    stats->pairs_per_thread.assign(per_thread.size(), 0);
+    for (std::size_t tid = 0; tid < per_thread.size(); ++tid) {
+      stats->tiles_per_thread[tid] = per_thread[tid].tiles;
+      stats->pairs_per_thread[tid] = per_thread[tid].pairs;
+    }
+  }
+}
+
+}  // namespace tinge
