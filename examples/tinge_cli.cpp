@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "cli_common.h"
+#include "cluster/faulty_transport.h"
 #include "cluster/launcher.h"
 #include "cluster/sharded_pipeline.h"
 #include "core/network_builder.h"
@@ -32,12 +33,25 @@ int run_cluster_inproc(const tinge::ArgParser& args,
                        const tinge::TingeConfig& config,
                        const tinge::ExpressionMatrix& expression) {
   using namespace tinge;
+  cluster::TransportOptions options;
+  options.recv_timeout_seconds = args.get_double("recv-timeout");
   const auto cluster = cluster::make_cluster(cluster::TransportKind::InProcess,
-                                             config.cluster_ranks);
+                                             config.cluster_ranks, options);
+  // Fault injection on the in-process backend always throws (mode=exit
+  // would _exit the whole process, ranks and caller alike).
+  cluster::FaultPlan fault;
+  if (args.has("fault")) {
+    fault = cluster::parse_fault_plan(args.get("fault"));
+    fault.kill_mode = cluster::KillMode::Throw;
+    cluster::resolve_kill_fraction(fault, config.cluster_ranks);
+  }
   cluster::ShardedBuildResult result;
   cluster->run([&](cluster::Comm& comm) {
+    cluster::FaultyTransport faulty(comm.transport(), fault);
+    cluster::Comm endpoint =
+        args.has("fault") ? cluster::Comm(faulty) : comm;
     cluster::ShardedBuildResult local =
-        cluster::sharded_build(comm, expression, config);
+        cluster::sharded_build(endpoint, expression, config);
     if (comm.rank() == 0) result = std::move(local);
   });
 
@@ -60,6 +74,35 @@ int run_cluster_inproc(const tinge::ArgParser& args,
     std::printf("network written to %s\n", args.get("out").c_str());
   }
   return 0;
+}
+
+/// Single-quotes a word for a copy-pasteable shell command line.
+std::string shell_quote(const std::string& word) {
+  if (!word.empty() &&
+      word.find_first_of(" \t\n'\"\\$`&|;<>()*?[]{}~#") == std::string::npos)
+    return word;
+  std::string quoted = "'";
+  for (const char c : word)
+    if (c == '\'')
+      quoted += "'\\''";
+    else
+      quoted += c;
+  quoted += "'";
+  return quoted;
+}
+
+/// The command line that reruns this invocation without the injected fault:
+/// checkpointed tiles replay from the journal, the rest recompute, and the
+/// pipeline is deterministic, so the rerun's outputs are byte-identical to
+/// what the faulted run would have produced.
+std::string resume_command_line(int argc, const char* const* argv) {
+  std::string command = shell_quote(argv[0]);
+  for (const std::string& arg :
+       tinge::cli::forward_args(argc, argv, {"fault"})) {
+    command += ' ';
+    command += shell_quote(arg);
+  }
+  return command;
 }
 
 /// Sharded run over real worker processes: spawn N tinge_worker siblings,
@@ -89,10 +132,28 @@ int run_cluster_tcp(const tinge::ArgParser& args,
   }
   cluster::remove_rendezvous_dir(rendezvous);
   if (!cluster::all_workers_succeeded(exits)) {
+    // Attribute the failure: the first worker reaped with a bad status is
+    // almost always the root cause — everything after it died of peer
+    // failure or teardown.
     for (const cluster::WorkerExit& exit : exits)
-      if (exit.exit_code != 0)
-        std::fprintf(stderr, "error: worker rank %d exited with code %d\n",
-                     exit.rank, exit.exit_code);
+      if (exit.failed())
+        std::fprintf(stderr, "error: worker rank %d %s\n", exit.rank,
+                     cluster::describe_worker_exit(exit).c_str());
+    const cluster::WorkerExit* first = cluster::first_failure(exits);
+    const std::string resume = resume_command_line(argc, argv);
+    if (first != nullptr)
+      std::fprintf(stderr,
+                   "error: cluster run failed: rank %d failed first (%s); "
+                   "the other ranks died of peer failure or teardown\n",
+                   first->rank,
+                   cluster::describe_worker_exit(*first).c_str());
+    std::fprintf(stderr,
+                 "to rerun (checkpointed tiles replay from the journal; the "
+                 "result is byte-identical):\n  %s\n",
+                 resume.c_str());
+    if (args.has("metrics-out"))
+      cluster::write_cluster_failure_manifest(config, exits, resume,
+                                              args.get("metrics-out"));
     return 1;
   }
   return 0;
@@ -116,6 +177,13 @@ int main(int argc, char** argv) {
     args.add("transport", "cluster transport: inproc|tcp",
              defaults.cluster_transport);
   }
+  args.add("recv-timeout",
+           "cluster runs: seconds a recv/barrier may wait before the peer "
+           "is declared dead (0 = wait forever)",
+           "300");
+  args.add("fault",
+           "cluster runs: fault-injection plan, e.g. "
+           "rank=1,kill-at=0.5,mode=exit (testing only)");
   args.add("metrics-out", "write a JSON run manifest (stages, metrics) here");
   args.add_flag("trace", "print the per-stage trace tree to stderr");
   args.add_flag("describe", "print a dataset summary and exit (no inference)");

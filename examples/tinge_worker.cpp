@@ -7,16 +7,34 @@
 // writes the outputs. For debugging, a mesh can be assembled manually:
 //
 //   mkdir /tmp/rdv
-//   tinge_worker --synthetic=80 --cluster-rank=0 --cluster-size=2 \
-//                --rendezvous=/tmp/rdv &
-//   tinge_worker --synthetic=80 --cluster-rank=1 --cluster-size=2 \
-//                --rendezvous=/tmp/rdv
+//   tinge_worker --synthetic=80 --cluster-rank=0 --cluster-size=2
+//                --rendezvous=/tmp/rdv &        (one line, backgrounded)
+//   tinge_worker --synthetic=80 --cluster-rank=1 --cluster-size=2
+//                --rendezvous=/tmp/rdv          (one line)
+#include <signal.h>
+
+#include <atomic>
 #include <cstdio>
 
 #include "cli_common.h"
+#include "cluster/faulty_transport.h"
+#include "cluster/launcher.h"
 #include "cluster/sharded_pipeline.h"
 #include "cluster/transport.h"
+#include "core/sweep.h"
 #include "util/args.h"
+
+namespace {
+
+/// Flipped by SIGTERM (the launcher's survivor-teardown signal) and polled
+/// by the sweep between tiles, so a doomed rank abandons its compute
+/// instead of finishing a result nobody will merge. A second SIGTERM kills
+/// outright (SA_RESETHAND) in case the rank is wedged outside the sweep.
+std::atomic<bool> g_terminate{false};
+
+void handle_sigterm(int /*signum*/) { g_terminate.store(true); }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tinge;
@@ -33,6 +51,13 @@ int main(int argc, char** argv) {
            "tcp");
   args.add("connect-timeout", "seconds to wait for the mesh to assemble",
            "30");
+  args.add("recv-timeout",
+           "seconds a recv/barrier may wait before the peer is declared "
+           "dead (0 = wait forever)",
+           "300");
+  args.add("fault",
+           "fault-injection plan, e.g. rank=1,kill-after=4,mode=exit "
+           "(testing only)");
   args.add("metrics-out", "write a JSON cluster run manifest here (rank 0)");
   args.add_flag("trace", "accepted for tinge_cli compatibility (ignored)");
   args.add_flag("pvalues", "append a null-p-value column to the edge list");
@@ -56,6 +81,17 @@ int main(int argc, char** argv) {
 
   const int rank = static_cast<int>(args.get_int("cluster-rank"));
   const int size = static_cast<int>(args.get_int("cluster-size"));
+
+  {
+    // SIGTERM = launcher teardown after a peer failed. Request a graceful
+    // sweep abort; SA_RESETHAND restores the default so a second SIGTERM
+    // (or a wedged rank) still dies.
+    struct sigaction action = {};
+    action.sa_handler = handle_sigterm;
+    action.sa_flags = SA_RESETHAND;
+    ::sigaction(SIGTERM, &action, nullptr);
+  }
+
   try {
     TingeConfig config = cli::config_from_args(args);
     config.cluster_ranks = size;
@@ -67,19 +103,33 @@ int main(int argc, char** argv) {
     options.size = size;
     if (args.has("rendezvous")) options.rendezvous_dir = args.get("rendezvous");
     options.connect_timeout_seconds = args.get_double("connect-timeout");
+    options.recv_timeout_seconds = args.get_double("recv-timeout");
 
     const std::unique_ptr<cluster::Transport> transport =
         cluster::make_transport(
             cluster::parse_transport_kind(config.cluster_transport), options);
-    cluster::Comm comm(*transport);
+
+    // Fault injection (tests and the CI fault smoke): wrap the real
+    // endpoint in the decorator; the plan arms only on its target rank.
+    std::unique_ptr<cluster::FaultyTransport> faulty;
+    cluster::Transport* endpoint = transport.get();
+    if (args.has("fault")) {
+      cluster::FaultPlan plan = cluster::parse_fault_plan(args.get("fault"));
+      cluster::resolve_kill_fraction(plan, size);
+      faulty = std::make_unique<cluster::FaultyTransport>(*transport, plan);
+      endpoint = faulty.get();
+    }
+    cluster::Comm comm(*endpoint);
 
     // Every rank loads and preprocesses locally (deterministic, so this is
     // replication, not divergence).
     const bool quiet = args.get_flag("quiet") || rank != 0;
     const ExpressionMatrix expression = cli::load_dataset(args, quiet);
 
+    cluster::LocalPipelineHooks hooks;
+    hooks.cancel = &g_terminate;
     const cluster::ShardedBuildResult result =
-        cluster::sharded_build(comm, expression, config);
+        cluster::sharded_build(comm, expression, config, hooks);
 
     if (rank == 0) {
       cli::write_network_outputs(args, result.network, result.null);
@@ -101,6 +151,22 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
+  } catch (const SweepAborted&) {
+    std::fprintf(stderr,
+                 "worker rank %d: sweep aborted (termination requested)\n",
+                 rank);
+    return 128 + SIGTERM;  // same report a hard SIGTERM kill would produce
+  } catch (const cluster::TimeoutError& error) {
+    std::fprintf(stderr,
+                 "error: worker rank %d: peer timeout: %s\n"
+                 "       (peer alive but silent past --recv-timeout; raise "
+                 "the deadline if the run is just slow)\n",
+                 rank, error.what());
+    return cluster::kWorkerExitPeerFailure;
+  } catch (const cluster::PeerFailureError& error) {
+    std::fprintf(stderr, "error: worker rank %d: peer failure: %s\n", rank,
+                 error.what());
+    return cluster::kWorkerExitPeerFailure;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: worker rank %d: %s\n", rank, error.what());
     return 1;

@@ -1,12 +1,26 @@
 #include "cluster/inproc_transport.h"
 
+#include <chrono>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <thread>
 
+#include "util/str.h"
 #include "util/timer.h"
 
 namespace tinge::cluster {
+
+namespace {
+
+/// steady_clock deadline for a positive timeout; unused when unarmed.
+std::chrono::steady_clock::time_point deadline_after(double seconds) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
 
 void InProcessTransport::send(int dest, const void* data, std::size_t bytes,
                               int tag) {
@@ -17,21 +31,32 @@ void InProcessTransport::send(int dest, const void* data, std::size_t bytes,
   message.payload.resize(bytes);
   if (bytes > 0) std::memcpy(message.payload.data(), data, bytes);
   hub_->deliver(dest, std::move(message));
+  std::lock_guard<std::mutex> lock(traffic_mutex_);
   PeerTraffic& peer = peer_traffic_[static_cast<std::size_t>(dest)];
   peer.bytes_sent += bytes;
   ++peer.messages_sent;
 }
 
 std::vector<std::byte> InProcessTransport::recv(int src, int tag) {
+  return recv(src, tag, hub_->default_recv_timeout_);
+}
+
+std::vector<std::byte> InProcessTransport::recv(int src, int tag,
+                                                double timeout_seconds) {
   TINGE_EXPECTS(src >= 0 && src < size());
-  std::vector<std::byte> payload = hub_->wait_for(rank_, src, tag);
+  std::vector<std::byte> payload =
+      hub_->wait_for(rank_, src, tag, timeout_seconds);
+  std::lock_guard<std::mutex> lock(traffic_mutex_);
   PeerTraffic& peer = peer_traffic_[static_cast<std::size_t>(src)];
   peer.bytes_received += payload.size();
   ++peer.messages_received;
   return payload;
 }
 
-InProcessCluster::InProcessCluster(int size) : size_(size) {
+InProcessCluster::InProcessCluster(int size, const TransportOptions& options)
+    : size_(size),
+      default_recv_timeout_(options.recv_timeout_seconds),
+      rank_done_(static_cast<std::size_t>(size)) {
   TINGE_EXPECTS(size >= 1);
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r)
@@ -50,12 +75,37 @@ void InProcessCluster::deliver(int dest, Message message) {
   box.cv.notify_all();
 }
 
-std::vector<std::byte> InProcessCluster::wait_for(int rank, int src, int tag) {
+void InProcessCluster::mark_rank_done(int rank) {
+  rank_done_[static_cast<std::size_t>(rank)].store(true,
+                                                   std::memory_order_release);
+  // Notify while holding each waiter's mutex: a waiter that checked the
+  // flag just before the store cannot slip into wait() and miss the wake.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->cv.notify_all();
+  }
+  std::lock_guard<std::mutex> lock(barrier_mutex_);
+  barrier_cv_.notify_all();
+}
+
+int InProcessCluster::first_done_rank() const {
+  for (int r = 0; r < size_; ++r) {
+    if (rank_done_[static_cast<std::size_t>(r)].load(
+            std::memory_order_acquire))
+      return r;
+  }
+  return -1;
+}
+
+std::vector<std::byte> InProcessCluster::wait_for(int rank, int src, int tag,
+                                                  double timeout_seconds) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  const bool armed = timeout_seconds > 0.0;
+  const auto deadline = deadline_after(armed ? timeout_seconds : 0.0);
   std::unique_lock<std::mutex> lock(box.mutex);
-  while (true) {
-    // Match by (src, tag), FIFO within a match: interleaved tags from the
-    // same source are skipped over and stay queued for their own recv.
+  // Match by (src, tag), FIFO within a match: interleaved tags from the
+  // same source are skipped over and stay queued for their own recv.
+  const auto take_match = [&]() -> std::optional<std::vector<std::byte>> {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       if (it->src == src && it->tag == tag) {
         std::vector<std::byte> payload = std::move(it->payload);
@@ -63,24 +113,87 @@ std::vector<std::byte> InProcessCluster::wait_for(int rank, int src, int tag) {
         return payload;
       }
     }
-    box.cv.wait(lock);
+    return std::nullopt;
+  };
+  while (true) {
+    if (auto payload = take_match()) return *std::move(payload);
+    // Match first, then liveness: a finished rank's already-queued messages
+    // must still be receivable; only an *empty* match from a done rank can
+    // never complete.
+    if (rank_done_[static_cast<std::size_t>(src)].load(
+            std::memory_order_acquire)) {
+      throw PeerFailureError(
+          strprintf("inproc transport: rank %d finished with no message "
+                    "matching tag %d queued for rank %d",
+                    src, tag, rank),
+          rank, src);
+    }
+    if (!armed) {
+      box.cv.wait(lock);
+      continue;
+    }
+    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (auto payload = take_match()) return *std::move(payload);
+      throw TimeoutError(
+          strprintf("inproc transport: rank %d timed out after %.1fs waiting "
+                    "for tag %d from rank %d (peer alive but silent)",
+                    rank, timeout_seconds, tag, src),
+          rank, src);
+    }
   }
 }
 
-void InProcessCluster::barrier_wait() {
+void InProcessCluster::barrier_wait(int rank) {
+  const bool armed = default_recv_timeout_ > 0.0;
+  const auto deadline = deadline_after(armed ? default_recv_timeout_ : 0.0);
   std::unique_lock<std::mutex> lock(barrier_mutex_);
   const std::uint64_t my_generation = barrier_generation_;
   if (++barrier_arrived_ == size_) {
     barrier_arrived_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
-  } else {
-    barrier_cv_.wait(lock,
-                     [&] { return barrier_generation_ != my_generation; });
+    return;
+  }
+  while (barrier_generation_ == my_generation) {
+    // A rank whose body already returned can never arrive at this pending
+    // barrier, so waiting out the full deadline would just delay the same
+    // verdict. (A rank blocked *inside* the barrier is by definition not
+    // done, so this cannot misfire on a slow arrival.)
+    const int done = first_done_rank();
+    if (done >= 0) {
+      --barrier_arrived_;
+      throw PeerFailureError(
+          strprintf("inproc transport: rank %d waited at a barrier that "
+                    "rank %d exited without reaching",
+                    rank, done),
+          rank, done);
+    }
+    if (!armed) {
+      barrier_cv_.wait(lock);
+      continue;
+    }
+    if (barrier_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (barrier_generation_ != my_generation) return;
+      --barrier_arrived_;
+      throw TimeoutError(
+          strprintf("inproc transport: rank %d timed out after %.1fs at a "
+                    "barrier (%d of %d ranks arrived)",
+                    rank, default_recv_timeout_, barrier_arrived_ + 1, size_),
+          rank, -1);
+    }
   }
 }
 
 void InProcessCluster::run(const std::function<void(Comm&)>& body) {
+  // Reset the failure-detection state from any previous (possibly failed)
+  // run: fresh done-roster, empty barrier rendezvous.
+  for (auto& done : rank_done_) done.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+  }
+
   std::vector<std::unique_ptr<InProcessTransport>> endpoints;
   endpoints.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r)
@@ -97,15 +210,19 @@ void InProcessCluster::run(const std::function<void(Comm&)>& body) {
   const Stopwatch watch;
   for (int r = 0; r < size_; ++r) {
     InProcessTransport& endpoint = *endpoints[static_cast<std::size_t>(r)];
-    threads.emplace_back([&endpoint, &body, &error_mutex, &first_error] {
-      Comm comm(endpoint);
-      try {
-        body(comm);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
+    threads.emplace_back(
+        [this, r, &endpoint, &body, &error_mutex, &first_error] {
+          Comm comm(endpoint);
+          try {
+            body(comm);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          // Flip the done-roster on success *and* failure: survivors blocked
+          // on this rank must fail fast either way.
+          mark_rank_done(r);
+        });
   }
   for (auto& thread : threads) thread.join();
 

@@ -24,7 +24,10 @@ namespace tinge::cluster {
 /// in-process transport.
 class InProcessCluster final : public Cluster {
  public:
-  explicit InProcessCluster(int size);
+  /// `options` supplies the default recv/barrier deadline
+  /// (recv_timeout_seconds; <= 0 waits forever). rank/size/rendezvous
+  /// fields are ignored — the cluster owns all ranks.
+  explicit InProcessCluster(int size, const TransportOptions& options = {});
 
   int size() const override { return size_; }
   TransportKind kind() const override { return TransportKind::InProcess; }
@@ -59,14 +62,27 @@ class InProcessCluster final : public Cluster {
   };
 
   void deliver(int dest, Message message);
-  std::vector<std::byte> wait_for(int rank, int src, int tag);
-  void barrier_wait();
+  std::vector<std::byte> wait_for(int rank, int src, int tag,
+                                  double timeout_seconds);
+  void barrier_wait(int rank);
+  /// Marks `rank` as finished for this run() and wakes every waiter so
+  /// pending recvs/barriers on it fail fast instead of hanging.
+  void mark_rank_done(int rank);
+  /// First rank already marked done, or -1 when all are still running.
+  int first_done_rank() const;
 
   const int size_;
+  const double default_recv_timeout_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<std::uint64_t> bytes_transferred_{0};
   std::atomic<std::uint64_t> messages_sent_{0};
   std::vector<PeerTraffic> last_rank_traffic_;
+
+  /// Done-roster for the current run(): rank_done_[r] flips once rank r's
+  /// body has returned (or thrown). A recv from a done rank with no
+  /// matching message queued can never complete — wait_for turns it into
+  /// PeerFailureError instead of a hang. Reset at each run() start.
+  std::vector<std::atomic<bool>> rank_done_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
@@ -92,17 +108,23 @@ class InProcessTransport final : public Transport {
 
   void send(int dest, const void* data, std::size_t bytes, int tag) override;
   std::vector<std::byte> recv(int src, int tag) override;
-  void barrier() override { hub_->barrier_wait(); }
+  std::vector<std::byte> recv(int src, int tag,
+                              double timeout_seconds) override;
+  void barrier() override { hub_->barrier_wait(rank_); }
 
   std::vector<PeerTraffic> peer_traffic() const override {
+    std::lock_guard<std::mutex> lock(traffic_mutex_);
     return peer_traffic_;
   }
 
  private:
   InProcessCluster* hub_;
   int rank_;
-  /// Counters are owned by the rank-thread (no atomics needed); the hub
-  /// aggregates them into rank_traffic() after the rank-threads join.
+  /// Counters are normally owned by the rank-thread, but the conformance
+  /// suite drives concurrent sends from helper threads, so a small mutex
+  /// keeps them coherent (this is the simulated backend — the overhead is
+  /// irrelevant).
+  mutable std::mutex traffic_mutex_;
   std::vector<PeerTraffic> peer_traffic_;
 };
 

@@ -81,15 +81,19 @@ std::vector<WorkerExit> launch_workers(
   }
 
   // Reap in completion order so one crashed worker fails the run promptly
-  // instead of after the survivors' rendezvous/recv timeouts.
+  // instead of after the survivors' rendezvous/recv timeouts. Every
+  // exits[] entry starts at the kWorkerExitUnreaped sentinel: if waitpid
+  // fails outright (ECHILD — something else reaped our children), the
+  // unreaped ranks must report as failures, not as default successes.
   int remaining = size;
+  int reap_counter = 0;
   bool terminated_survivors = false;
   while (remaining > 0) {
     int status = 0;
     const pid_t pid = ::waitpid(-1, &status, 0);
     if (pid < 0) {
       if (errno == EINTR) continue;
-      break;  // ECHILD: nothing left to reap
+      break;  // ECHILD: nothing left to reap; sentinels mark the rest
     }
     int rank = -1;
     for (int r = 0; r < size; ++r)
@@ -97,6 +101,7 @@ std::vector<WorkerExit> launch_workers(
     if (rank < 0) continue;  // not one of ours (caller had other children)
     --remaining;
     WorkerExit& exit = exits[static_cast<std::size_t>(rank)];
+    exit.reap_order = reap_counter++;
     if (WIFEXITED(status))
       exit.exit_code = WEXITSTATUS(status);
     else if (WIFSIGNALED(status))
@@ -112,6 +117,15 @@ std::vector<WorkerExit> launch_workers(
       }
     }
   }
+  if (remaining > 0) {
+    // waitpid gave up with workers outstanding: best-effort teardown so an
+    // unreapable (but possibly live) mesh does not outlive the launcher.
+    for (int r = 0; r < size; ++r) {
+      if (!exits[static_cast<std::size_t>(r)].reaped() &&
+          pids[static_cast<std::size_t>(r)] > 0)
+        ::kill(pids[static_cast<std::size_t>(r)], SIGTERM);
+    }
+  }
   return exits;
 }
 
@@ -121,11 +135,40 @@ bool all_workers_succeeded(const std::vector<WorkerExit>& exits) {
   return !exits.empty();
 }
 
+const WorkerExit* first_failure(const std::vector<WorkerExit>& exits) {
+  const WorkerExit* first = nullptr;
+  for (const WorkerExit& exit : exits) {
+    if (!exit.failed() || !exit.reaped()) continue;
+    if (first == nullptr || exit.reap_order < first->reap_order) first = &exit;
+  }
+  if (first != nullptr) return first;
+  for (const WorkerExit& exit : exits)
+    if (exit.failed()) return &exit;  // unreaped (sentinel) failures
+  return nullptr;
+}
+
+std::string describe_worker_exit(const WorkerExit& exit) {
+  if (!exit.reaped())
+    return "was never reaped (outcome unknown; treated as failed)";
+  if (exit.exit_code == 0) return "exited cleanly";
+  if (exit.exit_code == kWorkerExitPeerFailure)
+    return strprintf("observed a peer failure (exit code %d)",
+                     kWorkerExitPeerFailure);
+  if (exit.exit_code == 127) return "could not exec the worker binary (127)";
+  if (exit.exit_code > 128)
+    return strprintf("killed by signal %d (%s)", exit.exit_code - 128,
+                     strsignal(exit.exit_code - 128));
+  return strprintf("exited with code %d", exit.exit_code);
+}
+
 std::string sibling_binary_path(const char* argv0, const std::string& name) {
   char self[4096];
   const ssize_t len = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
   std::string dir;
-  if (len > 0) {
+  // readlink does not NUL-terminate and silently truncates at the buffer
+  // size; a full buffer means the path *may* be cut short, so fall back to
+  // argv0 rather than exec a mangled prefix.
+  if (len > 0 && len < static_cast<ssize_t>(sizeof(self) - 1)) {
     self[len] = '\0';
     dir = self;
   } else if (argv0 != nullptr) {

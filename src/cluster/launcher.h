@@ -18,10 +18,29 @@ std::string make_rendezvous_dir();
 /// Best-effort removal of a rendezvous directory and the files inside it.
 void remove_rendezvous_dir(const std::string& dir);
 
+/// Exit code a worker uses when it observed a *peer* failure
+/// (PeerFailureError / TimeoutError) rather than failing itself — lets the
+/// launcher separate the rank that caused a failure from the ranks that
+/// merely watched it happen.
+inline constexpr int kWorkerExitPeerFailure = 3;
+
+/// Sentinel exit_code for a worker the launcher never reaped (waitpid
+/// failed, e.g. ECHILD because something reaped our children). Unknown
+/// outcome must read as failure, never as success.
+inline constexpr int kWorkerExitUnreaped = -2;
+
 /// One worker process's outcome.
 struct WorkerExit {
   int rank = 0;
-  int exit_code = 0;  ///< 0 on success; 128+signal if killed by a signal
+  /// 0 on success; 128+signal if killed by a signal; kWorkerExitUnreaped
+  /// until the launcher actually reaps the process.
+  int exit_code = kWorkerExitUnreaped;
+  /// 0-based order in which the launcher reaped this worker (-1 if never
+  /// reaped) — how "which rank failed *first*" is attributed.
+  int reap_order = -1;
+
+  bool reaped() const { return reap_order >= 0; }
+  bool failed() const { return exit_code != 0; }
 };
 
 /// Spawns `size` copies of `program`, appending
@@ -29,13 +48,24 @@ struct WorkerExit {
 /// to `common_args`, and reaps them all. If any worker fails, the
 /// survivors are SIGTERMed so a half-dead mesh cannot hang the launcher
 /// past the workers' own rendezvous timeout. Returns per-worker exits
-/// indexed by rank.
+/// indexed by rank; ranks the launcher could not reap keep the
+/// kWorkerExitUnreaped sentinel.
 std::vector<WorkerExit> launch_workers(
     const std::string& program, const std::vector<std::string>& common_args,
     int size, const std::string& rendezvous_dir);
 
-/// True iff every worker exited with status 0.
+/// True iff every worker was reaped and exited with status 0.
 bool all_workers_succeeded(const std::vector<WorkerExit>& exits);
+
+/// The worker that failed first: the failed exit with the lowest
+/// reap_order, falling back to the lowest-rank unreaped worker when no
+/// reaped worker failed. nullptr when the run succeeded.
+const WorkerExit* first_failure(const std::vector<WorkerExit>& exits);
+
+/// Human-readable cause for one worker's exit: "exited with code 40",
+/// "killed by signal 15 (Terminated)", "observed a peer failure (exit
+/// code 3)", "was never reaped (outcome unknown)".
+std::string describe_worker_exit(const WorkerExit& exit);
 
 /// Path of the binary `name` living next to the currently running
 /// executable (resolved via /proc/self/exe, falling back to argv0's

@@ -84,7 +84,8 @@ Block unpack_block(const std::vector<std::uint32_t>& wire) {
 GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
                        const RankedMatrix& ranked, double threshold,
                        const TingeConfig& config,
-                       std::vector<std::size_t>* pairs_per_rank_out) {
+                       std::vector<std::size_t>* pairs_per_rank_out,
+                       const std::atomic<bool>* cancel) {
   TINGE_EXPECTS(estimator.n_samples() == ranked.n_samples());
   const std::size_t m = ranked.n_samples();
   const int r = comm.rank();
@@ -101,7 +102,8 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
 
   // One thread per rank, no pool (classic flat-MPI TINGe); edges accumulate
   // across all of this rank's run_sweep calls in one sink.
-  const SweepOptions options;
+  SweepOptions options;
+  options.cancel = cancel;
   EdgeSink sink(threshold, /*contexts=*/1);
   std::size_t pairs = 0;
 

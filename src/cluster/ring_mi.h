@@ -21,6 +21,7 @@
 // and over real TCP worker processes (see transport.h / launcher.h).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -55,10 +56,13 @@ struct ClusterStats {
 /// Returns the merged, finalized network on rank 0 and an empty finalized
 /// network elsewhere. If `pairs_per_rank_out` is non-null it is filled on
 /// rank 0 with per-rank computed-pair counts (left empty on other ranks).
+/// `cancel`, when non-null, is polled between tiles of every local sweep;
+/// a tripped flag aborts the rank with SweepAborted (see core/sweep.h).
 GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
                        const RankedMatrix& ranked, double threshold,
                        const TingeConfig& config,
-                       std::vector<std::size_t>* pairs_per_rank_out = nullptr);
+                       std::vector<std::size_t>* pairs_per_rank_out = nullptr,
+                       const std::atomic<bool>* cancel = nullptr);
 
 /// Runs the distributed computation on `ranks` ranks over the chosen
 /// backend and returns the merged thresholded network (identical, up to

@@ -230,7 +230,7 @@ ShardedBuildResult sharded_build(Comm& comm, ExpressionMatrix&& expression,
                 : 0.0));
     } else {
       result.network = ring_sweep(comm, estimator, ranked, result.threshold,
-                                  config, &pairs_per_rank);
+                                  config, &pairs_per_rank, hooks.cancel);
     }
   }
 
@@ -341,6 +341,47 @@ void write_cluster_run_manifest(const ShardedBuildResult& result,
                                 const TingeConfig& config,
                                 const std::string& path) {
   obs::write_json_file(make_cluster_run_manifest(result, config), path);
+}
+
+obs::Json make_cluster_failure_manifest(const TingeConfig& config,
+                                        const std::vector<WorkerExit>& exits,
+                                        const std::string& resume_command) {
+  obs::Json manifest = obs::Json::object();
+  manifest["schema_version"] = obs::Json(kManifestSchemaVersion);
+  manifest["tool"] = obs::Json(std::string("tingex"));
+  manifest["mode"] = obs::Json(std::string("cluster"));
+  manifest["status"] = obs::Json(std::string("failed"));
+  manifest["config"] = config_to_json(config);
+
+  obs::Json failure = obs::Json::object();
+  const WorkerExit* first = first_failure(exits);
+  failure["first_failed_rank"] =
+      obs::Json(first != nullptr ? first->rank : -1);
+  failure["first_failed_cause"] = obs::Json(
+      first != nullptr ? describe_worker_exit(*first) : std::string());
+  obs::Json workers = obs::Json::array();
+  for (const WorkerExit& exit : exits) {
+    obs::Json worker = obs::Json::object();
+    worker["rank"] = obs::Json(exit.rank);
+    worker["exit_code"] = obs::Json(exit.exit_code);
+    worker["reap_order"] = obs::Json(exit.reap_order);
+    worker["outcome"] = obs::Json(describe_worker_exit(exit));
+    workers.push_back(std::move(worker));
+  }
+  failure["workers"] = std::move(workers);
+  if (!resume_command.empty())
+    failure["resume_command"] = obs::Json(resume_command);
+  manifest["failure"] = std::move(failure);
+  return manifest;
+}
+
+void write_cluster_failure_manifest(const TingeConfig& config,
+                                    const std::vector<WorkerExit>& exits,
+                                    const std::string& resume_command,
+                                    const std::string& path) {
+  obs::write_json_file(make_cluster_failure_manifest(config, exits,
+                                                     resume_command),
+                       path);
 }
 
 }  // namespace tinge::cluster

@@ -24,11 +24,14 @@
 // are one code path.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "cluster/launcher.h"
 #include "cluster/ring_mi.h"
 #include "core/config.h"
 #include "core/dpi.h"
@@ -86,6 +89,11 @@ struct LocalPipelineHooks {
   EngineStats* engine = nullptr;
   /// Stage announcement sink (NetworkBuilder's logger format).
   std::function<void(std::string_view)> log;
+  /// Optional cancellation flag threaded into the ring MI sweep (p > 1):
+  /// every rank polls it between tiles and throws SweepAborted on trip.
+  /// How a worker that caught SIGTERM abandons a doomed multi-minute sweep
+  /// instead of computing to the bitter end.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Runs this rank's share of the pipeline. Collective: every rank of
@@ -117,5 +125,21 @@ obs::Json make_cluster_run_manifest(const ShardedBuildResult& result,
 void write_cluster_run_manifest(const ShardedBuildResult& result,
                                 const TingeConfig& config,
                                 const std::string& path);
+
+/// Manifest document for a *failed* cluster run (mode "cluster", status
+/// "failed"): config echo plus a "failure" section naming the rank that
+/// failed first, a human-readable cause per worker, and the resume command
+/// line (empty string = no checkpoint to resume from). Written by the
+/// launcher so a dead 22-minute run leaves an attributable record, not
+/// just scrollback.
+obs::Json make_cluster_failure_manifest(const TingeConfig& config,
+                                        const std::vector<WorkerExit>& exits,
+                                        const std::string& resume_command);
+
+/// make_cluster_failure_manifest + obs::write_json_file.
+void write_cluster_failure_manifest(const TingeConfig& config,
+                                    const std::vector<WorkerExit>& exits,
+                                    const std::string& resume_command,
+                                    const std::string& path);
 
 }  // namespace tinge::cluster

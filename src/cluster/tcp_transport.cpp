@@ -83,14 +83,18 @@ std::string port_file_path(const std::string& dir, int rank) {
 }
 
 /// Atomic publish: write-to-temp + rename, so a polling peer never reads
-/// a half-written port number.
+/// a half-written port number. write_port_file verifies the write, so a
+/// full disk fails here with the real cause instead of renaming an empty
+/// file into place and letting peers spin until their connect timeout.
 void publish_port(const std::string& dir, int rank, int port) {
   const std::string path = port_file_path(dir, rank);
   const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "w");
-  if (file == nullptr) throw_errno("tcp rendezvous: open " + tmp);
-  std::fprintf(file, "%d\n", port);
-  std::fclose(file);
+  try {
+    write_port_file(tmp, port);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0)
     throw_errno("tcp rendezvous: rename " + path);
 }
@@ -107,12 +111,27 @@ int read_port(const std::string& path) {
 
 }  // namespace
 
+void write_port_file(const std::string& path, int port) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) throw_errno("tcp rendezvous: open " + path);
+  const bool wrote = std::fprintf(file, "%d\n", port) > 0 &&
+                     std::fflush(file) == 0;
+  const int saved_errno = errno;
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    errno = wrote ? errno : saved_errno;
+    throw_errno("tcp rendezvous: write " + path);
+  }
+}
+
 TcpTransport::TcpTransport(const TransportOptions& options)
     : rank_(options.rank),
       size_(options.size),
+      default_recv_timeout_(options.recv_timeout_seconds),
       peers_(static_cast<std::size_t>(options.size)) {
   TINGE_EXPECTS(size_ >= 1);
   TINGE_EXPECTS(rank_ >= 0 && rank_ < size_);
+  for (Peer& peer : peers_) peer.send_mutex = std::make_unique<std::mutex>();
   if (size_ > 1 && options.rendezvous_dir.empty())
     throw std::invalid_argument(
         "TcpTransport: multi-rank mesh needs options.rendezvous_dir");
@@ -309,15 +328,20 @@ void TcpTransport::send_frame(int dest, std::uint32_t frame_kind, int tag,
     std::lock_guard<std::mutex> lock(mailbox_mutex_);
     const Peer& peer = peers_[static_cast<std::size_t>(dest)];
     if (!peer.open)
-      throw std::runtime_error(strprintf(
-          "tcp transport: rank %d sending to disconnected rank %d", rank_,
-          dest));
+      throw PeerFailureError(
+          strprintf("tcp transport: rank %d sending to disconnected rank %d",
+                    rank_, dest),
+          rank_, dest);
     fd = peer.fd;
   }
   FrameHeader header;
   header.kind = frame_kind;
   header.tag = tag;
   header.bytes = bytes;
+  // One frame = one critical section: header and payload must hit the
+  // stream back-to-back or a concurrent sender's bytes land mid-frame.
+  std::lock_guard<std::mutex> send_lock(
+      *peers_[static_cast<std::size_t>(dest)].send_mutex);
   write_full(fd, &header, sizeof(header));
   if (bytes > 0) write_full(fd, data, bytes);
 }
@@ -350,12 +374,24 @@ void TcpTransport::send(int dest, const void* data, std::size_t bytes,
 }
 
 std::vector<std::byte> TcpTransport::recv(int src, int tag) {
-  TINGE_EXPECTS(src >= 0 && src < size_);
-  TINGE_EXPECTS(tag >= 0);
-  return wait_for(src, tag, /*count=*/true);
+  return recv(src, tag, default_recv_timeout_);
 }
 
-std::vector<std::byte> TcpTransport::wait_for(int src, int tag, bool count) {
+std::vector<std::byte> TcpTransport::recv(int src, int tag,
+                                          double timeout_seconds) {
+  TINGE_EXPECTS(src >= 0 && src < size_);
+  TINGE_EXPECTS(tag >= 0);
+  return wait_for(src, tag, /*count=*/true, timeout_seconds);
+}
+
+std::vector<std::byte> TcpTransport::wait_for(int src, int tag, bool count,
+                                              double timeout_seconds) {
+  const bool deadline_armed = timeout_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(deadline_armed ? timeout_seconds
+                                                       : 0.0));
   std::unique_lock<std::mutex> lock(mailbox_mutex_);
   while (true) {
     // Match by (src, tag), FIFO within a match — identical semantics to
@@ -377,11 +413,21 @@ std::vector<std::byte> TcpTransport::wait_for(int src, int tag, bool count) {
           "tcp transport: self-recv with no matching queued self-message "
           "would deadlock");
     if (!peers_[static_cast<std::size_t>(src)].open)
-      throw std::runtime_error(strprintf(
-          "tcp transport: rank %d's connection to rank %d closed with no "
-          "message matching tag %d",
-          rank_, src, tag));
-    mailbox_cv_.wait(lock);
+      throw PeerFailureError(
+          strprintf("tcp transport: rank %d's connection to rank %d closed "
+                    "with no message matching tag %d",
+                    rank_, src, tag),
+          rank_, src);
+    if (!deadline_armed) {
+      mailbox_cv_.wait(lock);
+    } else if (mailbox_cv_.wait_until(lock, deadline) ==
+               std::cv_status::timeout) {
+      throw TimeoutError(
+          strprintf("tcp transport: rank %d timed out after %.1fs waiting "
+                    "for tag %d from rank %d (peer alive but silent)",
+                    rank_, timeout_seconds, tag, src),
+          rank_, src);
+    }
   }
 }
 
@@ -389,15 +435,17 @@ void TcpTransport::barrier() {
   if (size_ == 1) return;
   // Flat gather-to-0 / release-from-0 over control frames. FIFO matching
   // per (src, tag) makes back-to-back barriers reusable without
-  // generation counters.
+  // generation counters. The default recv deadline applies to each wait,
+  // so a rank that never arrives fails the barrier instead of hanging it.
   if (rank_ == 0) {
     for (int src = 1; src < size_; ++src)
-      wait_for(src, kTagBarrierArrive, /*count=*/false);
+      wait_for(src, kTagBarrierArrive, /*count=*/false,
+               default_recv_timeout_);
     for (int dest = 1; dest < size_; ++dest)
       send_frame(dest, kFrameBarrierRelease, 0, nullptr, 0);
   } else {
     send_frame(0, kFrameBarrierArrive, 0, nullptr, 0);
-    wait_for(0, kTagBarrierRelease, /*count=*/false);
+    wait_for(0, kTagBarrierRelease, /*count=*/false, default_recv_timeout_);
   }
 }
 

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -46,12 +47,17 @@ class TcpTransport final : public Transport {
   int size() const override { return size_; }
   TransportKind kind() const override { return TransportKind::Tcp; }
 
+  /// Thread-safe per endpoint: concurrent sends to the same peer are
+  /// serialized by a per-peer mutex so frames never interleave on the wire.
   void send(int dest, const void* data, std::size_t bytes, int tag) override;
 
-  /// Blocks until a matching message arrives. Throws std::runtime_error if
+  /// Blocks until a matching message arrives. Throws PeerFailureError if
   /// the peer's connection closes with no matching message queued (a died
-  /// or finished peer must not deadlock the survivors).
+  /// or finished peer must not deadlock the survivors) and TimeoutError
+  /// once the options' default recv deadline expires.
   std::vector<std::byte> recv(int src, int tag) override;
+  std::vector<std::byte> recv(int src, int tag,
+                              double timeout_seconds) override;
 
   void barrier() override;
 
@@ -68,12 +74,17 @@ class TcpTransport final : public Transport {
     int fd = -1;
     bool open = false;
     PeerTraffic traffic;
+    /// Serializes header+payload writes to this peer's socket: without it
+    /// two concurrent senders interleave bytes mid-frame and corrupt the
+    /// stream. Heap-held so Peer stays movable for the roster vector.
+    std::unique_ptr<std::mutex> send_mutex;
   };
 
   void rendezvous(const TransportOptions& options);
   void send_frame(int dest, std::uint32_t frame_kind, int tag,
                   const void* data, std::size_t bytes);
-  std::vector<std::byte> wait_for(int src, int tag, bool count);
+  std::vector<std::byte> wait_for(int src, int tag, bool count,
+                                  double timeout_seconds);
   void receiver_loop();
   void close_all();
 
@@ -81,6 +92,7 @@ class TcpTransport final : public Transport {
   int size_ = 1;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
+  double default_recv_timeout_ = 0.0;
 
   mutable std::mutex mailbox_mutex_;  // guards mailbox_, peers_[*].open/traffic
   std::condition_variable mailbox_cv_;
@@ -98,5 +110,12 @@ class TcpTransport final : public Transport {
 /// tests use; multi-process execution goes through launcher.h instead.
 std::unique_ptr<Cluster> make_loopback_tcp_cluster(
     int size, const TransportOptions& options);
+
+/// Writes "<port>\n" to exactly `path`, verifying every stdio call, and
+/// throws std::runtime_error carrying the real errno cause on failure (a
+/// full disk must not silently publish an empty port file). Exposed for
+/// the rendezvous code and its regression tests; the atomic publish path
+/// writes to a temp name through this and then renames.
+void write_port_file(const std::string& path, int port);
 
 }  // namespace tinge::cluster

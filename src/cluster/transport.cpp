@@ -130,6 +130,13 @@ class LocalTransport final : public Transport {
         "matches the requested tag");
   }
 
+  /// A self-loop recv either matches immediately or never will, so the
+  /// deadline is moot — delegate to the immediate-error path.
+  std::vector<std::byte> recv(int src, int tag,
+                              double /*timeout_seconds*/) override {
+    return recv(src, tag);
+  }
+
   void barrier() override {}
 
   std::vector<PeerTraffic> peer_traffic() const override {
@@ -152,7 +159,7 @@ std::unique_ptr<Cluster> make_cluster(TransportKind kind, int size,
   TINGE_EXPECTS(size >= 1);
   switch (kind) {
     case TransportKind::InProcess:
-      return std::make_unique<InProcessCluster>(size);
+      return std::make_unique<InProcessCluster>(size, options);
     case TransportKind::Tcp:
       return make_loopback_tcp_cluster(size, options);
   }

@@ -27,6 +27,7 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -47,6 +48,34 @@ const char* transport_kind_name(TransportKind kind);
 /// Inverse of transport_kind_name. Throws std::invalid_argument on an
 /// unknown name so typos in scripts fail loudly.
 TransportKind parse_transport_kind(std::string_view name);
+
+/// A peer of this endpoint is gone: its process/thread exited (or its
+/// connection closed) while a recv or barrier still needed it. Both
+/// backends throw this instead of hanging, with the failing rank pair in
+/// the message so a 22-minute whole-genome run dies with a name attached.
+class PeerFailureError : public std::runtime_error {
+ public:
+  PeerFailureError(const std::string& what, int rank, int peer)
+      : std::runtime_error(what), rank_(rank), peer_(peer) {}
+
+  /// The rank that observed the failure.
+  int rank() const { return rank_; }
+  /// The peer rank that failed (or -1 when unattributable).
+  int peer() const { return peer_; }
+
+ private:
+  int rank_;
+  int peer_;
+};
+
+/// A recv or barrier deadline expired: the peer is alive-but-stuck (or the
+/// message was lost). The failure detector for hangs that a closed
+/// connection cannot surface.
+class TimeoutError : public PeerFailureError {
+ public:
+  TimeoutError(const std::string& what, int rank, int peer)
+      : PeerFailureError(what, rank, peer) {}
+};
 
 /// Payload traffic between one rank and one peer. Control frames (barrier
 /// tokens, connection handshakes) are excluded so both backends account
@@ -78,6 +107,11 @@ struct TransportOptions {
   std::string rendezvous_dir;
   /// Give up on rendezvous/connect after this long.
   double connect_timeout_seconds = 30.0;
+  /// Default deadline for recv() and barrier(): a wait that exceeds it
+  /// throws TimeoutError instead of blocking forever on an alive-but-stuck
+  /// peer. <= 0 disables the deadline (wait indefinitely — the historical
+  /// behavior, and the library default; the CLI sets a finite one).
+  double recv_timeout_seconds = 0.0;
 };
 
 /// One rank's endpoint: the pure transport interface. Methods are called
@@ -99,9 +133,18 @@ class Transport {
   /// Blocks until a message with (src, tag) arrives; returns its payload.
   /// Messages from the same source with *other* tags may arrive first and
   /// are left queued — matching is by (src, tag), FIFO within a match.
+  /// Waits at most the options' default recv deadline (TimeoutError past
+  /// it); throws PeerFailureError if the peer dies with no match queued.
   virtual std::vector<std::byte> recv(int src, int tag) = 0;
 
-  /// All ranks must arrive before any proceeds. Reusable.
+  /// recv with a per-call deadline overriding the options default:
+  /// timeout_seconds > 0 is the deadline, <= 0 waits indefinitely.
+  virtual std::vector<std::byte> recv(int src, int tag,
+                                      double timeout_seconds) = 0;
+
+  /// All ranks must arrive before any proceeds. Reusable. Subject to the
+  /// options' default recv deadline (a rank that never arrives surfaces as
+  /// TimeoutError / PeerFailureError, not a hang).
   virtual void barrier() = 0;
 
   /// Per-peer payload traffic of this endpoint, indexed by peer rank
@@ -137,6 +180,12 @@ class Comm {
   std::vector<std::byte> recv(int src, int tag) {
     TINGE_EXPECTS(tag >= 0);
     return transport_->recv(src, tag);
+  }
+
+  /// recv with a per-call deadline (> 0 seconds; <= 0 waits forever).
+  std::vector<std::byte> recv(int src, int tag, double timeout_seconds) {
+    TINGE_EXPECTS(tag >= 0);
+    return transport_->recv(src, tag, timeout_seconds);
   }
 
   void barrier() { transport_->barrier(); }

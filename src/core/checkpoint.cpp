@@ -1,5 +1,7 @@
 #include "core/checkpoint.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -102,8 +104,19 @@ void CheckpointWriter::append_tile(std::size_t tile_index,
       sizeof(index) + sizeof(count) + edges.size() * sizeof(PackedEdge);
 }
 
+void CheckpointWriter::sync() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->file == nullptr) return;
+  if (std::fflush(impl_->file) != 0 || ::fsync(::fileno(impl_->file)) != 0)
+    throw IoError("checkpoint sync failed: " + impl_->path);
+}
+
 void CheckpointWriter::close() {
   if (impl_ && impl_->file != nullptr) {
+    // Best-effort final sync: close() runs from destructors (often during
+    // exception unwinding), so a failed fsync must not throw here.
+    std::fflush(impl_->file);
+    ::fsync(::fileno(impl_->file));
     std::fclose(impl_->file);
     impl_->file = nullptr;
     obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
@@ -147,7 +160,11 @@ CheckpointState load_checkpoint(const std::string& path) {
     }
     TileRecord record;
     record.tile_index = tile_index;
-    record.edges.reserve(count);
+    // `count` is untrusted: a record torn mid-append (or mid-header) can
+    // carry garbage here, and reserving ~2^32 edges up front would OOM the
+    // load that was supposed to *tolerate* the torn tail. Cap the reserve;
+    // a genuinely huge record still works through push_back growth.
+    record.edges.reserve(std::min<std::uint32_t>(count, 1u << 20));
     bool torn = false;
     for (std::uint32_t i = 0; i < count; ++i) {
       PackedEdge e{};

@@ -48,7 +48,14 @@ class CheckpointWriter {
   /// Appends one completed tile (called concurrently by worker threads).
   void append_tile(std::size_t tile_index, std::span<const Edge> edges);
 
-  /// Flushes and closes. Called automatically by the destructor.
+  /// Forces appended records to stable storage (fflush + fsync). append_tile
+  /// only flushes to the kernel — cheap, but a machine crash can still lose
+  /// entries — so the sweep sink calls this on its progress-throttle
+  /// boundaries: everything reported as done is durable, without paying an
+  /// fsync per tile.
+  void sync();
+
+  /// Flushes, fsyncs and closes. Called automatically by the destructor.
   void close();
 
  private:

@@ -52,7 +52,9 @@ void JournalSink::tile_end(int tid, std::size_t t, int team_width) {
 
   const std::size_t completed =
       tiles_done_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (!progress_.callback) return;
+  // The throttle runs with or without a progress callback: it is also the
+  // journal's fsync cadence, and durability must not depend on whether
+  // anyone asked for progress lines.
   constexpr std::int64_t kProgressMinMicros = 100'000;  // ~100 ms
   bool due = progress_.interval <= 1 || completed == progress_.total ||
              completed - last_reported_.load(std::memory_order_relaxed) >=
@@ -64,10 +66,14 @@ void JournalSink::tile_end(int tid, std::size_t t, int team_width) {
   }
   if (due) {
     const std::lock_guard<std::mutex> lock(progress_mutex_);
+    // Durability rides the progress throttle: fsync the journal before
+    // reporting, so every tile a progress line ever claimed as done
+    // survives a machine crash — without paying an fsync per tile.
+    writer_.sync();
     last_reported_.store(completed, std::memory_order_relaxed);
     last_report_us_.store(static_cast<std::int64_t>(watch_.seconds() * 1e6),
                           std::memory_order_relaxed);
-    progress_.callback(completed, progress_.total);
+    if (progress_.callback) progress_.callback(completed, progress_.total);
   }
 }
 

@@ -97,6 +97,15 @@ PanelPlan plan_panels(const BsplineMi& estimator, const TingeConfig& config);
 
 // --- scheduler --------------------------------------------------------------
 
+/// Thrown by run_sweep when SweepOptions::cancel flips mid-pass. Tiles
+/// journaled before the abort stay valid — a checkpointed pass resumes
+/// from them — so cancellation loses at most the tiles in flight.
+class SweepAborted : public std::runtime_error {
+ public:
+  SweepAborted()
+      : std::runtime_error("sweep aborted: cancellation requested") {}
+};
+
 /// How run_sweep distributes tiles over contexts.
 struct SweepOptions {
   /// Pool contexts participating. 1 runs inline on the caller (the pool may
@@ -111,6 +120,11 @@ struct SweepOptions {
   /// Optional resume filter, one entry per plan tile; non-zero entries are
   /// skipped (already journaled by a previous attempt).
   const std::vector<char>* skip = nullptr;
+  /// Optional cancellation flag, polled between tiles: once it reads true
+  /// the pass stops claiming tiles and throws SweepAborted. How a worker
+  /// that learned of a peer failure (or caught SIGTERM) abandons a doomed
+  /// multi-minute sweep instead of computing to the bitter end.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Per-context tally of one pass. Plain counters on per-thread slots: the
@@ -330,6 +344,9 @@ std::vector<SweepCounters> run_sweep(const SweepPlan& plan,
       JointHistogram scratch = estimator.make_scratch();
       SweepCounters& local = state.local(tid);
       for (std::size_t t = tile_begin; t < tile_end; ++t) {
+        if (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed))
+          throw SweepAborted();
         if (options.skip != nullptr && (*options.skip)[t]) continue;
         sink.tile_begin(tid, t);
         ++local.tiles;
@@ -394,8 +411,20 @@ std::vector<SweepCounters> run_sweep(const SweepPlan& plan,
       SweepCounters& local = state.local(tid);
 
       while (true) {
-        if (member == 0)
+        if (member == 0) {
+          // Cancellation rides the same poisoning path as a sink error so
+          // teammates drain off their barriers instead of stranding.
+          if (options.cancel != nullptr &&
+              options.cancel->load(std::memory_order_relaxed) &&
+              !aborted.load(std::memory_order_acquire)) {
+            try {
+              throw SweepAborted();
+            } catch (...) {
+              record_error();
+            }
+          }
           team.tile = next_tile.fetch_add(1, std::memory_order_relaxed);
+        }
         team.barrier->arrive_and_wait();
         const std::size_t t = team.tile;
         if (t >= plan.count()) break;

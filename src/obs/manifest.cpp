@@ -1,5 +1,7 @@
 #include "obs/manifest.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <stdexcept>
 
@@ -41,14 +43,26 @@ Json metrics_to_json(const MetricsSnapshot& snapshot) {
 }
 
 void write_json_file(const Json& document, const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
+  // Whole-or-nothing: write to a temp name, fsync, then rename over the
+  // target. A reader polling for the manifest (the CI fault smoke does)
+  // must never parse a half-written document.
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
   if (file == nullptr)
-    throw std::runtime_error("cannot create " + path);
+    throw std::runtime_error("cannot create " + tmp);
   const std::string text = document.dump();
   const bool ok =
-      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+      std::fwrite(text.data(), 1, text.size(), file) == text.size() &&
+      std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
   const bool closed = std::fclose(file) == 0;
-  if (!ok || !closed) throw std::runtime_error("cannot write " + path);
+  if (!ok || !closed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot write " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " to " + path);
+  }
 }
 
 Json read_json_file(const std::string& path) {

@@ -2,9 +2,10 @@
 //
 // The run manifest assembled in core/run_manifest.h is the pipeline-shaped
 // document; this header owns the generic pieces: span tree -> JSON,
-// metrics snapshot -> JSON, and the atomic-ish file write (temp + rename
-// would need platform code; a plain write of a small document is enough —
-// the consumer is a test harness or a metrics scraper, not a journal).
+// metrics snapshot -> JSON, and the atomic file write (temp + fsync +
+// rename, so a manifest either exists whole or not at all — the launcher's
+// failure report is written while workers are dying, exactly when a torn
+// half-document would mislead).
 #pragma once
 
 #include <string>
@@ -23,8 +24,9 @@ Json span_to_json(const SpanNode& node);
 /// min, max, p50, p90, p99}}} with keys in lexicographic order.
 Json metrics_to_json(const MetricsSnapshot& snapshot);
 
-/// Writes `document.dump()` to `path`; throws std::runtime_error on I/O
-/// failure.
+/// Writes `document.dump()` to `path` atomically (temp file + fsync +
+/// rename); throws std::runtime_error on I/O failure. Readers never see a
+/// partial document.
 void write_json_file(const Json& document, const std::string& path);
 
 /// Reads and parses a JSON file; throws std::runtime_error / JsonError.

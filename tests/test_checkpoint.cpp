@@ -81,6 +81,47 @@ TEST_F(CheckpointFixture, DuplicateTilesKeepFirstRecord) {
   EXPECT_EQ(state.all_edges()[0].v, 1u);
 }
 
+TEST_F(CheckpointFixture, TornTailWithGarbageCountDoesNotOverReserve) {
+  // A crash can tear the trailing record mid-write, leaving a bogus edge
+  // count (e.g. 0xFFFFFFFF) with no payload behind it. The loader must
+  // treat it as a torn tail — and must not trust the count enough to
+  // pre-allocate gigabytes before discovering the truncation.
+  const RunSignature signature = test_signature();
+  {
+    CheckpointWriter writer(path("g.ckpt"), signature);
+    const Edge edges[] = {{0, 1, 0.5f}};
+    writer.append_tile(1, edges);
+  }
+  {
+    std::ofstream out(path("g.ckpt"),
+                      std::ios::binary | std::ios::app);
+    const std::uint64_t tile = 9;
+    const std::uint32_t absurd_count = 0xFFFFFFFFu;
+    out.write(reinterpret_cast<const char*>(&tile), sizeof(tile));
+    out.write(reinterpret_cast<const char*>(&absurd_count),
+              sizeof(absurd_count));
+    out.write("torn", 4);  // a fraction of the first promised edge
+  }
+  const CheckpointState state = load_checkpoint(path("g.ckpt"));
+  EXPECT_TRUE(state.tail_truncated);
+  EXPECT_EQ(state.completed_tiles(), (std::vector<std::uint64_t>{1}));
+}
+
+TEST_F(CheckpointFixture, SyncFlushesRecordsToDisk) {
+  // sync() (the sweep sink calls it on progress-throttle boundaries) must
+  // make everything appended so far durable + loadable while the writer is
+  // still open — that is the whole crash-consistency contract.
+  const RunSignature signature = test_signature();
+  CheckpointWriter writer(path("y.ckpt"), signature);
+  const Edge edges[] = {{3, 4, 0.6f}};
+  writer.append_tile(11, edges);
+  writer.sync();
+  const CheckpointState state = load_checkpoint(path("y.ckpt"));
+  EXPECT_EQ(state.completed_tiles(), (std::vector<std::uint64_t>{11}));
+  EXPECT_FALSE(state.tail_truncated);
+  writer.close();
+}
+
 TEST_F(CheckpointFixture, RejectsGarbageAndMissingFiles) {
   EXPECT_THROW(load_checkpoint(path("absent.ckpt")), IoError);
   {

@@ -290,5 +290,30 @@ TEST(ShardedPipeline, MatchesSingleProcessBuilderOnBothTransports) {
   }
 }
 
+TEST(ShardedPipeline, FailureManifestAttributesTheFirstFailedRank) {
+  TingeConfig config;
+  config.cluster_ranks = 3;
+  config.cluster_transport = "tcp";
+  std::vector<WorkerExit> exits(3);
+  exits[0] = {/*rank=*/0, /*exit_code=*/143, /*reap_order=*/2};
+  exits[1] = {/*rank=*/1, /*exit_code=*/40, /*reap_order=*/0};
+  exits[2] = {/*rank=*/2, /*exit_code=*/kWorkerExitPeerFailure,
+              /*reap_order=*/1};
+  const obs::Json manifest = make_cluster_failure_manifest(
+      config, exits, "tinge_cli --synthetic=60 --cluster=3");
+  const std::string document = manifest.dump();
+  EXPECT_NE(document.find("\"status\": \"failed\""), std::string::npos)
+      << document;
+  EXPECT_NE(document.find("\"first_failed_rank\": 1"), std::string::npos)
+      << document;
+  EXPECT_NE(document.find("exited with code 40"), std::string::npos);
+  EXPECT_NE(document.find("peer failure"), std::string::npos);
+  EXPECT_NE(document.find("\"resume_command\""), std::string::npos);
+
+  // No resume command -> the key is omitted, not emitted empty.
+  const obs::Json bare = make_cluster_failure_manifest(config, exits, "");
+  EXPECT_EQ(bare.dump().find("resume_command"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tinge::cluster

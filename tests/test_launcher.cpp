@@ -1,0 +1,162 @@
+// Launcher failure attribution: exit sentinels, reap-order bookkeeping,
+// first_failure / describe_worker_exit, and the ECHILD path where workers
+// are reaped out from under us (unknown outcome must read as failure).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/launcher.h"
+
+namespace tinge::cluster {
+namespace {
+
+TEST(ClusterLauncherTest, UnreapedWorkerIsAFailureByDefault) {
+  // The sentinel state — before (or without) a successful waitpid — must
+  // never read as success.
+  const WorkerExit exit;
+  EXPECT_FALSE(exit.reaped());
+  EXPECT_TRUE(exit.failed());
+  EXPECT_EQ(exit.exit_code, kWorkerExitUnreaped);
+  EXPECT_FALSE(all_workers_succeeded({exit}));
+}
+
+TEST(ClusterLauncherTest, NoWorkersIsNotSuccess) {
+  EXPECT_FALSE(all_workers_succeeded({}));
+}
+
+TEST(ClusterLauncherTest, FirstFailureIsByReapOrderNotRank) {
+  // Rank 2 died first (reap_order 0); ranks 0 and 1 were torn down after.
+  // Attribution must follow reap order, not rank numbering.
+  std::vector<WorkerExit> exits(3);
+  exits[0] = {/*rank=*/0, /*exit_code=*/143, /*reap_order=*/2};
+  exits[1] = {/*rank=*/1, /*exit_code=*/kWorkerExitPeerFailure,
+              /*reap_order=*/1};
+  exits[2] = {/*rank=*/2, /*exit_code=*/40, /*reap_order=*/0};
+  const WorkerExit* first = first_failure(exits);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->rank, 2);
+}
+
+TEST(ClusterLauncherTest, CleanExitsAreSkippedByFirstFailure) {
+  std::vector<WorkerExit> exits(2);
+  exits[0] = {/*rank=*/0, /*exit_code=*/0, /*reap_order=*/0};
+  exits[1] = {/*rank=*/1, /*exit_code=*/1, /*reap_order=*/1};
+  const WorkerExit* first = first_failure(exits);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->rank, 1);
+
+  exits[1].exit_code = 0;
+  EXPECT_EQ(first_failure(exits), nullptr);
+}
+
+TEST(ClusterLauncherTest, UnreapedFailureWinsOnlyWithoutReapedOnes) {
+  // A reaped failure beats an unreaped sentinel (its timing is known)...
+  std::vector<WorkerExit> exits(2);
+  exits[0] = {/*rank=*/0, /*exit_code=*/kWorkerExitUnreaped,
+              /*reap_order=*/-1};
+  exits[1] = {/*rank=*/1, /*exit_code=*/9, /*reap_order=*/0};
+  const WorkerExit* first = first_failure(exits);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->rank, 1);
+
+  // ...but with nothing reaped, the sentinel is all we can report.
+  exits[1] = {/*rank=*/1, /*exit_code=*/0, /*reap_order=*/0};
+  first = first_failure(exits);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->rank, 0);
+}
+
+TEST(ClusterLauncherTest, DescribeWorkerExitCoversTheCodeSpace) {
+  WorkerExit exit;
+  EXPECT_NE(describe_worker_exit(exit).find("never reaped"),
+            std::string::npos);
+  exit.reap_order = 0;
+  exit.exit_code = 0;
+  EXPECT_EQ(describe_worker_exit(exit), "exited cleanly");
+  exit.exit_code = kWorkerExitPeerFailure;
+  EXPECT_NE(describe_worker_exit(exit).find("peer failure"),
+            std::string::npos);
+  exit.exit_code = 127;
+  EXPECT_NE(describe_worker_exit(exit).find("exec"), std::string::npos);
+  exit.exit_code = 128 + SIGTERM;
+  EXPECT_NE(describe_worker_exit(exit).find("signal 15"), std::string::npos);
+  exit.exit_code = 40;
+  EXPECT_EQ(describe_worker_exit(exit), "exited with code 40");
+}
+
+TEST(ClusterLauncherTest, LaunchReapsAllWorkersInOrder) {
+  // The launcher appends --cluster-rank=... etc.; `sh -c 'exit 0' sh`
+  // ignores those extra argv words, so /bin/sh stands in for a worker.
+  std::vector<WorkerExit> exits =
+      launch_workers("/bin/sh", {"-c", "exit 0", "sh"}, 2, "/tmp");
+  ASSERT_EQ(exits.size(), 2u);
+  EXPECT_TRUE(all_workers_succeeded(exits));
+  std::vector<bool> orders(2, false);
+  for (const WorkerExit& exit : exits) {
+    EXPECT_TRUE(exit.reaped());
+    EXPECT_EQ(exit.exit_code, 0);
+    ASSERT_GE(exit.reap_order, 0);
+    ASSERT_LT(exit.reap_order, 2);
+    orders[static_cast<std::size_t>(exit.reap_order)] = true;
+  }
+  EXPECT_TRUE(orders[0] && orders[1]);  // reap orders are a permutation
+}
+
+TEST(ClusterLauncherTest, LaunchReportsAFailedWorkersExitCode) {
+  // One worker (no survivors to tear down, so no SIGTERM race on the
+  // expected code): its exit status must come back verbatim.
+  std::vector<WorkerExit> exits =
+      launch_workers("/bin/sh", {"-c", "exit 7", "sh"}, 1, "/tmp");
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_TRUE(exits[0].reaped());
+  EXPECT_EQ(exits[0].exit_code, 7);
+  EXPECT_FALSE(all_workers_succeeded(exits));
+  const WorkerExit* first = first_failure(exits);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->rank, 0);
+}
+
+TEST(ClusterLauncherTest, EchildLeavesFailureSentinels) {
+  // With SIGCHLD set to SIG_IGN the kernel auto-reaps children and waitpid
+  // fails with ECHILD: the launcher must report every rank as an unreaped
+  // failure rather than hang or claim success.
+  struct sigaction previous = {};
+  struct sigaction ignore = {};
+  ignore.sa_handler = SIG_IGN;
+  ASSERT_EQ(::sigaction(SIGCHLD, &ignore, &previous), 0);
+  std::vector<WorkerExit> exits =
+      launch_workers("/bin/sh", {"-c", "exit 0", "sh"}, 2, "/tmp");
+  ::sigaction(SIGCHLD, &previous, nullptr);
+  ASSERT_EQ(exits.size(), 2u);
+  EXPECT_FALSE(all_workers_succeeded(exits));
+  for (const WorkerExit& exit : exits) {
+    EXPECT_FALSE(exit.reaped());
+    EXPECT_EQ(exit.exit_code, kWorkerExitUnreaped);
+  }
+  ASSERT_NE(first_failure(exits), nullptr);
+}
+
+TEST(ClusterLauncherTest, SiblingBinaryPathResolvesNextToThisBinary) {
+  const std::string path = sibling_binary_path("argv0-unused", "neighbor");
+  // Resolved via /proc/self/exe: must end with /neighbor and the directory
+  // must be this test binary's own directory.
+  ASSERT_GE(path.size(), std::string("/neighbor").size());
+  EXPECT_EQ(path.substr(path.size() - 9), "/neighbor");
+  EXPECT_NE(path.find('/'), std::string::npos);
+}
+
+TEST(ClusterLauncherTest, SiblingBinaryPathFallsBackToArgv0) {
+  // When /proc/self/exe is unavailable or truncated the argv0 directory is
+  // used; with a bare argv0 the sibling lands in ".". We can't break
+  // /proc here, but the argv0 fallback's slash handling is still checkable
+  // through a relative argv0 (the dir split is shared code).
+  const std::string path = sibling_binary_path("./build/tool", "peer");
+  EXPECT_EQ(path.substr(path.size() - 5), "/peer");
+}
+
+}  // namespace
+}  // namespace tinge::cluster

@@ -4,11 +4,13 @@
 // payloads, reusable barriers, and exact payload byte accounting. The
 // same test body runs against the in-process and the TCP backend.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "cluster/launcher.h"
 #include "cluster/tcp_transport.h"
@@ -25,6 +27,10 @@ class TransportConformance : public ::testing::TestWithParam<TransportKind> {
  protected:
   std::unique_ptr<Cluster> cluster(int size) const {
     return make_cluster(GetParam(), size);
+  }
+  std::unique_ptr<Cluster> cluster(int size,
+                                   const TransportOptions& options) const {
+    return make_cluster(GetParam(), size, options);
   }
 };
 
@@ -155,6 +161,88 @@ TEST_P(TransportConformance, ExceptionInOneRankPropagates) {
                std::runtime_error);
 }
 
+// ---- failure detection (deadlines + dead peers), both backends -------------
+
+TEST_P(TransportConformance, PerCallRecvDeadlineFires) {
+  // The peer is alive but silent: the 3-arg recv must give up at its own
+  // deadline with TimeoutError, not block on the (infinite) default.
+  const auto cluster = this->cluster(2);
+  std::atomic<bool> done{false};
+  EXPECT_THROW(cluster->run([&](Comm& comm) {
+                 if (comm.rank() == 0) {
+                   try {
+                     comm.recv(1, 1, /*timeout_seconds=*/0.2);
+                   } catch (...) {
+                     done = true;  // release the silent peer, then rethrow
+                     throw;
+                   }
+                 } else {
+                   while (!done)
+                     std::this_thread::sleep_for(
+                         std::chrono::milliseconds(10));
+                 }
+               }),
+               TimeoutError);
+}
+
+TEST_P(TransportConformance, DefaultRecvDeadlineFromOptions) {
+  // The plain 2-arg recv honors TransportOptions::recv_timeout_seconds.
+  TransportOptions options;
+  options.recv_timeout_seconds = 0.2;
+  const auto cluster = this->cluster(2, options);
+  std::atomic<bool> done{false};
+  EXPECT_THROW(cluster->run([&](Comm& comm) {
+                 if (comm.rank() == 0) {
+                   try {
+                     comm.recv(1, 1);
+                   } catch (...) {
+                     done = true;
+                     throw;
+                   }
+                 } else {
+                   while (!done)
+                     std::this_thread::sleep_for(
+                         std::chrono::milliseconds(10));
+                 }
+               }),
+               TimeoutError);
+}
+
+TEST_P(TransportConformance, DeadRankFailsPendingRecv) {
+  // A finished (or crashed) peer must fail a pending recv instead of
+  // deadlocking the survivor — with no deadline configured at all.
+  const auto cluster = this->cluster(2);
+  EXPECT_THROW(cluster->run([](Comm& comm) {
+                 if (comm.rank() == 0)
+                   comm.recv(1, 1);  // rank 1 exits without sending
+               }),
+               PeerFailureError);
+}
+
+TEST_P(TransportConformance, DeadRankFailsPendingBarrier) {
+  // Same for a barrier: a rank that exits before arriving must fail the
+  // waiters, not strand them.
+  const auto cluster = this->cluster(2);
+  EXPECT_THROW(cluster->run([](Comm& comm) {
+                 if (comm.rank() == 0) comm.barrier();  // rank 1 never arrives
+               }),
+               PeerFailureError);
+}
+
+TEST_P(TransportConformance, QueuedMessageFromDeadRankIsStillReceivable) {
+  // Matching is checked before liveness: a message the peer sent before
+  // dying is delivered, not discarded — only a *missing* match fails.
+  const auto cluster = this->cluster(2);
+  cluster->run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      comm.send_vector(0, std::vector<int>{77}, 1);
+      return;  // rank 1 is done; its message must survive it
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    EXPECT_EQ(comm.recv_vector<int>(1, 1).at(0), 77);
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
                          ::testing::Values(TransportKind::InProcess,
                                            TransportKind::Tcp),
@@ -258,15 +346,47 @@ TEST(TcpTransportTest, RendezvousTimesOutWithoutPeers) {
   remove_rendezvous_dir(dir);
 }
 
-TEST(TcpTransportTest, PeerExitWithoutMessageFailsRecv) {
-  // A finished (or crashed) peer must fail a pending recv instead of
-  // deadlocking the survivor.
+TEST(TcpTransportTest, ConcurrentSendersKeepFramesIntact) {
+  // Many threads of one rank hammering send() to the same peer: every
+  // frame must land intact (header + payload back-to-back on the stream).
+  // Run under TSan this is also the data-race regression test for the
+  // per-peer send mutex.
   const auto cluster = make_cluster(TransportKind::Tcp, 2);
-  EXPECT_THROW(cluster->run([](Comm& comm) {
-                 if (comm.rank() == 0)
-                   comm.recv(1, 1);  // rank 1 exits without sending
-               }),
-               std::runtime_error);
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 50;
+  cluster->run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::thread> senders;
+      for (int t = 0; t < kSenders; ++t)
+        senders.emplace_back([&comm, t] {
+          for (int i = 0; i < kPerSender; ++i)
+            comm.send_vector(
+                1, std::vector<int>(static_cast<std::size_t>(t % 3 + 1), t),
+                /*tag=*/t);
+        });
+      for (std::thread& sender : senders) sender.join();
+      comm.barrier();
+    } else {
+      for (int t = 0; t < kSenders; ++t)
+        for (int i = 0; i < kPerSender; ++i) {
+          const auto payload = comm.recv_vector<int>(0, t);
+          ASSERT_EQ(payload.size(), static_cast<std::size_t>(t % 3 + 1));
+          for (const int value : payload) EXPECT_EQ(value, t);
+        }
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(cluster->messages_sent(),
+            static_cast<std::uint64_t>(kSenders) * kPerSender);
+}
+
+TEST(TcpTransportTest, PortFileWriteFailureIsDetected) {
+  // write_port_file must report a failed write (e.g. a full disk) instead
+  // of silently publishing an empty file and letting peers spin. /dev/full
+  // fails the flush exactly like ENOSPC; skip where it doesn't exist.
+  if (::access("/dev/full", W_OK) != 0)
+    GTEST_SKIP() << "/dev/full not available";
+  EXPECT_THROW(write_port_file("/dev/full", 4242), std::runtime_error);
 }
 
 }  // namespace
