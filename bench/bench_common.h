@@ -6,9 +6,13 @@
 // scale.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
 
 #include "core/config.h"
 #include "core/mi_engine.h"
@@ -87,14 +91,25 @@ inline TingeConfig engine_config(
   return config;
 }
 
-/// One thresholded engine pass. The threshold (10 nats) sits above any
-/// attainable MI, so the edge set stays empty and the timing is pure sweep
-/// cost.
+/// Thresholded engine passes with warmup: one untimed warmup pass (page
+/// faults, kernel auto-resolution, staging) followed by `samples` timed
+/// passes; the stats of the median-seconds pass are returned, so a single
+/// descheduling blip cannot masquerade as a kernel regression. The
+/// threshold (10 nats) sits above any attainable MI, so the edge set stays
+/// empty and the timing is pure sweep cost.
 inline EngineStats timed_pass(const MiEngine& engine, par::ThreadPool& pool,
-                              const TingeConfig& config) {
-  EngineStats stats;
-  engine.compute_network(/*threshold=*/10.0, config, pool, &stats);
-  return stats;
+                              const TingeConfig& config, int samples = 3) {
+  EngineStats warmup;
+  engine.compute_network(/*threshold=*/10.0, config, pool, &warmup);
+  std::vector<EngineStats> passes(static_cast<std::size_t>(
+      std::max(samples, 1)));
+  for (EngineStats& stats : passes)
+    engine.compute_network(/*threshold=*/10.0, config, pool, &stats);
+  std::sort(passes.begin(), passes.end(),
+            [](const EngineStats& a, const EngineStats& b) {
+              return a.seconds < b.seconds;
+            });
+  return passes[passes.size() / 2];
 }
 
 /// Synthetic GRN-backed expression dataset for accuracy experiments.
@@ -113,6 +128,37 @@ inline SyntheticDataset accuracy_dataset(std::size_t genes, std::size_t samples,
   expr.seed = seed + 1;
   return make_synthetic_dataset(grn_params, expr);
 }
+
+/// Machine-readable companion to the printed tables: collects one JSON
+/// object per table row and writes BENCH_<name>.json via the obs manifest
+/// writer (atomic rename), so CI can compare runs mechanically instead of
+/// scraping stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    root_ = obs::Json::object();
+    root_["benchmark"] = obs::Json(name_);
+    root_["isa"] = obs::Json(simd::isa_report());
+    root_["host"] = obs::Json(par::detect_host_topology().to_string());
+    rows_ = obs::Json::array();
+  }
+
+  void add_row(obs::Json row) { rows_.push_back(std::move(row)); }
+
+  /// Writes BENCH_<name>.json (default) or `path`; returns the path.
+  std::string write(std::string path = {}) {
+    if (path.empty()) path = "BENCH_" + name_ + ".json";
+    root_["rows"] = std::move(rows_);
+    rows_ = obs::Json::array();
+    obs::write_json_file(root_, path);
+    return path;
+  }
+
+ private:
+  std::string name_;
+  obs::Json root_;
+  obs::Json rows_;
+};
 
 /// pairs/s formatted for tables.
 inline std::string rate_str(double pairs_per_second) {

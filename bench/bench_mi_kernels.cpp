@@ -38,7 +38,7 @@ double measure_pairs_per_second(const BsplineMi& estimator,
   return static_cast<double>(pairs) / watch.seconds();
 }
 
-void summary_table() {
+void summary_table(bench::BenchJson& out) {
   bench::print_header(
       "F2: MI kernel vectorization speedup (single thread)",
       "pairs/s per kernel variant; speedup relative to the scalar kernel. "
@@ -88,6 +88,13 @@ void summary_table() {
                      bench::rate_str(rate),
                      strprintf("%.1f", rate * static_cast<double>(m) / 1e6),
                      strprintf("%.2fx", rate / scalar_rate)});
+      obs::Json json = obs::Json::object();
+      json["table"] = obs::Json(std::string("kernel_ladder"));
+      json["samples"] = obs::Json(m);
+      json["kernel"] = obs::Json(std::string(kernel_name(kernel)));
+      json["pairs_per_second"] = obs::Json(rate);
+      json["speedup_vs_scalar"] = obs::Json(rate / scalar_rate);
+      out.add_row(std::move(json));
     }
   }
   table.print();
@@ -182,6 +189,98 @@ void panel_table() {
       "2048.\n\n");
 }
 
+// ---- memory-side panel knobs (F2c) -----------------------------------------
+
+// Measures the FMA panel with an explicit PanelOptions policy over rank rows
+// served by `row` (uint32 or uint16 — deduced).
+template <typename RowFn>
+double measure_panel_options(const BsplineMi& estimator, std::size_t n,
+                             RowFn row, const PanelOptions& options,
+                             std::size_t width, double budget_seconds = 0.3) {
+  JointHistogram scratch = estimator.make_scratch();
+  Stopwatch watch;
+  std::size_t pairs = 0;
+  double sink = 0.0;
+  double mi[kMaxPanelWidth];
+  using RankPtr = decltype(row(std::size_t{0}));
+  RankPtr ry[kMaxPanelWidth];
+  while (watch.seconds() < budget_seconds) {
+    for (std::size_t i = 0; i + width < n && watch.seconds() < budget_seconds;
+         i += width) {
+      for (std::size_t p = 0; p < width; ++p) ry[p] = row(i + 1 + p);
+      estimator.mi_panel(row(i), ry, width, scratch, options, mi);
+      for (std::size_t p = 0; p < width; ++p) sink += mi[p];
+      pairs += width;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  return static_cast<double>(pairs) / watch.seconds();
+}
+
+// One row per memory-side knob against the panel-FMA baseline (all knobs
+// off, uint32 ranks). Every variant computes bit-identical MI values — the
+// knobs change where bytes come from, not which floats are multiplied.
+void panel_knob_table(bench::BenchJson& out) {
+  bench::print_header(
+      "F2c: panel-FMA memory-side knobs (single thread)",
+      "pairs/s of the B=8 FMA panel with each knob alone, then all "
+      "together; speedup vs the all-off baseline. b=10, k=3.");
+
+  const std::vector<std::size_t> sample_counts{2048, 3137};
+  constexpr std::size_t kWidth = 8;
+  constexpr std::size_t kGenes = 64;
+
+  struct Variant {
+    const char* name;
+    bool u16;
+    PanelOptions options;
+  };
+  const PanelOptions base{MiKernel::Simd, /*prefetch=*/false,
+                          /*packed=*/false};
+  const std::vector<Variant> variants{
+      {"baseline (u32, all off)", false, base},
+      {"+uint16 rank staging", true, base},
+      {"+packed weight table", false,
+       PanelOptions{MiKernel::Simd, false, true}},
+      {"+software prefetch", false, PanelOptions{MiKernel::Simd, true, false}},
+      {"all on", true, PanelOptions{MiKernel::Simd, true, true}},
+  };
+
+  Table table({"m (samples)", "variant", "pairs/s", "speedup"});
+  for (const std::size_t m : sample_counts) {
+    const bench::RandomRanks data(kGenes, m);
+    const BsplineMi estimator(kBins, kOrder, m);
+    const StagedRankMatrix staged(data.ranked());
+    const auto row32 = [&](std::size_t g) {
+      return data.ranked().ranks(g).data();
+    };
+    const auto row16 = [&](std::size_t g) { return staged.row(g); };
+
+    double baseline_rate = 0.0;
+    for (const Variant& variant : variants) {
+      const double rate =
+          variant.u16 ? measure_panel_options(estimator, kGenes, row16,
+                                              variant.options, kWidth)
+                      : measure_panel_options(estimator, kGenes, row32,
+                                              variant.options, kWidth);
+      if (baseline_rate == 0.0) baseline_rate = rate;
+      table.add_row({std::to_string(m), variant.name, bench::rate_str(rate),
+                     strprintf("%.2fx", rate / baseline_rate)});
+      obs::Json json = obs::Json::object();
+      json["table"] = obs::Json(std::string("panel_knobs"));
+      json["samples"] = obs::Json(m);
+      json["variant"] = obs::Json(std::string(variant.name));
+      json["pairs_per_second"] = obs::Json(rate);
+      json["speedup_vs_baseline"] = obs::Json(rate / baseline_rate);
+      out.add_row(std::move(json));
+    }
+  }
+  table.print();
+  std::printf(
+      "\nAll rows are bit-identical in output; the deltas are pure memory-\n"
+      "system effects (rank-stream bytes, table-row loads, miss latency).\n\n");
+}
+
 // ---- google-benchmark microbenchmarks --------------------------------------
 
 void BM_JointEntropy(benchmark::State& state) {
@@ -261,8 +360,11 @@ void register_benchmarks() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  summary_table();
+  bench::BenchJson out("mi_kernels");
+  summary_table(out);
   panel_table();
+  panel_knob_table(out);
+  std::printf("wrote %s\n", out.write().c_str());
   register_benchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

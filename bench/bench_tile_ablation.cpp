@@ -1,4 +1,5 @@
-// Experiment F5 [reconstructed]: cache-blocking tile-size ablation.
+// Experiment F5 [reconstructed]: cache-blocking tile-size ablation, plus
+// the F2c memory-side knob ablation.
 // A tile of T x T gene pairs touches 2T rank profiles (T * m * 4 bytes per
 // side) plus the private histogram; too-small tiles lose locality between
 // pairs sharing a gene, too-large tiles spill the profile working set out of
@@ -11,26 +12,16 @@
 
 using namespace tinge;
 
-int main(int argc, char** argv) {
-  ArgParser args;
-  args.add("genes", "genes in the test matrix", "512");
-  args.add("samples", "experiments per gene", "1024");
-  args.add("threads", "threads to run with", "0");
-  args.parse(argc, argv);
+namespace {
 
-  const auto n = static_cast<std::size_t>(args.get_int("genes"));
-  const auto m = static_cast<std::size_t>(args.get_int("samples"));
-  int threads = static_cast<int>(args.get_int("threads"));
-  if (threads <= 0) threads = par::detect_host_topology().total_threads();
-
+void tile_size_table(const bench::EngineFixture& fixture, par::ThreadPool& pool,
+                     std::size_t n, std::size_t m, int threads,
+                     bench::BenchJson& out) {
   bench::print_header(
       "F5: tile-size ablation (cache blocking)",
       strprintf("%zu genes x %zu samples, %d threads; per-tile rank working "
                 "set = 2*T*%zu bytes",
                 n, m, threads, m * sizeof(std::uint32_t)));
-
-  const bench::EngineFixture fixture(n, m);
-  par::ThreadPool pool(threads);
 
   Table table({"tile T", "tiles", "working set", "seconds", "pairs/s",
                "vs best"});
@@ -51,16 +42,138 @@ int main(int argc, char** argv) {
   }
   for (const Row& row : rows) {
     const std::size_t bytes = 2 * row.tile * m * sizeof(std::uint32_t);
+    const double rate = static_cast<double>(row.pairs) / row.seconds;
     table.add_row({std::to_string(row.tile), std::to_string(row.tiles),
                    strprintf("%zu KB", bytes / 1024),
-                   strprintf("%.3f", row.seconds),
-                   bench::rate_str(static_cast<double>(row.pairs) / row.seconds),
+                   strprintf("%.3f", row.seconds), bench::rate_str(rate),
                    strprintf("%.2fx", row.seconds / best)});
+    obs::Json json = obs::Json::object();
+    json["table"] = obs::Json(std::string("tile_size"));
+    json["tile"] = obs::Json(row.tile);
+    json["seconds"] = obs::Json(row.seconds);
+    json["pairs_per_second"] = obs::Json(rate);
+    out.add_row(std::move(json));
   }
   table.print();
   std::printf(
       "\nPaper shape to compare: a U-curve — tiny tiles pay scheduling and\n"
       "locality costs, huge tiles spill the L2; the sweet spot sits where\n"
       "the working set fills a core's private cache.\n");
+}
+
+// F2c: each memory-side knob measured one at a time against the panel-FMA
+// baseline with every knob off. All variants produce bit-identical networks
+// (the knobs change where bytes come from, not which floats are multiplied),
+// so the speedup column is the entire story.
+void knob_ablation_table(const bench::EngineFixture& fixture,
+                         par::ThreadPool& pool, std::size_t n, std::size_t m,
+                         int threads, bench::BenchJson& out) {
+  bench::print_header(
+      "F2c: memory-side knob ablation (panel-FMA baseline, all knobs off)",
+      strprintf("%zu genes x %zu samples, %d threads, %d NUMA node(s); "
+                "speedup of each knob alone, then all together.",
+                n, m, threads, par::detect_numa_layout().nodes));
+
+  TingeConfig baseline = bench::engine_config(threads);
+  baseline.kernel = MiKernel::Simd;  // pin the FMA panel: knobs only
+  baseline.stage_ranks = false;
+  baseline.packed_table = KnobMode::Off;
+  baseline.prefetch = KnobMode::Off;
+  baseline.numa = KnobMode::Off;
+
+  struct Variant {
+    const char* name;
+    TingeConfig config;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"baseline (all off)", baseline});
+  {
+    TingeConfig c = baseline;
+    c.stage_ranks = true;
+    variants.push_back({"+uint16 rank staging", c});
+  }
+  {
+    TingeConfig c = baseline;
+    c.packed_table = KnobMode::On;
+    variants.push_back({"+packed weight table", c});
+  }
+  {
+    TingeConfig c = baseline;
+    c.prefetch = KnobMode::On;
+    variants.push_back({"+software prefetch", c});
+  }
+  {
+    TingeConfig c = baseline;
+    c.numa = KnobMode::On;
+    variants.push_back({"+NUMA tile scheduling", c});
+  }
+  {
+    TingeConfig c = baseline;
+    c.stage_ranks = true;
+    c.packed_table = KnobMode::On;
+    c.prefetch = KnobMode::On;
+    c.numa = KnobMode::On;
+    variants.push_back({"all on", c});
+  }
+  {
+    // What the engine actually ships: measured-auto keeps the knobs that
+    // win on this host and drops the ones that lose, so this row should
+    // never fall below the baseline by more than measurement noise.
+    TingeConfig c = baseline;
+    c.stage_ranks = true;
+    c.packed_table = KnobMode::Auto;
+    c.prefetch = KnobMode::Auto;
+    c.numa = KnobMode::Auto;
+    variants.push_back({"auto (default knobs)", c});
+  }
+
+  Table table({"variant", "seconds", "pairs/s", "speedup"});
+  double baseline_seconds = 0.0;
+  for (const Variant& variant : variants) {
+    const EngineStats stats =
+        bench::timed_pass(fixture.engine(), pool, variant.config);
+    if (baseline_seconds == 0.0) baseline_seconds = stats.seconds;
+    const double rate =
+        static_cast<double>(stats.pairs_computed) / stats.seconds;
+    const double speedup = baseline_seconds / stats.seconds;
+    table.add_row({variant.name, strprintf("%.3f", stats.seconds),
+                   bench::rate_str(rate), strprintf("%.2fx", speedup)});
+    obs::Json json = obs::Json::object();
+    json["table"] = obs::Json(std::string("knob_ablation"));
+    json["variant"] = obs::Json(std::string(variant.name));
+    json["samples"] = obs::Json(m);
+    json["seconds"] = obs::Json(stats.seconds);
+    json["pairs_per_second"] = obs::Json(rate);
+    json["speedup_vs_baseline"] = obs::Json(speedup);
+    out.add_row(std::move(json));
+  }
+  table.print();
+  std::printf(
+      "\nAll rows compute the identical network; differences are pure\n"
+      "memory-system effects. NUMA shows 1.00x on single-node hosts (the\n"
+      "scheduler degenerates to the shared queue by design).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add("genes", "genes in the test matrix", "512");
+  args.add("samples", "experiments per gene", "2048");
+  args.add("threads", "threads to run with", "0");
+  args.parse(argc, argv);
+
+  const auto n = static_cast<std::size_t>(args.get_int("genes"));
+  const auto m = static_cast<std::size_t>(args.get_int("samples"));
+  int threads = static_cast<int>(args.get_int("threads"));
+  if (threads <= 0) threads = par::detect_host_topology().total_threads();
+
+  const bench::EngineFixture fixture(n, m);
+  par::ThreadPool pool(threads);
+
+  bench::BenchJson out("tile_ablation");
+  tile_size_table(fixture, pool, n, m, threads, out);
+  knob_ablation_table(fixture, pool, n, m, threads, out);
+  std::printf("\nwrote %s\n", out.write().c_str());
   return 0;
 }

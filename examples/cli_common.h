@@ -53,6 +53,17 @@ inline void add_pipeline_options(ArgParser& args) {
   args.add("kernel",
            "MI kernel: auto|scalar|unrolled|simd|replicated|gather512",
            std::string(kernel_name(defaults.kernel)));
+  args.add("numa", "NUMA-aware tile scheduling: on|off|auto",
+           std::string(knob_mode_name(defaults.numa)));
+  args.add("stage-ranks",
+           "stage rank rows as uint16 when samples <= 65536: on|off",
+           defaults.stage_ranks ? "on" : "off");
+  args.add("prefetch", "software prefetch in the panel kernels: on|off|auto",
+           std::string(knob_mode_name(defaults.prefetch)));
+  args.add("packed-table",
+           "read the packed interleaved weight table in FMA panels: "
+           "on|off|auto",
+           std::string(knob_mode_name(defaults.packed_table)));
   args.add("seed", "RNG seed for the permutation null",
            strprintf("%llu",
                      static_cast<unsigned long long>(defaults.seed)));
@@ -128,6 +139,25 @@ inline TingeConfig config_from_args(const ArgParser& args) {
   }
   if (!matched)
     throw std::invalid_argument("unknown --kernel=" + kernel_arg);
+  const auto parse_knob = [&](const char* name) {
+    const std::string value = args.get(name);
+    if (value == "auto") return KnobMode::Auto;
+    if (value == "on") return KnobMode::On;
+    if (value == "off") return KnobMode::Off;
+    throw std::invalid_argument(strprintf("--%s=%s: expected on|off|auto",
+                                          name, value.c_str()));
+  };
+  const auto parse_switch = [&](const char* name) {
+    const std::string value = args.get(name);
+    if (value == "on") return true;
+    if (value == "off") return false;
+    throw std::invalid_argument(
+        strprintf("--%s=%s: expected on|off", name, value.c_str()));
+  };
+  config.numa = parse_knob("numa");
+  config.prefetch = parse_knob("prefetch");
+  config.stage_ranks = parse_switch("stage-ranks");
+  config.packed_table = parse_knob("packed-table");
   config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   config.apply_dpi = args.get_flag("dpi");
   config.dpi_tolerance = args.get_double("dpi-tolerance");

@@ -32,7 +32,17 @@ struct Block {
   std::size_t first_gene = 0;
   std::size_t gene_count = 0;
   std::vector<std::uint32_t> ranks;  // gene_count x m, row-major
+  /// uint16 staged copy of `ranks` (config.stage_ranks and m <= 65536):
+  /// the sweep streams these rows instead, halving the per-pair rank
+  /// traffic. Local only — the wire format stays u32.
+  std::vector<std::uint16_t> ranks16;
 };
+
+void stage_block(Block& block) {
+  block.ranks16.resize(block.ranks.size());
+  for (std::size_t i = 0; i < block.ranks.size(); ++i)
+    block.ranks16[i] = static_cast<std::uint16_t>(block.ranks[i]);
+}
 
 std::size_t block_begin(std::size_t n, int ranks, int block) {
   const std::size_t per = (n + static_cast<std::size_t>(ranks) - 1) /
@@ -97,8 +107,14 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
   // cut the pair space differently.
   const PanelPlan panels = plan_panels(estimator, config);
 
+  // uint16 staging mirrors the single-chip engine's (bit-identical — the
+  // narrower indices select the same table rows).
+  const bool staged =
+      config.stage_ranks && StagedRankMatrix::can_stage(m);
+
   // "Local load" of the resident block (not communication).
-  const Block resident = load_block(ranked, p, static_cast<std::uint32_t>(r));
+  Block resident = load_block(ranked, p, static_cast<std::uint32_t>(r));
+  if (staged) stage_block(resident);
 
   // One thread per rank, no pool (classic flat-MPI TINGe); edges accumulate
   // across all of this rank's run_sweep calls in one sink.
@@ -113,14 +129,23 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
   // its float summation order is not.
   const auto sweep_blocks = [&](const SweepPlan& plan, const Block& lo,
                                 const Block& hi) {
-    const auto row = [&](std::size_t g) {
-      const Block& block = g >= hi.first_gene ? hi : lo;
-      return block.ranks.data() + (g - block.first_gene) * m;
-    };
-    const std::vector<SweepCounters> counters =
-        run_sweep(plan, estimator, row, panels, /*pool=*/nullptr, options,
-                  sink);
-    pairs += counters[0].pairs;
+    if (staged) {
+      const auto row = [&](std::size_t g) {
+        const Block& block = g >= hi.first_gene ? hi : lo;
+        return block.ranks16.data() + (g - block.first_gene) * m;
+      };
+      pairs += run_sweep(plan, estimator, row, panels, /*pool=*/nullptr,
+                         options, sink)[0]
+                   .pairs;
+    } else {
+      const auto row = [&](std::size_t g) {
+        const Block& block = g >= hi.first_gene ? hi : lo;
+        return block.ranks.data() + (g - block.first_gene) * m;
+      };
+      pairs += run_sweep(plan, estimator, row, panels, /*pool=*/nullptr,
+                         options, sink)[0]
+                   .pairs;
+    }
   };
 
   // Diagonal (within-block) pairs.
@@ -137,6 +162,7 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
     comm.send_vector(next, pack_block(traveling), kTagRing + step);
     traveling =
         unpack_block(comm.recv_vector<std::uint32_t>(prev, kTagRing + step));
+    if (staged) stage_block(traveling);
     const int a = std::min(r, static_cast<int>(traveling.id));
     const int b = std::max(r, static_cast<int>(traveling.id));
     if (a != b && block_pair_owner(a, b, p) == r) {

@@ -4,6 +4,15 @@
 
 namespace tinge {
 
+const char* knob_mode_name(KnobMode mode) {
+  switch (mode) {
+    case KnobMode::Auto: return "auto";
+    case KnobMode::On: return "on";
+    case KnobMode::Off: return "off";
+  }
+  return "?";
+}
+
 void TingeConfig::validate() const {
   TINGE_EXPECTS(spline_order >= 1);
   TINGE_EXPECTS(spline_order <= BsplineBasis::kMaxOrder);

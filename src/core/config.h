@@ -10,6 +10,12 @@
 
 namespace tinge {
 
+/// Three-state policy knob: Auto lets the runtime decide (measurement or
+/// host detection), On/Off force it.
+enum class KnobMode { Auto, On, Off };
+
+const char* knob_mode_name(KnobMode mode);
+
 struct TingeConfig {
   // --- estimator (Daub et al. defaults used by TINGe) ------------------
   int bins = 10;          ///< B-spline histogram bins b
@@ -39,6 +45,29 @@ struct TingeConfig {
   /// 0 = auto (largest B <= kMaxPanelWidth whose histograms fit the panel
   /// cache budget, see auto_panel_width).
   int panel_width = 0;
+
+  // --- memory-side knobs (all bit-identical; see bspline_kernels.h) ------
+  /// Stage rank rows as uint16 for the O(n^2) sweep when m <= 65536,
+  /// halving the streamed rank bytes. Falls back to uint32 transparently
+  /// for larger m.
+  bool stage_ranks = true;
+
+  /// FMA panel kernels read the packed interleaved [weights | first_bin]
+  /// table rows instead of the two classic arrays. Auto = one-shot
+  /// microbenchmark per process (see packed_pays_measured); the flag is a
+  /// no-op outside the Simd panel kernels.
+  KnobMode packed_table = KnobMode::Auto;
+
+  /// Software prefetch of upcoming samples' table rows in the panel
+  /// kernels. Auto = one-shot microbenchmark per process (see
+  /// prefetch_pays_measured).
+  KnobMode prefetch = KnobMode::Auto;
+
+  /// NUMA-aware tile scheduling: partition rank rows across memory nodes by
+  /// first touch and have each node's threads prefer tiles whose row genes
+  /// live on their node. Auto = on when the host reports > 1 node. Off =
+  /// classic shared work queue.
+  KnobMode numa = KnobMode::Auto;
 
   /// Progress-callback throttle for the checkpointed engine: invoke the
   /// callback at most once per this many completed tiles (the ~100 ms time

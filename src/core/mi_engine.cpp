@@ -5,6 +5,7 @@
 
 #include "core/checkpoint.h"
 #include "core/sweep.h"
+#include "parallel/topology.h"
 #include "util/timer.h"
 
 namespace tinge {
@@ -32,6 +33,67 @@ std::uint64_t total_pairs_swept(const std::vector<SweepCounters>& counters) {
   std::uint64_t pairs = 0;
   for (const SweepCounters& c : counters) pairs += c.pairs;
   return pairs;
+}
+
+// Memory nodes the pass schedules for: 1 when the knob is off or the host
+// has a single node (detection cached — sysfs does not change mid-run).
+int resolved_numa_nodes(const TingeConfig& config) {
+  if (config.numa == KnobMode::Off) return 1;
+  static const int detected = par::detect_numa_layout().nodes;
+  return detected;
+}
+
+// Parallel first-touch fill of the staged matrix: the gene space is
+// partitioned by node exactly as numa_node_of_gene does for tiles, and each
+// node's block is split evenly among that node's threads — so the pages of
+// a node's gene rows fault in on (and are served from) that node.
+void fill_staged_first_touch(StagedRankMatrix& staged,
+                             const RankedMatrix& ranks, par::ThreadPool& pool,
+                             int threads, int nodes) {
+  const std::size_t n = ranks.n_genes();
+  if (threads <= 1) {
+    staged.fill_rows(ranks, 0, n);
+    return;
+  }
+  const auto node_begin = [nodes](std::size_t count, int d) {
+    // First index of node d's block: smallest i with i * nodes / count >= d.
+    return (static_cast<std::size_t>(d) * count +
+            static_cast<std::size_t>(nodes) - 1) /
+           static_cast<std::size_t>(nodes);
+  };
+  const auto t = static_cast<std::size_t>(threads);
+  pool.run(threads, [&](int tid, int /*width*/) {
+    const int d = numa_node_of_gene(static_cast<std::size_t>(tid), t, nodes);
+    const std::size_t tid0 = node_begin(t, d);
+    const std::size_t tid1 = node_begin(t, d + 1);
+    const std::size_t g0 = node_begin(n, d);
+    const std::size_t g1 = node_begin(n, d + 1);
+    const std::size_t r = static_cast<std::size_t>(tid) - tid0;
+    const std::size_t node_threads = tid1 - tid0;
+    const std::size_t genes = g1 - g0;
+    staged.fill_rows(ranks, g0 + genes * r / node_threads,
+                     g0 + genes * (r + 1) / node_threads);
+  });
+}
+
+// Dispatches run_sweep over the staged uint16 rows when available, the
+// classic uint32 rows otherwise — the only place the engine's row-source
+// choice is made.
+template <typename Sink>
+std::vector<SweepCounters> run_ranked_sweep(
+    const SweepPlan& plan, const BsplineMi& estimator,
+    const RankedMatrix& ranks, const StagedRankMatrix* staged,
+    const PanelPlan& panels, par::ThreadPool* pool,
+    const SweepOptions& options, Sink& sink) {
+  if (staged != nullptr) {
+    return run_sweep(
+        plan, estimator, [staged](std::size_t g) { return staged->row(g); },
+        panels, pool, options, sink);
+  }
+  return run_sweep(
+      plan, estimator,
+      [&ranks](std::size_t g) { return ranks.ranks(g).data(); }, panels, pool,
+      options, sink);
 }
 
 }  // namespace
@@ -73,6 +135,21 @@ MiEngine::MiEngine(const BsplineMi& estimator, const RankedMatrix& ranks)
   TINGE_EXPECTS(ranks.n_genes() >= 2);
 }
 
+const StagedRankMatrix* MiEngine::staged_ranks(const TingeConfig& config,
+                                               par::ThreadPool& pool,
+                                               int threads,
+                                               int numa_nodes) const {
+  if (!config.stage_ranks || !StagedRankMatrix::can_stage(ranks_.n_samples()))
+    return nullptr;
+  std::call_once(staged_once_, [&] {
+    auto staged = std::make_unique<StagedRankMatrix>(ranks_.n_genes(),
+                                                     ranks_.n_samples());
+    fill_staged_first_touch(*staged, ranks_, pool, threads, numa_nodes);
+    staged_ = std::move(staged);
+  });
+  return staged_.get();
+}
+
 GeneNetwork MiEngine::compute_network(double threshold,
                                       const TingeConfig& config,
                                       par::ThreadPool& pool,
@@ -82,12 +159,21 @@ GeneNetwork MiEngine::compute_network(double threshold,
   const SweepPlan plan =
       SweepPlan::triangular(0, ranks_.n_genes(), config.tile_size);
   const PanelPlan panels = plan_panels(estimator_, config);
-  const SweepOptions options = sweep_options(config, pool);
+  SweepOptions options = sweep_options(config, pool);
+
+  const int numa_nodes = resolved_numa_nodes(config);
+  NumaTilePlan numa_plan;
+  if (numa_nodes > 1 && options.team_size <= 1 && options.threads > 1) {
+    numa_plan =
+        make_numa_tile_plan(plan, ranks_.n_genes(), numa_nodes, options.threads);
+    options.numa = &numa_plan;
+  }
+  const StagedRankMatrix* staged =
+      staged_ranks(config, pool, options.threads, numa_nodes);
 
   EdgeSink sink(threshold, options.threads);
-  const std::vector<SweepCounters> counters = run_sweep(
-      plan, estimator_, [this](std::size_t g) { return ranks_.ranks(g).data(); },
-      panels, &pool, options, sink);
+  const std::vector<SweepCounters> counters = run_ranked_sweep(
+      plan, estimator_, ranks_, staged, panels, &pool, options, sink);
 
   GeneNetwork network(ranks_.gene_names());
   sink.drain_into(network);
@@ -119,6 +205,16 @@ GeneNetwork MiEngine::compute_network_checkpointed(
       load_resume_state(checkpoint_path, signature, plan);
   options.skip = &resume.done;
 
+  const int numa_nodes = resolved_numa_nodes(config);
+  NumaTilePlan numa_plan;
+  if (numa_nodes > 1 && options.team_size <= 1 && options.threads > 1) {
+    numa_plan =
+        make_numa_tile_plan(plan, ranks_.n_genes(), numa_nodes, options.threads);
+    options.numa = &numa_plan;
+  }
+  const StagedRankMatrix* staged =
+      staged_ranks(config, pool, options.threads, numa_nodes);
+
   // Rewrite the journal fresh (drops any torn tail), replaying prior tiles.
   CheckpointWriter writer(checkpoint_path, signature);
   for (const TileRecord& record : resume.records)
@@ -130,9 +226,8 @@ GeneNetwork MiEngine::compute_network_checkpointed(
           : std::max<std::size_t>(1, plan.count() / 128);
   JournalSink sink(writer, threshold, options.threads,
                    {progress, interval, plan.count(), resume.records.size()});
-  const std::vector<SweepCounters> counters = run_sweep(
-      plan, estimator_, [this](std::size_t g) { return ranks_.ranks(g).data(); },
-      panels, &pool, options, sink);
+  const std::vector<SweepCounters> counters = run_ranked_sweep(
+      plan, estimator_, ranks_, staged, panels, &pool, options, sink);
   writer.close();
 
   // All tiles journaled: assemble the network from the (now complete) file
@@ -171,12 +266,20 @@ std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
   std::vector<float> mi_matrix(n * n, 0.0f);
   const SweepPlan plan = SweepPlan::triangular(0, n, config.tile_size);
   const PanelPlan panels = plan_panels(estimator_, config);
-  const SweepOptions options = sweep_options(config, pool);
+  SweepOptions options = sweep_options(config, pool);
+
+  const int numa_nodes = resolved_numa_nodes(config);
+  NumaTilePlan numa_plan;
+  if (numa_nodes > 1 && options.team_size <= 1 && options.threads > 1) {
+    numa_plan = make_numa_tile_plan(plan, n, numa_nodes, options.threads);
+    options.numa = &numa_plan;
+  }
+  const StagedRankMatrix* staged =
+      staged_ranks(config, pool, options.threads, numa_nodes);
 
   DenseSink sink(mi_matrix.data(), n);
-  const std::vector<SweepCounters> counters = run_sweep(
-      plan, estimator_, [this](std::size_t g) { return ranks_.ranks(g).data(); },
-      panels, &pool, options, sink);
+  const std::vector<SweepCounters> counters = run_ranked_sweep(
+      plan, estimator_, ranks_, staged, panels, &pool, options, sink);
 
   finalize_engine_pass(stats, panels, plan.count(), watch.seconds(), counters,
                        /*edges_emitted=*/0, /*tiles_resumed=*/0,

@@ -22,6 +22,8 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/config.h"
@@ -146,8 +148,19 @@ class MiEngine {
                                      EngineStats* stats = nullptr) const;
 
  private:
+  /// The uint16 staged copy of the rank matrix (config.stage_ranks and
+  /// m <= 65536; null otherwise). Built lazily on the first sweep — filled
+  /// in parallel, partitioned so each NUMA node's threads first-touch the
+  /// gene rows their node's tiles will sweep — then reused by every later
+  /// pass (the staging is config-independent apart from the on/off gate).
+  const StagedRankMatrix* staged_ranks(const TingeConfig& config,
+                                       par::ThreadPool& pool, int threads,
+                                       int numa_nodes) const;
+
   const BsplineMi& estimator_;
   const RankedMatrix& ranks_;
+  mutable std::once_flag staged_once_;
+  mutable std::unique_ptr<StagedRankMatrix> staged_;
 };
 
 }  // namespace tinge

@@ -31,8 +31,55 @@ PanelPlan plan_panels(const BsplineMi& estimator, const TingeConfig& config) {
                         ? std::min(config.panel_width, kMaxPanelWidth)
                         : auto_panel_width(table);
   const MiKernel kernel = resolve_kernel_measured(config.kernel, table, width);
-  return {kernel, width,
-          kernel_name(resolve_panel_kernel(kernel, table.order()))};
+  PanelPlan plan{kernel, width,
+                 kernel_name(resolve_panel_kernel(kernel, table.order()))};
+  switch (config.packed_table) {
+    case KnobMode::On:
+      plan.packed = true;
+      break;
+    case KnobMode::Off:
+      plan.packed = false;
+      break;
+    case KnobMode::Auto: {
+      const PanelOptions base{kernel, false, false};
+      plan.packed = packed_pays_measured(table, base, width);
+      break;
+    }
+  }
+  switch (config.prefetch) {
+    case KnobMode::On:
+      plan.prefetch = true;
+      break;
+    case KnobMode::Off:
+      plan.prefetch = false;
+      break;
+    case KnobMode::Auto: {
+      PanelOptions base{kernel, false, plan.packed};
+      plan.prefetch = prefetch_pays_measured(table, base, width);
+      break;
+    }
+  }
+  return plan;
+}
+
+NumaTilePlan make_numa_tile_plan(const SweepPlan& plan, std::size_t n_genes,
+                                 int nodes, int threads) {
+  TINGE_EXPECTS(nodes >= 1);
+  TINGE_EXPECTS(threads >= 1);
+  NumaTilePlan numa;
+  numa.nodes = nodes;
+  numa.tile_node.resize(plan.count());
+  for (std::size_t t = 0; t < plan.count(); ++t) {
+    numa.tile_node[t] =
+        numa_node_of_gene(plan.tile(t).row_begin, n_genes, nodes);
+  }
+  numa.thread_node.resize(static_cast<std::size_t>(threads));
+  for (int tid = 0; tid < threads; ++tid) {
+    numa.thread_node[static_cast<std::size_t>(tid)] = numa_node_of_gene(
+        static_cast<std::size_t>(tid), static_cast<std::size_t>(threads),
+        nodes);
+  }
+  return numa;
 }
 
 void JournalSink::tile_end(int tid, std::size_t t, int team_width) {
@@ -101,10 +148,13 @@ void finalize_engine_pass(EngineStats* stats, const PanelPlan& plan,
                           std::size_t edges_emitted, std::size_t tiles_resumed,
                           std::size_t pairs_resumed) {
   std::uint64_t pairs = 0, panels = 0, tiles_done = 0;
+  std::uint64_t tiles_local = 0, tiles_stolen = 0;
   for (const SweepCounters& c : per_thread) {
     pairs += c.pairs;
     panels += c.panels;
     tiles_done += c.tiles;
+    tiles_local += c.tiles_local;
+    tiles_stolen += c.tiles_stolen;
   }
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
@@ -116,6 +166,12 @@ void finalize_engine_pass(EngineStats* stats, const PanelPlan& plan,
   registry.counter("engine.tiles_resumed").add(tiles_resumed);
   registry.counter("engine.panels_swept").add(panels);
   registry.gauge("engine.panel_width").set(plan.width);
+  // Only the NUMA node-queue scheduler produces these; publishing zeros
+  // from every plain pass would just bloat the registry dump.
+  if (tiles_local + tiles_stolen > 0) {
+    registry.counter("engine.numa.tiles_local").add(tiles_local);
+    registry.counter("engine.numa.tiles_stolen").add(tiles_stolen);
+  }
   registry.gauge("engine.seconds").set(seconds);
   registry.histogram("engine.pass_seconds").record(seconds);
   for (std::size_t tid = 0; tid < per_thread.size(); ++tid) {

@@ -23,6 +23,7 @@
 // regrouping tiles or splitting panels across a team cannot change bits.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -31,6 +32,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/checkpoint.h"
@@ -84,13 +86,16 @@ class SweepPlan {
 
 // --- kernel plan ------------------------------------------------------------
 
-/// Kernel and panel width resolved once per pass, before the parallel
-/// region: config Auto goes through the one-shot microbenchmark here (not
-/// in the hot loop), and the stats report the variant that actually ran.
+/// Kernel, panel width and memory-side policies resolved once per pass,
+/// before the parallel region: config Auto goes through the one-shot
+/// microbenchmarks here (not in the hot loop), and the stats report the
+/// variant that actually ran.
 struct PanelPlan {
   MiKernel kernel;   ///< concrete kernel handed to every panel sweep
   int width;         ///< panel width B (1..kMaxPanelWidth)
   const char* name;  ///< resolved variant name for EngineStats
+  bool prefetch = false;  ///< software prefetch in the panel kernels
+  bool packed = false;    ///< FMA panels read the packed table rows
 };
 
 PanelPlan plan_panels(const BsplineMi& estimator, const TingeConfig& config);
@@ -105,6 +110,38 @@ class SweepAborted : public std::runtime_error {
   SweepAborted()
       : std::runtime_error("sweep aborted: cancellation requested") {}
 };
+
+/// NUMA placement of one sweep: which memory node prefers which tiles and
+/// where each pool context runs. Built once per pass by
+/// make_numa_tile_plan and handed to run_sweep via SweepOptions::numa;
+/// with it set (and > 1 node) the flat scheduler swaps its single shared
+/// tile counter for per-node queues — each context drains its own node's
+/// tiles first (whose row genes were first-touched on that node, see
+/// StagedRankMatrix::fill_rows) and steals from other nodes round-robin by
+/// hop distance only when its queue runs dry. Tile values are unchanged;
+/// only the claiming order is.
+struct NumaTilePlan {
+  int nodes = 1;
+  std::vector<int> tile_node;    ///< per plan tile: node owning its row genes
+  std::vector<int> thread_node;  ///< per pool context: node it runs on
+};
+
+/// Node owning gene g under the contiguous block partition both the staged
+/// first-touch fill and the tile plan use: block boundaries at
+/// g * nodes / n_genes.
+inline int numa_node_of_gene(std::size_t g, std::size_t n_genes, int nodes) {
+  if (n_genes == 0 || nodes <= 1) return 0;
+  const std::size_t node =
+      g * static_cast<std::size_t>(nodes) / n_genes;
+  return static_cast<int>(
+      std::min(node, static_cast<std::size_t>(nodes - 1)));
+}
+
+/// Builds the per-pass NUMA plan: tiles are attributed to the node of
+/// their first row gene; contexts are split into `nodes` contiguous blocks
+/// (matching a block-cyclic pinning of the pool across nodes).
+NumaTilePlan make_numa_tile_plan(const SweepPlan& plan, std::size_t n_genes,
+                                 int nodes, int threads);
 
 /// How run_sweep distributes tiles over contexts.
 struct SweepOptions {
@@ -125,6 +162,9 @@ struct SweepOptions {
   /// that learned of a peer failure (or caught SIGTERM) abandons a doomed
   /// multi-minute sweep instead of computing to the bitter end.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional NUMA placement (flat scheduler only; ignored in teamed mode
+  /// and for single-context passes). Must outlive the sweep.
+  const NumaTilePlan* numa = nullptr;
 };
 
 /// Per-context tally of one pass. Plain counters on per-thread slots: the
@@ -134,6 +174,10 @@ struct SweepCounters {
   std::uint64_t tiles = 0;   ///< tiles this context completed (team leader)
   std::uint64_t pairs = 0;   ///< pairs this context computed
   std::uint64_t panels = 0;  ///< panel sweeps this context ran
+  /// NUMA scheduler only (zero elsewhere): tiles claimed from the
+  /// context's own node's queue vs. stolen from another node's.
+  std::uint64_t tiles_local = 0;
+  std::uint64_t tiles_stolen = 0;
 };
 
 // --- sinks ------------------------------------------------------------------
@@ -298,8 +342,12 @@ void sweep_tile(const BsplineMi& estimator, RowSource& row, const Tile& tile,
                 const PanelPlan& plan, std::size_t phase, std::size_t stride,
                 JointHistogram& scratch, SweepCounters& counters, Sink& sink,
                 int tid) {
-  const std::size_t m = estimator.n_samples();
-  const std::uint32_t* ry[kMaxPanelWidth];
+  // Rank element width follows the row source: uint32 classic rows or
+  // uint16 staged rows (bit-identical, see bspline_kernels.h).
+  using RankT = std::remove_cv_t<
+      std::remove_pointer_t<decltype(row(std::size_t{0}))>>;
+  const PanelOptions options{plan.kernel, plan.prefetch, plan.packed};
+  const RankT* ry[kMaxPanelWidth];
   double mi[kMaxPanelWidth];
   std::size_t panel_index = 0;
   for_each_row_panel(
@@ -307,8 +355,7 @@ void sweep_tile(const BsplineMi& estimator, RowSource& row, const Tile& tile,
       [&](std::size_t i, std::size_t j0, std::size_t width) {
         if (stride > 1 && panel_index++ % stride != phase) return;
         for (std::size_t p = 0; p < width; ++p) ry[p] = row(j0 + p);
-        estimator.mi_panel(std::span<const std::uint32_t>(row(i), m), ry,
-                           width, scratch, plan.kernel, mi);
+        estimator.mi_panel(row(i), ry, width, scratch, options, mi);
         ++counters.panels;
         counters.pairs += width;
         for (std::size_t p = 0; p < width; ++p) sink.pair(tid, i, j0 + p, mi[p]);
@@ -337,30 +384,91 @@ std::vector<SweepCounters> run_sweep(const SweepPlan& plan,
   par::PerThread<SweepCounters> state(contexts);
 
   if (options.team_size <= 1) {
-    // Flat scheduler: tiles are the unit of dynamic claiming, exactly as
-    // parallel_for distributes them (grain 1).
-    const auto body = [&](std::size_t tile_begin, std::size_t tile_end,
-                          int tid) {
-      JointHistogram scratch = estimator.make_scratch();
-      SweepCounters& local = state.local(tid);
-      for (std::size_t t = tile_begin; t < tile_end; ++t) {
-        if (options.cancel != nullptr &&
-            options.cancel->load(std::memory_order_relaxed))
-          throw SweepAborted();
-        if (options.skip != nullptr && (*options.skip)[t]) continue;
-        sink.tile_begin(tid, t);
-        ++local.tiles;
-        detail::sweep_tile(estimator, row, plan.tile(t), panels, 0, 1,
-                           scratch, local, sink, tid);
-        sink.tile_end(tid, t, 1);
-      }
-    };
-    if (contexts == 1 || plan.count() <= 1) {
-      body(0, plan.count(), 0);
-    } else {
+    const bool numa_scheduling = options.numa != nullptr &&
+                                 options.numa->nodes > 1 && contexts > 1 &&
+                                 plan.count() > 1;
+    if (numa_scheduling) {
+      // NUMA node-queue scheduler: one tile queue per memory node, one
+      // shared cursor per queue. A context drains the queue of its own
+      // node first (tiles whose row genes are resident there), then steals
+      // from the other nodes in hop order. Work-conserving — every tile is
+      // claimed exactly once — and tile values are scheduler-independent,
+      // so results stay bit-identical to the shared-queue path.
       TINGE_EXPECTS(pool != nullptr);
-      par::parallel_for(*pool, contexts, 0, plan.count(), 1, options.schedule,
-                        body);
+      const NumaTilePlan& numa = *options.numa;
+      TINGE_EXPECTS(numa.tile_node.size() == plan.count());
+      TINGE_EXPECTS(numa.thread_node.size() >=
+                    static_cast<std::size_t>(contexts));
+      const int nodes = numa.nodes;
+      std::vector<std::vector<std::size_t>> queues(
+          static_cast<std::size_t>(nodes));
+      for (std::size_t t = 0; t < plan.count(); ++t) {
+        int node = numa.tile_node[t];
+        if (node < 0 || node >= nodes) node = 0;
+        queues[static_cast<std::size_t>(node)].push_back(t);
+      }
+      struct alignas(kSimdAlignment) NodeCursor {
+        std::atomic<std::size_t> next{0};
+      };
+      std::vector<NodeCursor> cursors(static_cast<std::size_t>(nodes));
+
+      pool->run(contexts, [&](int tid, int /*width*/) {
+        JointHistogram scratch = estimator.make_scratch();
+        SweepCounters& local = state.local(tid);
+        int home = numa.thread_node[static_cast<std::size_t>(tid)];
+        if (home < 0 || home >= nodes) home = 0;
+        for (int hop = 0; hop < nodes; ++hop) {
+          const int node = (home + hop) % nodes;
+          const auto& queue = queues[static_cast<std::size_t>(node)];
+          auto& cursor = cursors[static_cast<std::size_t>(node)].next;
+          while (true) {
+            const std::size_t qi =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (qi >= queue.size()) break;
+            const std::size_t t = queue[qi];
+            if (options.cancel != nullptr &&
+                options.cancel->load(std::memory_order_relaxed))
+              throw SweepAborted();
+            if (options.skip != nullptr && (*options.skip)[t]) continue;
+            sink.tile_begin(tid, t);
+            ++local.tiles;
+            if (hop == 0) {
+              ++local.tiles_local;
+            } else {
+              ++local.tiles_stolen;
+            }
+            detail::sweep_tile(estimator, row, plan.tile(t), panels, 0, 1,
+                               scratch, local, sink, tid);
+            sink.tile_end(tid, t, 1);
+          }
+        }
+      });
+    } else {
+      // Flat scheduler: tiles are the unit of dynamic claiming, exactly as
+      // parallel_for distributes them (grain 1).
+      const auto body = [&](std::size_t tile_begin, std::size_t tile_end,
+                            int tid) {
+        JointHistogram scratch = estimator.make_scratch();
+        SweepCounters& local = state.local(tid);
+        for (std::size_t t = tile_begin; t < tile_end; ++t) {
+          if (options.cancel != nullptr &&
+              options.cancel->load(std::memory_order_relaxed))
+            throw SweepAborted();
+          if (options.skip != nullptr && (*options.skip)[t]) continue;
+          sink.tile_begin(tid, t);
+          ++local.tiles;
+          detail::sweep_tile(estimator, row, plan.tile(t), panels, 0, 1,
+                             scratch, local, sink, tid);
+          sink.tile_end(tid, t, 1);
+        }
+      };
+      if (contexts == 1 || plan.count() <= 1) {
+        body(0, plan.count(), 0);
+      } else {
+        TINGE_EXPECTS(pool != nullptr);
+        par::parallel_for(*pool, contexts, 0, plan.count(), 1,
+                          options.schedule, body);
+      }
     }
   } else {
     if (contexts % options.team_size != 0) {

@@ -1,6 +1,7 @@
 #include "mi/bspline_kernels.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -234,10 +235,21 @@ double entropy_from_region(const float* cells, std::size_t count, std::size_t m)
 // the per-pair kernel's float operations in the same order, so the panel is
 // bit-identical to the per-pair path; only the rx-side table lookups and the
 // histogram clears are shared across the panel.
+//
+// All panel variants are templated on the rank element type RankT (uint32
+// classic, uint16 staged) — the index arithmetic is identical, only the
+// bytes streamed per sample halve. The scalar/FMA/gather512 ladder
+// additionally takes a Prefetch flag (table-row prefetches for sample
+// j + kPrefetchDistance: the rank streams are sequential and hardware-
+// prefetched, but the rank-indexed table rows are not), and the FMA ladder
+// a Packed flag (read the interleaved [weights | first_bin] rows).
 // --------------------------------------------------------------------------
 
-void panel_accumulate_scalar(const WeightTable& table, const std::uint32_t* rx,
-                             const std::uint32_t* const* ry, std::size_t width,
+inline void prefetch_read(const void* p) { __builtin_prefetch(p, 0, 3); }
+
+template <typename RankT, bool Prefetch>
+void panel_accumulate_scalar(const WeightTable& table, const RankT* rx,
+                             const RankT* const* ry, std::size_t width,
                              std::size_t m, float* hist,
                              std::size_t hist_stride,
                              std::size_t region_cells) {
@@ -246,12 +258,20 @@ void panel_accumulate_scalar(const WeightTable& table, const std::uint32_t* rx,
   const std::size_t ws = table.weight_stride();
   const int k = table.order();
   for (std::size_t j = 0; j < m; ++j) {
-    const std::uint32_t rxj = rx[j];
+    if constexpr (Prefetch) {
+      const std::size_t jn = j + kPrefetchDistance;
+      if (jn < m) {
+        prefetch_read(weights + static_cast<std::size_t>(rx[jn]) * ws);
+        for (std::size_t p = 0; p < width; ++p)
+          prefetch_read(weights + static_cast<std::size_t>(ry[p][jn]) * ws);
+      }
+    }
+    const std::size_t rxj = rx[j];
     const float* wx = weights + rxj * ws;
     const std::size_t x_base =
         static_cast<std::size_t>(first_bin[rxj]) * hist_stride;
     for (std::size_t p = 0; p < width; ++p) {
-      const std::uint32_t ryj = ry[p][j];
+      const std::size_t ryj = ry[p][j];
       const float* wy = weights + ryj * ws;
       float* base = hist + p * region_cells + x_base +
                     static_cast<std::size_t>(first_bin[ryj]);
@@ -264,9 +284,9 @@ void panel_accumulate_scalar(const WeightTable& table, const std::uint32_t* rx,
   }
 }
 
-template <int K>
-void panel_accumulate_unrolled(const WeightTable& table, const std::uint32_t* rx,
-                               const std::uint32_t* const* ry, std::size_t width,
+template <int K, typename RankT>
+void panel_accumulate_unrolled(const WeightTable& table, const RankT* rx,
+                               const RankT* const* ry, std::size_t width,
                                std::size_t m, float* hist,
                                std::size_t hist_stride,
                                std::size_t region_cells) {
@@ -274,12 +294,12 @@ void panel_accumulate_unrolled(const WeightTable& table, const std::uint32_t* rx
   const std::int32_t* first_bin = table.first_bin_data();
   const std::size_t ws = table.weight_stride();
   for (std::size_t j = 0; j < m; ++j) {
-    const std::uint32_t rxj = rx[j];
+    const std::size_t rxj = rx[j];
     const float* wx = weights + rxj * ws;
     const std::size_t x_base =
         static_cast<std::size_t>(first_bin[rxj]) * hist_stride;
     for (std::size_t p = 0; p < width; ++p) {
-      const std::uint32_t ryj = ry[p][j];
+      const std::size_t ryj = ry[p][j];
       const float* wy = weights + ryj * ws;
       float* base = hist + p * region_cells + x_base +
                     static_cast<std::size_t>(first_bin[ryj]);
@@ -294,29 +314,48 @@ void panel_accumulate_unrolled(const WeightTable& table, const std::uint32_t* rx
   }
 }
 
-template <typename V>
-void panel_accumulate_simd(const WeightTable& table, const std::uint32_t* rx,
-                           const std::uint32_t* const* ry, std::size_t width,
+template <typename V, typename RankT, bool Packed, bool Prefetch>
+void panel_accumulate_simd(const WeightTable& table, const RankT* rx,
+                           const RankT* const* ry, std::size_t width,
                            std::size_t m, float* hist, std::size_t hist_stride,
                            std::size_t region_cells) {
-  const float* weights = table.weights_data();
+  // Packed: one interleaved row per rank carries the weights AND the
+  // bit-cast first_bin, so a y-side lookup touches one cache-line-bounded
+  // row instead of a weight row plus a separate first_bin load. The float
+  // values are identical either way — so are the results.
+  const float* rows = Packed ? table.packed_data() : table.weights_data();
+  const std::size_t row_stride =
+      Packed ? table.packed_stride() : table.weight_stride();
   const std::int32_t* first_bin = table.first_bin_data();
-  const std::size_t ws = table.weight_stride();
+  const std::size_t fb_slot = table.packed_first_bin_slot();
   const int k = table.order();
   for (std::size_t j = 0; j < m; ++j) {
-    const std::uint32_t rxj = rx[j];
-    const float* wx = weights + rxj * ws;
-    const std::size_t x_base =
-        static_cast<std::size_t>(first_bin[rxj]) * hist_stride;
+    if constexpr (Prefetch) {
+      const std::size_t jn = j + kPrefetchDistance;
+      if (jn < m) {
+        prefetch_read(rows + static_cast<std::size_t>(rx[jn]) * row_stride);
+        for (std::size_t p = 0; p < width; ++p)
+          prefetch_read(rows +
+                        static_cast<std::size_t>(ry[p][jn]) * row_stride);
+      }
+    }
+    const std::size_t rxj = rx[j];
+    const float* wx = rows + rxj * row_stride;
+    const std::int32_t fbx =
+        Packed ? std::bit_cast<std::int32_t>(wx[fb_slot]) : first_bin[rxj];
+    const std::size_t x_base = static_cast<std::size_t>(fbx) * hist_stride;
     // The row gene's broadcasts are hoisted once per sample and reused by
     // every panel member — the core of the row-reuse win.
     V wxv[BsplineBasis::kMaxOrder];
     for (int a = 0; a < k; ++a) wxv[a] = V::broadcast(wx[a]);
     for (std::size_t p = 0; p < width; ++p) {
-      const std::uint32_t ryj = ry[p][j];
-      const V wyv = V::loadu(weights + ryj * ws);
-      float* base = hist + p * region_cells + x_base +
-                    static_cast<std::size_t>(first_bin[ryj]);
+      const std::size_t ryj = ry[p][j];
+      const float* wy = rows + ryj * row_stride;
+      const V wyv = V::loadu(wy);
+      const std::int32_t fby =
+          Packed ? std::bit_cast<std::int32_t>(wy[fb_slot]) : first_bin[ryj];
+      float* base =
+          hist + p * region_cells + x_base + static_cast<std::size_t>(fby);
       for (int a = 0; a < k; ++a) {
         float* row = base + static_cast<std::size_t>(a) * hist_stride;
         V::fmadd(wxv[a], wyv, V::loadu(row)).storeu(row);
@@ -332,10 +371,10 @@ void panel_accumulate_simd(const WeightTable& table, const std::uint32_t* rx,
 // distinct by construction — no replicas needed, unlike the per-pair
 // gather kernel. wx[a] is shared by the whole panel and broadcast to all
 // lanes. Requires order <= 4 (weight rows padded to 4 floats).
-void panel_accumulate_gather512(const WeightTable& table,
-                                const std::uint32_t* rx,
-                                const std::uint32_t* const* ry,
-                                std::size_t width, std::size_t m, float* hist,
+template <typename RankT, bool Prefetch>
+void panel_accumulate_gather512(const WeightTable& table, const RankT* rx,
+                                const RankT* const* ry, std::size_t width,
+                                std::size_t m, float* hist,
                                 std::size_t hist_stride,
                                 std::size_t region_cells) {
   const float* weights = table.weights_data();
@@ -356,7 +395,15 @@ void panel_accumulate_gather512(const WeightTable& table,
   const std::size_t groups = width / 4;
 
   for (std::size_t j = 0; j < m; ++j) {
-    const std::uint32_t rxj = rx[j];
+    if constexpr (Prefetch) {
+      const std::size_t jn = j + kPrefetchDistance;
+      if (jn < m) {
+        prefetch_read(weights + static_cast<std::size_t>(rx[jn]) * ws);
+        for (std::size_t p = 0; p < width; ++p)
+          prefetch_read(weights + static_cast<std::size_t>(ry[p][jn]) * ws);
+      }
+    }
+    const std::size_t rxj = rx[j];
     const float* wx = weights + rxj * ws;
     const std::int32_t x_base = first_bin[rxj] * stride_i32;
 
@@ -365,7 +412,7 @@ void panel_accumulate_gather512(const WeightTable& table,
       alignas(16) std::int32_t base4[4];
       alignas(64) float wy_rows[16];
       for (int t = 0; t < 4; ++t) {
-        const std::uint32_t ryj = ry[p0 + static_cast<std::size_t>(t)][j];
+        const std::size_t ryj = ry[p0 + static_cast<std::size_t>(t)][j];
         base4[t] = static_cast<std::int32_t>(p0 + static_cast<std::size_t>(t)) *
                        region_i32 +
                    x_base + first_bin[ryj];
@@ -392,7 +439,7 @@ void panel_accumulate_gather512(const WeightTable& table,
     // Tail members (width not a multiple of 4): 128-bit FMA path, which
     // produces the same float sequence per region as the gathered lanes.
     for (std::size_t p = groups * 4; p < width; ++p) {
-      const std::uint32_t ryj = ry[p][j];
+      const std::size_t ryj = ry[p][j];
       const simd::F32x4 wyv = simd::F32x4::loadu(weights + ryj * ws);
       float* base_ptr = hist + p * region_cells +
                         static_cast<std::size_t>(x_base) +
@@ -632,10 +679,41 @@ double joint_entropy(const WeightTable& table, const std::uint32_t* rx,
   return entropy_from_region(hist, region_cells, m);
 }
 
-void joint_entropy_panel(const WeightTable& table, const std::uint32_t* rx,
-                         const std::uint32_t* const* ry, std::size_t width,
-                         std::size_t m, JointHistogram& scratch,
-                         MiKernel kernel, double* h_out) {
+namespace {
+
+// Folds the runtime packed/prefetch flags into the compile-time template
+// parameters of the FMA panel. Packed is only honoured here — the other
+// variants read the classic layout (gather512's index math needs the
+// separate ws == 4 weight rows).
+template <typename V, typename RankT>
+void panel_simd_dispatch(bool packed, bool prefetch, const WeightTable& table,
+                         const RankT* rx, const RankT* const* ry,
+                         std::size_t width, std::size_t m, float* hist,
+                         std::size_t hs, std::size_t region_cells) {
+  if (packed) {
+    if (prefetch) {
+      panel_accumulate_simd<V, RankT, true, true>(table, rx, ry, width, m,
+                                                  hist, hs, region_cells);
+    } else {
+      panel_accumulate_simd<V, RankT, true, false>(table, rx, ry, width, m,
+                                                   hist, hs, region_cells);
+    }
+  } else {
+    if (prefetch) {
+      panel_accumulate_simd<V, RankT, false, true>(table, rx, ry, width, m,
+                                                   hist, hs, region_cells);
+    } else {
+      panel_accumulate_simd<V, RankT, false, false>(table, rx, ry, width, m,
+                                                    hist, hs, region_cells);
+    }
+  }
+}
+
+template <typename RankT>
+void joint_entropy_panel_impl(const WeightTable& table, const RankT* rx,
+                              const RankT* const* ry, std::size_t width,
+                              std::size_t m, JointHistogram& scratch,
+                              const PanelOptions& options, double* h_out) {
   TINGE_EXPECTS(width >= 1);
   TINGE_EXPECTS(width <= static_cast<std::size_t>(kMaxPanelWidth));
   TINGE_EXPECTS(m == table.n_samples());
@@ -645,13 +723,20 @@ void joint_entropy_panel(const WeightTable& table, const std::uint32_t* rx,
   const std::size_t hs = scratch.stride();
   float* hist = scratch.data();
   const std::size_t region_cells = static_cast<std::size_t>(table.bins()) * hs;
+  const bool prefetch = options.prefetch;
 
   // One clear for the whole panel (regions are stacked contiguously).
   std::memset(hist, 0, width * region_cells * sizeof(float));
 
-  switch (resolve_panel_kernel(kernel, k)) {
+  switch (resolve_panel_kernel(options.kernel, k)) {
     case MiKernel::Scalar:
-      panel_accumulate_scalar(table, rx, ry, width, m, hist, hs, region_cells);
+      if (prefetch) {
+        panel_accumulate_scalar<RankT, true>(table, rx, ry, width, m, hist,
+                                             hs, region_cells);
+      } else {
+        panel_accumulate_scalar<RankT, false>(table, rx, ry, width, m, hist,
+                                              hs, region_cells);
+      }
       break;
     case MiKernel::Unrolled:
       switch (k) {
@@ -664,14 +749,20 @@ void joint_entropy_panel(const WeightTable& table, const std::uint32_t* rx,
         case 7: panel_accumulate_unrolled<7>(table, rx, ry, width, m, hist, hs, region_cells); break;
         case 8: panel_accumulate_unrolled<8>(table, rx, ry, width, m, hist, hs, region_cells); break;
         default:
-          panel_accumulate_scalar(table, rx, ry, width, m, hist, hs, region_cells);
+          panel_accumulate_scalar<RankT, false>(table, rx, ry, width, m, hist,
+                                                hs, region_cells);
           break;
       }
       break;
     case MiKernel::Gather512:
 #if defined(__AVX512F__)
-      panel_accumulate_gather512(table, rx, ry, width, m, hist, hs,
-                                 region_cells);
+      if (prefetch) {
+        panel_accumulate_gather512<RankT, true>(table, rx, ry, width, m, hist,
+                                                hs, region_cells);
+      } else {
+        panel_accumulate_gather512<RankT, false>(table, rx, ry, width, m,
+                                                 hist, hs, region_cells);
+      }
       break;
 #else
       TINGE_ASSERT(false);  // resolve_panel_kernel falls back before dispatch
@@ -679,11 +770,11 @@ void joint_entropy_panel(const WeightTable& table, const std::uint32_t* rx,
 #endif
     case MiKernel::Simd:
       if (k <= 4) {
-        panel_accumulate_simd<simd::F32x4>(table, rx, ry, width, m, hist, hs,
-                                           region_cells);
+        panel_simd_dispatch<simd::F32x4>(options.packed, prefetch, table, rx,
+                                         ry, width, m, hist, hs, region_cells);
       } else {
-        panel_accumulate_simd<simd::F32x8>(table, rx, ry, width, m, hist, hs,
-                                           region_cells);
+        panel_simd_dispatch<simd::F32x8>(options.packed, prefetch, table, rx,
+                                         ry, width, m, hist, hs, region_cells);
       }
       break;
     case MiKernel::Replicated:
@@ -695,6 +786,99 @@ void joint_entropy_panel(const WeightTable& table, const std::uint32_t* rx,
   // Batched entropy/merge pass: one sweep per region, h_out[p] = H(X, Y_p).
   for (std::size_t p = 0; p < width; ++p)
     h_out[p] = entropy_from_region(hist + p * region_cells, region_cells, m);
+}
+
+}  // namespace
+
+void joint_entropy_panel(const WeightTable& table, const std::uint32_t* rx,
+                         const std::uint32_t* const* ry, std::size_t width,
+                         std::size_t m, JointHistogram& scratch,
+                         MiKernel kernel, double* h_out) {
+  joint_entropy_panel_impl(table, rx, ry, width, m, scratch,
+                           PanelOptions{kernel}, h_out);
+}
+
+void joint_entropy_panel(const WeightTable& table, const std::uint32_t* rx,
+                         const std::uint32_t* const* ry, std::size_t width,
+                         std::size_t m, JointHistogram& scratch,
+                         const PanelOptions& options, double* h_out) {
+  joint_entropy_panel_impl(table, rx, ry, width, m, scratch, options, h_out);
+}
+
+void joint_entropy_panel(const WeightTable& table, const std::uint16_t* rx,
+                         const std::uint16_t* const* ry, std::size_t width,
+                         std::size_t m, JointHistogram& scratch,
+                         const PanelOptions& options, double* h_out) {
+  joint_entropy_panel_impl(table, rx, ry, width, m, scratch, options, h_out);
+}
+
+namespace {
+
+// One-shot microbenchmark backing prefetch_pays_measured and
+// packed_pays_measured: same synthetic permutation setup as
+// measure_auto_kernel, timing the two candidate panel configurations
+// head-to-head and returning whether `with` beat `without`.
+bool measure_policy_wins(const WeightTable& table,
+                         const PanelOptions& without, const PanelOptions& with,
+                         int width) {
+  JointHistogram scratch = make_kernel_scratch(table);
+  const std::size_t m = table.n_samples();
+  Xoshiro256 rng(20140519);
+  const auto w = static_cast<std::size_t>(width);
+  std::vector<std::vector<std::uint32_t>> profiles;
+  profiles.reserve(w + 1);
+  for (std::size_t g = 0; g < w + 1; ++g)
+    profiles.push_back(random_permutation(m, rng));
+  const std::uint32_t* ry[kMaxPanelWidth];
+  double h_panel[kMaxPanelWidth];
+  for (std::size_t p = 0; p < w; ++p) ry[p] = profiles[p + 1].data();
+
+  const PanelOptions candidates[2] = {without, with};
+  double best_seconds[2] = {0.0, 0.0};
+  constexpr int kRounds = 3;
+  constexpr int kSweeps = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int c = 0; c < 2; ++c) {
+      const Stopwatch watch;
+      for (int sweep = 0; sweep < kSweeps; ++sweep) {
+        joint_entropy_panel(table, profiles[0].data(), ry, w, m, scratch,
+                            candidates[c], h_panel);
+      }
+      const double elapsed = watch.seconds();
+      if (round == 0 || elapsed < best_seconds[c]) best_seconds[c] = elapsed;
+    }
+  }
+  return best_seconds[1] < best_seconds[0];
+}
+
+}  // namespace
+
+bool prefetch_pays_measured(const WeightTable& table, const PanelOptions& base,
+                            int panel_width) {
+  const MiKernel resolved = resolve_panel_kernel(base.kernel, table.order());
+  if (resolved == MiKernel::Unrolled) return false;  // flag is a no-op there
+  const int width = std::clamp(panel_width, 1, kMaxPanelWidth);
+  PanelOptions off = base;
+  off.prefetch = false;
+  PanelOptions on = base;
+  on.prefetch = true;
+  static const bool pays = measure_policy_wins(table, off, on, width);
+  return pays;
+}
+
+bool packed_pays_measured(const WeightTable& table, const PanelOptions& base,
+                          int panel_width) {
+  // Only the FMA (Simd) panels read the packed rows; everywhere else the
+  // flag is a no-op and measuring it would just time noise.
+  if (resolve_panel_kernel(base.kernel, table.order()) != MiKernel::Simd)
+    return false;
+  const int width = std::clamp(panel_width, 1, kMaxPanelWidth);
+  PanelOptions off = base;
+  off.packed = false;
+  PanelOptions on = base;
+  on.packed = true;
+  static const bool pays = measure_policy_wins(table, off, on, width);
+  return pays;
 }
 
 }  // namespace tinge

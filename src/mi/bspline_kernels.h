@@ -48,6 +48,20 @@
 //   operations in the same order, so panel results are bit-identical to the
 //   matching per-pair kernel.
 //
+// Memory-side panel policies (PanelOptions), independent of the variant
+// ladder and bit-identical by construction:
+//   * uint16 rank staging — ranks are exact integers < m, so when
+//     m <= 65536 the panel entry points also accept uint16 rank rows
+//     (StagedRankMatrix in preprocess/rank_transform.h), halving the
+//     streamed rank traffic of the O(n^2) sweep. The indices select the
+//     same table rows, so results are bit-identical to the uint32 path.
+//   * packed table rows — the FMA panels can read the WeightTable's
+//     interleaved [weights | first_bin] rows (one cache-line-bounded load
+//     per y-side lookup instead of two scattered ones).
+//   * software prefetch — the scalar/FMA/gather512 panels can issue
+//     prefetches for the table rows of sample j + kPrefetchDistance,
+//     covering the rank-indexed (hardware-prefetch-opaque) loads.
+//
 // All variants return H(X,Y) in nats and produce identical results up to
 // float summation order.
 #pragma once
@@ -73,6 +87,23 @@ inline constexpr int kHistogramReplicas = 4;
 /// make_kernel_scratch always carries this many histogram regions.
 inline constexpr int kMaxPanelWidth = 8;
 
+/// Samples of lookahead for the software-prefetch panel variants: far
+/// enough to cover L2 latency, near enough that the rows are still resident
+/// when their sample arrives.
+inline constexpr std::size_t kPrefetchDistance = 16;
+
+/// Memory-side policy of one panel sweep, resolved once per pass (the
+/// kernel-policy flag measured-auto picks through, see plan_panels):
+/// `prefetch` issues software prefetches for upcoming samples' table rows
+/// in the scalar/FMA/gather512 panels; `packed` makes the FMA panels read
+/// the interleaved packed table rows. Both leave results bit-identical —
+/// they change where bytes come from, not which floats are multiplied.
+struct PanelOptions {
+  MiKernel kernel = MiKernel::Auto;
+  bool prefetch = false;
+  bool packed = false;
+};
+
 /// Scratch sized for any kernel variant: Replicated needs kHistogramReplicas
 /// regions, the panel kernels up to kMaxPanelWidth.
 JointHistogram make_kernel_scratch(const WeightTable& table);
@@ -96,6 +127,19 @@ void joint_entropy_panel(const WeightTable& table, const std::uint32_t* ranks_x,
                          const std::uint32_t* const* ranks_y, std::size_t width,
                          std::size_t m, JointHistogram& scratch,
                          MiKernel kernel, double* h_out);
+
+/// Full-policy panel entry points: kernel plus the packed/prefetch knobs.
+/// The uint16 overload is the staged-rank path (requires every rank < m and
+/// m <= 65536, see StagedRankMatrix) and is bit-identical to the uint32
+/// overload for the same options.
+void joint_entropy_panel(const WeightTable& table, const std::uint32_t* ranks_x,
+                         const std::uint32_t* const* ranks_y, std::size_t width,
+                         std::size_t m, JointHistogram& scratch,
+                         const PanelOptions& options, double* h_out);
+void joint_entropy_panel(const WeightTable& table, const std::uint16_t* ranks_x,
+                         const std::uint16_t* const* ranks_y, std::size_t width,
+                         std::size_t m, JointHistogram& scratch,
+                         const PanelOptions& options, double* h_out);
 
 /// The kernel actually run when `kernel` is Auto for this table.
 MiKernel resolve_kernel(MiKernel kernel, int order);
@@ -126,6 +170,21 @@ MiKernel panel_equivalent_kernel(MiKernel kernel);
 /// or for order > 4 this is identical to the static resolution.
 MiKernel resolve_kernel_measured(MiKernel kernel, const WeightTable& table,
                                  int panel_width);
+
+/// Measured arm of the prefetch policy flag: times one-shot panel sweeps of
+/// `base` against `base` + prefetch (same kernel and packed setting) and
+/// returns whether prefetch won. Cached per process like
+/// resolve_kernel_measured (first table wins). Always false for panel
+/// kernels that ignore the flag (Unrolled).
+bool prefetch_pays_measured(const WeightTable& table, const PanelOptions& base,
+                            int panel_width);
+
+/// Measured arm of the packed-table policy flag: times `base` against
+/// `base` + packed rows and returns whether packed won. Cached per process
+/// (first table wins). Always false when the resolved panel kernel is not
+/// Simd — only the FMA panels read the packed layout.
+bool packed_pays_measured(const WeightTable& table, const PanelOptions& base,
+                          int panel_width);
 
 /// Panel width the Auto policy picks for `table`: the largest
 /// B <= kMaxPanelWidth whose B joint-histogram regions fit the panel cache

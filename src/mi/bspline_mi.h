@@ -65,6 +65,19 @@ class BsplineMi {
     for (std::size_t p = 0; p < width; ++p) mi_out[p] = h2 - mi_out[p];
   }
 
+  /// Full-policy panel MI: kernel plus the packed/prefetch knobs, for
+  /// classic uint32 or staged uint16 rank rows (RankT). All option and
+  /// rank-width combinations are bit-identical (see bspline_kernels.h).
+  template <typename RankT>
+  void mi_panel(const RankT* ranks_x, const RankT* const* ranks_y,
+                std::size_t width, JointHistogram& scratch,
+                const PanelOptions& options, double* mi_out) const {
+    tinge::joint_entropy_panel(table_, ranks_x, ranks_y, width, n_samples(),
+                               scratch, options, mi_out);
+    const double h2 = 2.0 * table_.marginal_entropy();
+    for (std::size_t p = 0; p < width; ++p) mi_out[p] = h2 - mi_out[p];
+  }
+
  private:
   BsplineBasis basis_;
   WeightTable table_;

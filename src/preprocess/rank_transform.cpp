@@ -56,6 +56,36 @@ RankedMatrix::RankedMatrix(const ExpressionMatrix& matrix)
   }
 }
 
+StagedRankMatrix::StagedRankMatrix(std::size_t n_genes, std::size_t n_samples)
+    : n_genes_(n_genes),
+      n_samples_(n_samples),
+      stride_(round_up(n_samples == 0 ? 1 : n_samples,
+                       kSimdAlignment / sizeof(std::uint16_t))),
+      ranks_(n_genes * stride_, kUninitialized) {
+  TINGE_EXPECTS(can_stage(n_samples));
+}
+
+StagedRankMatrix::StagedRankMatrix(const RankedMatrix& source)
+    : StagedRankMatrix(source.n_genes(), source.n_samples()) {
+  fill_rows(source, 0, n_genes_);
+}
+
+void StagedRankMatrix::fill_rows(const RankedMatrix& source, std::size_t first,
+                                 std::size_t last) {
+  TINGE_EXPECTS(last <= n_genes_ && first <= last);
+  TINGE_EXPECTS(source.n_genes() == n_genes_);
+  TINGE_EXPECTS(source.n_samples() == n_samples_);
+  for (std::size_t g = first; g < last; ++g) {
+    const std::uint32_t* src = source.ranks(g).data();
+    std::uint16_t* dst = ranks_.data() + g * stride_;
+    for (std::size_t s = 0; s < n_samples_; ++s)
+      dst[s] = static_cast<std::uint16_t>(src[s]);
+    // Zero the padding tail: kernels only read n_samples_ entries, but
+    // uninitialized pad bytes would make rerun checksums nondeterministic.
+    for (std::size_t s = n_samples_; s < stride_; ++s) dst[s] = 0;
+  }
+}
+
 void rank_transform_in_place(ExpressionMatrix& matrix, TiePolicy policy) {
   const std::size_t m = matrix.n_samples();
   for (std::size_t g = 0; g < matrix.n_genes(); ++g) {

@@ -69,6 +69,59 @@ class RankedMatrix {
   std::vector<std::string> gene_names_;
 };
 
+/// uint16 copy of a RankedMatrix: the memory-bandwidth staging layer of the
+/// O(n^2) sweep. Ranks are exact integers < m, so when m fits uint16 the
+/// rank rows can be narrowed losslessly, halving the bytes the panel
+/// kernels stream per pair (the per-sample table *lookups* are unchanged —
+/// a uint16 index selects the same weight row — so MI results are
+/// bit-identical to the uint32 path).
+///
+/// Rows are allocated untouched and filled via fill_rows so the engine can
+/// partition the fill across threads: under Linux's first-touch policy the
+/// filling thread's NUMA node gets the pages, co-locating each gene block
+/// with the node that sweeps it (see NumaTilePlan in core/sweep.h).
+class StagedRankMatrix {
+ public:
+  /// Largest sample count a uint16 rank can index (ranks are 0..m-1).
+  static constexpr std::size_t kMaxStagedSamples = 65536;
+
+  static bool can_stage(std::size_t n_samples) {
+    return n_samples <= kMaxStagedSamples;
+  }
+
+  StagedRankMatrix() = default;
+
+  /// Allocates rows without touching them. Every gene row must be filled
+  /// via fill_rows before it is read.
+  StagedRankMatrix(std::size_t n_genes, std::size_t n_samples);
+
+  /// Allocate-and-fill convenience (single-threaded first touch).
+  explicit StagedRankMatrix(const RankedMatrix& source);
+
+  /// Narrows genes [first, last) of `source` into this matrix. Thread-safe
+  /// for disjoint gene ranges; the calling thread first-touches the pages.
+  void fill_rows(const RankedMatrix& source, std::size_t first,
+                 std::size_t last);
+
+  std::size_t n_genes() const { return n_genes_; }
+  std::size_t n_samples() const { return n_samples_; }
+
+  const std::uint16_t* row(std::size_t g) const {
+    TINGE_EXPECTS(g < n_genes_);
+    return ranks_.data() + g * stride_;
+  }
+
+  std::span<const std::uint16_t> ranks(std::size_t g) const {
+    return {row(g), n_samples_};
+  }
+
+ private:
+  std::size_t n_genes_ = 0;
+  std::size_t n_samples_ = 0;
+  std::size_t stride_ = 0;
+  AlignedBuffer<std::uint16_t> ranks_;
+};
+
 /// In-place rank transform of a whole matrix: each gene row is replaced by
 /// rank_to_unit(rank) values under the given tie policy. Used by the
 /// generic (non-shared-table) estimator path and by baselines (Spearman).

@@ -24,6 +24,26 @@ constexpr std::size_t round_up(std::size_t n, std::size_t multiple) {
   return multiple == 0 ? n : ((n + multiple - 1) / multiple) * multiple;
 }
 
+/// Raw 64-byte-aligned allocation of `count` T, padded to a whole number of
+/// cache lines. The memory is NOT initialized — no page of it is touched —
+/// so the caller controls which thread (and therefore, under first-touch
+/// NUMA policy, which node) faults each page in. Free with aligned_free.
+template <typename T>
+T* aligned_alloc_uninit(std::size_t count) {
+  if (count == 0) return nullptr;
+  const std::size_t bytes = round_up(count * sizeof(T), kSimdAlignment);
+  T* data = static_cast<T*>(std::aligned_alloc(kSimdAlignment, bytes));
+  if (data == nullptr) throw std::bad_alloc();
+  return data;
+}
+
+inline void aligned_free(void* p) noexcept { std::free(p); }
+
+/// Tag selecting AlignedBuffer's uninitialized (first-touch-deferred)
+/// constructor.
+struct Uninitialized {};
+inline constexpr Uninitialized kUninitialized{};
+
 /// A fixed-size, 64-byte-aligned, zero-initialized array of trivially
 /// copyable T. Movable, non-copyable (hot buffers should not be copied by
 /// accident; use explicit clone()).
@@ -34,10 +54,16 @@ class AlignedBuffer {
 
   explicit AlignedBuffer(std::size_t count) : size_(count) {
     if (count == 0) return;
-    const std::size_t bytes = round_up(count * sizeof(T), kSimdAlignment);
-    data_ = static_cast<T*>(std::aligned_alloc(kSimdAlignment, bytes));
-    if (data_ == nullptr) throw std::bad_alloc();
+    data_ = aligned_alloc_uninit<T>(count);
     for (std::size_t i = 0; i < count; ++i) data_[i] = T{};
+  }
+
+  /// Allocates without touching the memory: pages fault in on first write,
+  /// which under Linux's first-touch policy places them on the writing
+  /// thread's NUMA node. Caller must initialize every element it reads.
+  AlignedBuffer(std::size_t count, Uninitialized) : size_(count) {
+    if (count == 0) return;
+    data_ = aligned_alloc_uninit<T>(count);
   }
 
   AlignedBuffer(const AlignedBuffer&) = delete;

@@ -81,6 +81,11 @@ TEST_F(GoldenRun, SchemaVersionAndConfigEcho) {
   EXPECT_EQ(config.at("kernel").as_string(), "scalar");
   EXPECT_EQ(config.at("schedule").as_string(), "dynamic");
   EXPECT_EQ(config.at("panel_width").as_int(), 2);
+  // Memory-side knobs echo their configured (not resolved) values.
+  EXPECT_EQ(config.at("stage_ranks").as_bool(), true);
+  EXPECT_EQ(config.at("packed_table").as_string(), "auto");
+  EXPECT_EQ(config.at("prefetch").as_string(), "auto");
+  EXPECT_EQ(config.at("numa").as_string(), "auto");
   EXPECT_EQ(config.at("seed").as_int(), 20140519);
   EXPECT_EQ(config.at("apply_dpi").as_bool(), true);
 }
