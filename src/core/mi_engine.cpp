@@ -35,45 +35,17 @@ std::uint64_t total_pairs_swept(const std::vector<SweepCounters>& counters) {
   return pairs;
 }
 
-// Memory nodes the pass schedules for: 1 when the knob is off or the host
-// has a single node (detection cached — sysfs does not change mid-run).
-int resolved_numa_nodes(const TingeConfig& config) {
-  if (config.numa == KnobMode::Off) return 1;
-  static const int detected = par::detect_numa_layout().nodes;
-  return detected;
+// Detected NUMA shape of the host, cached — sysfs does not change mid-run.
+const par::NumaLayout& cached_numa_layout() {
+  static const par::NumaLayout layout = par::detect_numa_layout();
+  return layout;
 }
 
-// Parallel first-touch fill of the staged matrix: the gene space is
-// partitioned by node exactly as numa_node_of_gene does for tiles, and each
-// node's block is split evenly among that node's threads — so the pages of
-// a node's gene rows fault in on (and are served from) that node.
-void fill_staged_first_touch(StagedRankMatrix& staged,
-                             const RankedMatrix& ranks, par::ThreadPool& pool,
-                             int threads, int nodes) {
-  const std::size_t n = ranks.n_genes();
-  if (threads <= 1) {
-    staged.fill_rows(ranks, 0, n);
-    return;
-  }
-  const auto node_begin = [nodes](std::size_t count, int d) {
-    // First index of node d's block: smallest i with i * nodes / count >= d.
-    return (static_cast<std::size_t>(d) * count +
-            static_cast<std::size_t>(nodes) - 1) /
-           static_cast<std::size_t>(nodes);
-  };
-  const auto t = static_cast<std::size_t>(threads);
-  pool.run(threads, [&](int tid, int /*width*/) {
-    const int d = numa_node_of_gene(static_cast<std::size_t>(tid), t, nodes);
-    const std::size_t tid0 = node_begin(t, d);
-    const std::size_t tid1 = node_begin(t, d + 1);
-    const std::size_t g0 = node_begin(n, d);
-    const std::size_t g1 = node_begin(n, d + 1);
-    const std::size_t r = static_cast<std::size_t>(tid) - tid0;
-    const std::size_t node_threads = tid1 - tid0;
-    const std::size_t genes = g1 - g0;
-    staged.fill_rows(ranks, g0 + genes * r / node_threads,
-                     g0 + genes * (r + 1) / node_threads);
-  });
+// Memory nodes the pass schedules for: 1 when the knob is off or the host
+// has a single node.
+int resolved_numa_nodes(const TingeConfig& config) {
+  if (config.numa == KnobMode::Off) return 1;
+  return cached_numa_layout().nodes;
 }
 
 // Dispatches run_sweep over the staged uint16 rows when available, the
@@ -97,6 +69,45 @@ std::vector<SweepCounters> run_ranked_sweep(
 }
 
 }  // namespace
+
+void fill_staged_first_touch(StagedRankMatrix& staged,
+                             const RankedMatrix& ranks, par::ThreadPool& pool,
+                             int threads, int nodes) {
+  const std::size_t n = ranks.n_genes();
+  if (threads <= 1) {
+    staged.fill_rows(ranks, 0, n);
+    return;
+  }
+  const auto node_begin = [nodes](std::size_t count, int d) {
+    // First index of node d's block: smallest i with i * nodes / count >= d.
+    return (static_cast<std::size_t>(d) * count +
+            static_cast<std::size_t>(nodes) - 1) /
+           static_cast<std::size_t>(nodes);
+  };
+  const auto t = static_cast<std::size_t>(threads);
+  pool.run(threads, [&](int tid, int /*width*/) {
+    if (t < static_cast<std::size_t>(nodes)) {
+      // Fewer threads than nodes: the tid block partition below would map
+      // some nodes to no thread at all, leaving their gene blocks
+      // uninitialized. Hand out whole node blocks round-robin instead —
+      // every gene row is filled exactly once; some rows merely fault in
+      // away from the node their tiles prefer.
+      for (int d = tid; d < nodes; d += threads)
+        staged.fill_rows(ranks, node_begin(n, d), node_begin(n, d + 1));
+      return;
+    }
+    const int d = numa_node_of_gene(static_cast<std::size_t>(tid), t, nodes);
+    const std::size_t tid0 = node_begin(t, d);
+    const std::size_t tid1 = node_begin(t, d + 1);
+    const std::size_t g0 = node_begin(n, d);
+    const std::size_t g1 = node_begin(n, d + 1);
+    const std::size_t r = static_cast<std::size_t>(tid) - tid0;
+    const std::size_t node_threads = tid1 - tid0;
+    const std::size_t genes = g1 - g0;
+    staged.fill_rows(ranks, g0 + genes * r / node_threads,
+                     g0 + genes * (r + 1) / node_threads);
+  });
+}
 
 EngineStats engine_stats_from_metrics(const obs::MetricsSnapshot& snapshot) {
   const auto counter = [&](const char* name) -> std::uint64_t {
@@ -165,7 +176,8 @@ GeneNetwork MiEngine::compute_network(double threshold,
   NumaTilePlan numa_plan;
   if (numa_nodes > 1 && options.team_size <= 1 && options.threads > 1) {
     numa_plan =
-        make_numa_tile_plan(plan, ranks_.n_genes(), numa_nodes, options.threads);
+        make_numa_tile_plan(plan, ranks_.n_genes(), numa_nodes,
+                            options.threads, &cached_numa_layout());
     options.numa = &numa_plan;
   }
   const StagedRankMatrix* staged =
@@ -209,7 +221,8 @@ GeneNetwork MiEngine::compute_network_checkpointed(
   NumaTilePlan numa_plan;
   if (numa_nodes > 1 && options.team_size <= 1 && options.threads > 1) {
     numa_plan =
-        make_numa_tile_plan(plan, ranks_.n_genes(), numa_nodes, options.threads);
+        make_numa_tile_plan(plan, ranks_.n_genes(), numa_nodes,
+                            options.threads, &cached_numa_layout());
     options.numa = &numa_plan;
   }
   const StagedRankMatrix* staged =
@@ -271,7 +284,8 @@ std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
   const int numa_nodes = resolved_numa_nodes(config);
   NumaTilePlan numa_plan;
   if (numa_nodes > 1 && options.team_size <= 1 && options.threads > 1) {
-    numa_plan = make_numa_tile_plan(plan, n, numa_nodes, options.threads);
+    numa_plan = make_numa_tile_plan(plan, n, numa_nodes, options.threads,
+                                    &cached_numa_layout());
     options.numa = &numa_plan;
   }
   const StagedRankMatrix* staged =

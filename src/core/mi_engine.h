@@ -96,6 +96,17 @@ struct EngineStats {
 /// vectors are reassembled from the engine.thread.<tid>.* counters.
 EngineStats engine_stats_from_metrics(const obs::MetricsSnapshot& snapshot);
 
+/// Parallel first-touch fill of the staged matrix: the gene space is
+/// partitioned by node exactly as numa_node_of_gene does for tiles, and
+/// each node's block is split evenly among that node's threads — so the
+/// pages of a node's gene rows fault in on (and are served from) that node.
+/// When threads < nodes, whole node blocks are instead handed out
+/// round-robin so every gene row is still filled exactly once. Exposed for
+/// the staging tests; the engine calls it through staged_ranks.
+void fill_staged_first_touch(StagedRankMatrix& staged,
+                             const RankedMatrix& ranks, par::ThreadPool& pool,
+                             int threads, int nodes);
+
 class MiEngine {
  public:
   /// Both references must outlive the engine. The ranked matrix must have

@@ -63,11 +63,17 @@ PanelPlan plan_panels(const BsplineMi& estimator, const TingeConfig& config) {
 }
 
 NumaTilePlan make_numa_tile_plan(const SweepPlan& plan, std::size_t n_genes,
-                                 int nodes, int threads) {
+                                 int nodes, int threads,
+                                 const par::NumaLayout* layout) {
   TINGE_EXPECTS(nodes >= 1);
   TINGE_EXPECTS(threads >= 1);
   NumaTilePlan numa;
   numa.nodes = nodes;
+  // Adopt the cpu->node table only when it describes the same node space
+  // the plan was built for; a synthetic plan (tests forcing N nodes on a
+  // 1-node host) keeps the tid-block fallback.
+  if (layout != nullptr && layout->nodes == nodes)
+    numa.cpu_node = layout->cpu_node;
   numa.tile_node.resize(plan.count());
   for (std::size_t t = 0; t < plan.count(); ++t) {
     numa.tile_node[t] =

@@ -40,8 +40,10 @@
 #include "core/tile.h"
 #include "graph/network.h"
 #include "mi/bspline_mi.h"
+#include "parallel/affinity.h"
 #include "parallel/barrier.h"
 #include "parallel/parallel_for.h"
+#include "parallel/topology.h"
 #include "parallel/reduction.h"
 #include "parallel/thread_pool.h"
 #include "util/aligned.h"
@@ -122,8 +124,18 @@ class SweepAborted : public std::runtime_error {
 /// only the claiming order is.
 struct NumaTilePlan {
   int nodes = 1;
-  std::vector<int> tile_node;    ///< per plan tile: node owning its row genes
-  std::vector<int> thread_node;  ///< per pool context: node it runs on
+  std::vector<int> tile_node;  ///< per plan tile: node owning its row genes
+  /// Per pool context: assumed home node under a contiguous block split of
+  /// the contexts across nodes. Only a fallback — pool contexts are handed
+  /// out in wake order and may not be pinned at all, so when cpu_node is
+  /// populated each context resolves its real home from the CPU it is
+  /// running on at sweep time instead.
+  std::vector<int> thread_node;
+  /// cpu_node[cpu] = node of OS CPU `cpu` (copied from the detected
+  /// NumaLayout when the caller supplies one); empty when detection was
+  /// unavailable or the plan uses synthetic nodes, in which case
+  /// thread_node decides.
+  std::vector<int> cpu_node;
 };
 
 /// Node owning gene g under the contiguous block partition both the staged
@@ -138,10 +150,14 @@ inline int numa_node_of_gene(std::size_t g, std::size_t n_genes, int nodes) {
 }
 
 /// Builds the per-pass NUMA plan: tiles are attributed to the node of
-/// their first row gene; contexts are split into `nodes` contiguous blocks
-/// (matching a block-cyclic pinning of the pool across nodes).
+/// their first row gene. Pass the detected `layout` so sweep contexts can
+/// resolve their home node from the CPU they actually run on; without it
+/// (or when layout->nodes != nodes — synthetic test plans) contexts fall
+/// back to a contiguous block split of tids across nodes, which matches a
+/// block-cyclic pinning of the pool and is only a heuristic otherwise.
 NumaTilePlan make_numa_tile_plan(const SweepPlan& plan, std::size_t n_genes,
-                                 int nodes, int threads);
+                                 int nodes, int threads,
+                                 const par::NumaLayout* layout = nullptr);
 
 /// How run_sweep distributes tiles over contexts.
 struct SweepOptions {
@@ -415,7 +431,14 @@ std::vector<SweepCounters> run_sweep(const SweepPlan& plan,
       pool->run(contexts, [&](int tid, int /*width*/) {
         JointHistogram scratch = estimator.make_scratch();
         SweepCounters& local = state.local(tid);
+        // Home node: prefer the node of the CPU this context is actually
+        // running on (tids are claimed in wake order, so the plan's
+        // tid-block mapping cannot know it); fall back to that mapping
+        // when the plan has no cpu table or the query is unsupported.
         int home = numa.thread_node[static_cast<std::size_t>(tid)];
+        const int cpu = par::current_cpu();
+        if (cpu >= 0 && static_cast<std::size_t>(cpu) < numa.cpu_node.size())
+          home = numa.cpu_node[static_cast<std::size_t>(cpu)];
         if (home < 0 || home >= nodes) home = 0;
         for (int hop = 0; hop < nodes; ++hop) {
           const int node = (home + hop) % nodes;

@@ -4,6 +4,9 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <map>
+#include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "simd/math.h"
@@ -851,6 +854,36 @@ bool measure_policy_wins(const WeightTable& table,
   return best_seconds[1] < best_seconds[0];
 }
 
+// Memoized verdicts of measure_policy_wins, keyed on everything that
+// changes the measurement: which policy is under test, the resolved kernel,
+// the table shape (order, bins, m), the panel width and the base packing.
+// A process mixing estimators (different m or order — the bench ablations,
+// the estimator studies) measures each configuration once instead of
+// inheriting the first caller's verdict.
+bool measured_policy_cached(int policy, const WeightTable& table,
+                            MiKernel resolved, const PanelOptions& without,
+                            const PanelOptions& with, int width) {
+  using Key =
+      std::tuple<int, MiKernel, int, int, std::size_t, int, bool>;
+  static std::mutex mutex;
+  static std::map<Key, bool> verdicts;
+  const Key key{policy,        resolved, table.order(), table.bins(),
+                table.n_samples(), width,    without.packed};
+  // Measuring under the lock serializes concurrent first calls for the same
+  // key; these run once per configuration, before the parallel region.
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto it = verdicts.find(key);
+  if (it == verdicts.end()) {
+    it = verdicts
+             .emplace(key, measure_policy_wins(table, without, with, width))
+             .first;
+  }
+  return it->second;
+}
+
+constexpr int kPolicyPrefetch = 0;
+constexpr int kPolicyPacked = 1;
+
 }  // namespace
 
 bool prefetch_pays_measured(const WeightTable& table, const PanelOptions& base,
@@ -862,8 +895,8 @@ bool prefetch_pays_measured(const WeightTable& table, const PanelOptions& base,
   off.prefetch = false;
   PanelOptions on = base;
   on.prefetch = true;
-  static const bool pays = measure_policy_wins(table, off, on, width);
-  return pays;
+  return measured_policy_cached(kPolicyPrefetch, table, resolved, off, on,
+                                width);
 }
 
 bool packed_pays_measured(const WeightTable& table, const PanelOptions& base,
@@ -877,8 +910,8 @@ bool packed_pays_measured(const WeightTable& table, const PanelOptions& base,
   off.packed = false;
   PanelOptions on = base;
   on.packed = true;
-  static const bool pays = measure_policy_wins(table, off, on, width);
-  return pays;
+  return measured_policy_cached(kPolicyPacked, table, MiKernel::Simd, off, on,
+                                width);
 }
 
 }  // namespace tinge

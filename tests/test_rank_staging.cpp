@@ -141,6 +141,30 @@ INSTANTIATE_TEST_SUITE_P(Kernels, PanelKnobIdentity,
                            return std::string(kernel_name(param_info.param));
                          });
 
+TEST(StagedRankMatrix, FirstTouchFillCoversEveryNodeBlock) {
+  // The parallel fill must write every gene row exactly once for any
+  // (threads, nodes) shape — in particular 1 < threads < nodes, where a
+  // naive block partition of tids maps some nodes to no thread and leaves
+  // their gene blocks uninitialized (the staged matrix starts poisoned, so
+  // a missed row would feed out-of-range indices to the weight table).
+  const RankedMatrix ranked = random_ranked(29, 61, 5);
+  par::ThreadPool pool(6);
+  const struct { int threads, nodes; } shapes[] = {
+      {1, 4}, {2, 4}, {3, 5}, {2, 2}, {4, 2}, {5, 3}, {6, 1}};
+  for (const auto& shape : shapes) {
+    StagedRankMatrix staged(ranked.n_genes(), ranked.n_samples());
+    fill_staged_first_touch(staged, ranked, pool, shape.threads, shape.nodes);
+    for (std::size_t g = 0; g < ranked.n_genes(); ++g) {
+      const auto row32 = ranked.ranks(g);
+      const std::uint16_t* row16 = staged.row(g);
+      for (std::size_t s = 0; s < row32.size(); ++s)
+        ASSERT_EQ(static_cast<std::uint32_t>(row16[s]), row32[s])
+            << "threads=" << shape.threads << " nodes=" << shape.nodes
+            << " gene " << g << " sample " << s;
+    }
+  }
+}
+
 // ---- engine: staged on/off produce identical networks ----------------------
 
 TEST(EngineStaging, StagedSweepMatchesClassicBitForBit) {
@@ -220,6 +244,23 @@ TEST(NumaPlan, TilesFollowTheirFirstRowGene) {
   EXPECT_EQ(numa.thread_node[1], 0);
   EXPECT_EQ(numa.thread_node[2], 1);
   EXPECT_EQ(numa.thread_node[3], 1);
+  // No layout supplied: contexts can only use the tid-block fallback.
+  EXPECT_TRUE(numa.cpu_node.empty());
+}
+
+TEST(NumaPlan, AdoptsCpuTableOnlyWhenLayoutMatchesPlanNodes) {
+  const SweepPlan plan = SweepPlan::triangular(0, 32, 8);
+  par::NumaLayout layout;
+  layout.nodes = 2;
+  layout.cpu_node = {0, 0, 1, 1};
+  // Matching node count: the cpu->node table rides along so sweep contexts
+  // can resolve their home from the CPU they actually run on.
+  const NumaTilePlan matched = make_numa_tile_plan(plan, 32, 2, 4, &layout);
+  EXPECT_EQ(matched.cpu_node, layout.cpu_node);
+  // Synthetic plan nodes != detected nodes: the table describes a different
+  // node space and must be dropped in favor of the tid-block fallback.
+  const NumaTilePlan synthetic = make_numa_tile_plan(plan, 32, 4, 4, &layout);
+  EXPECT_TRUE(synthetic.cpu_node.empty());
 }
 
 TEST(NumaScheduler, NodeQueueSweepIsBitIdenticalAndWorkConserving) {
