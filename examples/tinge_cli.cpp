@@ -46,14 +46,28 @@ int run_cluster_inproc(const tinge::ArgParser& args,
     cluster::resolve_kill_fraction(fault, config.cluster_ranks);
   }
   cluster::ShardedBuildResult result;
-  cluster->run([&](cluster::Comm& comm) {
-    cluster::FaultyTransport faulty(comm.transport(), fault);
-    cluster::Comm endpoint =
-        args.has("fault") ? cluster::Comm(faulty) : comm;
-    cluster::ShardedBuildResult local =
-        cluster::sharded_build(endpoint, expression, config);
-    if (comm.rank() == 0) result = std::move(local);
-  });
+  bool have_result = false;
+  try {
+    cluster->run([&](cluster::Comm& comm) {
+      cluster::FaultyTransport faulty(comm.transport(), fault);
+      cluster::Comm endpoint =
+          args.has("fault") ? cluster::Comm(faulty) : comm;
+      cluster::ShardedBuildResult local =
+          cluster::sharded_build(endpoint, expression, config);
+      if (comm.rank() == 0) {
+        result = std::move(local);
+        have_result = true;
+      }
+    });
+  } catch (const std::runtime_error&) {
+    // Under lease balancing a worker's injected death is survivable: rank 0
+    // reclaims its leases, finishes the sweep and carries the result out.
+    // Cluster::run still rethrows the victim's InjectedFault (or a peer's
+    // PeerFailureError) after every rank thread has joined — swallow it
+    // when rank 0 delivered. A dead rank 0 (no result) stays fatal, and
+    // static mode keeps its fail-stop semantics either way.
+    if (config.cluster_balance != "lease" || !have_result) throw;
+  }
 
   cli::write_network_outputs(args, result.network, result.null);
   if (args.has("metrics-out"))

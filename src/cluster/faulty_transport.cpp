@@ -74,6 +74,8 @@ FaultPlan parse_fault_plan(const std::string& spec) {
       plan.delay_ms = parse_real(key, value);
     } else if (key == "jitter-ms") {
       plan.jitter_ms = parse_real(key, value);
+    } else if (key == "tile-delay-ms") {
+      plan.tile_delay_ms = parse_real(key, value);
     } else if (key == "drop-after") {
       plan.drop_after = parse_count(key, value);
     } else if (key == "kill-after") {
@@ -100,8 +102,8 @@ FaultPlan parse_fault_plan(const std::string& spec) {
     } else {
       throw std::invalid_argument(
           strprintf("fault plan: unknown key '%s' (expected rank, delay-ms, "
-                    "jitter-ms, drop-after, kill-after, kill-at, mode, "
-                    "exit-code, seed)",
+                    "jitter-ms, tile-delay-ms, drop-after, kill-after, "
+                    "kill-at, mode, exit-code, seed)",
                     key.c_str()));
     }
   }
@@ -173,6 +175,15 @@ std::vector<std::byte> FaultyTransport::recv(int src, int tag,
   return inner_->recv(src, tag, timeout_seconds);
 }
 
+std::optional<std::vector<std::byte>> FaultyTransport::try_recv(int src,
+                                                                int tag) {
+  // Deliberately NOT a data op: the lease master polls try_recv an
+  // unbounded, timing-dependent number of times, so counting polls would
+  // make op-counted kill plans fire at a different pipeline point on every
+  // run — the opposite of what a deterministic fault schedule is for.
+  return inner_->try_recv(src, tag);
+}
+
 void FaultyTransport::barrier() {
   // Barriers are not data ops (their count varies between pipeline
   // variants), but a kill-armed plan still fires here so a faulted rank
@@ -186,6 +197,11 @@ void FaultyTransport::barrier() {
         inner_->rank());
   }
   inner_->barrier();
+}
+
+double straggle_delay_ms(const Transport& transport) {
+  const auto* faulty = dynamic_cast<const FaultyTransport*>(&transport);
+  return faulty != nullptr ? faulty->tile_delay_ms() : 0.0;
 }
 
 }  // namespace tinge::cluster

@@ -17,9 +17,11 @@
 //     see PeerFailureError through the closed connection.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "cluster/transport.h"
 
@@ -51,6 +53,11 @@ struct FaultPlan {
   /// drawn uniformly from [0, jitter_ms) using `seed`.
   double delay_ms = 0.0;
   double jitter_ms = 0.0;
+  /// Per-tile *compute* sleep on the armed rank: the straggler fault. The
+  /// transport cannot slow computation by delaying messages (the ring
+  /// couples wall time across ranks), so the sweeps query this through
+  /// tile_delay_ms() and sleep inside tile compute instead.
+  double tile_delay_ms = 0.0;
   /// After this many sends, further sends are silently swallowed (the
   /// classic lost-message fault; peers block until their recv deadline).
   /// < 0 disables.
@@ -73,9 +80,11 @@ struct FaultPlan {
 ///   "rank=1,kill-after=4,mode=exit"
 ///   "rank=2,delay-ms=5,jitter-ms=3,seed=99"
 ///   "rank=1,kill-at=0.5,mode=throw"
-/// Keys: rank, delay-ms, jitter-ms, drop-after, kill-after, kill-at,
-/// mode (throw|exit), exit-code, seed. Throws std::invalid_argument on an
-/// unknown key or malformed value so CLI typos fail loudly.
+///   "rank=1,tile-delay-ms=20"
+/// Keys: rank, delay-ms, jitter-ms, tile-delay-ms, drop-after, kill-after,
+/// kill-at, mode (throw|exit), exit-code, seed. Throws
+/// std::invalid_argument on an unknown key or malformed value so CLI typos
+/// fail loudly.
 FaultPlan parse_fault_plan(const std::string& spec);
 
 /// Resolves plan.kill_at_fraction into plan.kill_after using the expected
@@ -99,6 +108,7 @@ class FaultyTransport final : public Transport {
   std::vector<std::byte> recv(int src, int tag) override;
   std::vector<std::byte> recv(int src, int tag,
                               double timeout_seconds) override;
+  std::optional<std::vector<std::byte>> try_recv(int src, int tag) override;
   void barrier() override;
 
   std::vector<PeerTraffic> peer_traffic() const override {
@@ -107,6 +117,10 @@ class FaultyTransport final : public Transport {
 
   /// True when the plan applies to this endpoint's rank.
   bool armed() const { return armed_; }
+  /// The per-tile compute sleep this endpoint should suffer (0 when the
+  /// plan targets a different rank). Sweeps dynamic_cast the transport to
+  /// find this — the straggler fault lives in compute, not messaging.
+  double tile_delay_ms() const { return armed_ ? plan_.tile_delay_ms : 0.0; }
   /// Data ops observed so far (sends + recvs), fault-armed or not.
   long long ops() const { return ops_; }
   /// Sends swallowed by the drop fault so far.
@@ -121,6 +135,38 @@ class FaultyTransport final : public Transport {
   long long ops_ = 0;
   long long sends_ = 0;
   long long dropped_sends_ = 0;
+};
+
+/// The per-tile compute straggle the fault plan imposes on this endpoint:
+/// the plan's tile_delay_ms when `transport` is a FaultyTransport armed on
+/// its rank, 0 otherwise. How the sweeps locate the straggler fault
+/// without depending on the decorator being present.
+double straggle_delay_ms(const Transport& transport);
+
+/// Sink decorator that sleeps before every tile — the compute-side
+/// straggler fault. Wraps any sweep sink; inert at delay 0.
+template <typename Inner>
+class StraggleSink {
+ public:
+  StraggleSink(Inner& inner, double delay_ms)
+      : inner_(&inner), delay_ms_(delay_ms) {}
+
+  void tile_begin(int tid, std::size_t t) {
+    if (delay_ms_ > 0.0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms_));
+    inner_->tile_begin(tid, t);
+  }
+  void pair(int tid, std::size_t i, std::size_t j, double mi) {
+    inner_->pair(tid, i, j, mi);
+  }
+  void tile_end(int tid, std::size_t t, int team_width) {
+    inner_->tile_end(tid, t, team_width);
+  }
+
+ private:
+  Inner* inner_;
+  double delay_ms_;
 };
 
 }  // namespace tinge::cluster

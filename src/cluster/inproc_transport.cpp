@@ -53,6 +53,20 @@ std::vector<std::byte> InProcessTransport::recv(int src, int tag,
   return payload;
 }
 
+std::optional<std::vector<std::byte>> InProcessTransport::try_recv(int src,
+                                                                   int tag) {
+  TINGE_EXPECTS(src >= 0 && src < size());
+  std::optional<std::vector<std::byte>> payload =
+      hub_->try_take(rank_, src, tag);
+  if (payload) {
+    std::lock_guard<std::mutex> lock(traffic_mutex_);
+    PeerTraffic& peer = peer_traffic_[static_cast<std::size_t>(src)];
+    peer.bytes_received += payload->size();
+    ++peer.messages_received;
+  }
+  return payload;
+}
+
 InProcessCluster::InProcessCluster(int size, const TransportOptions& options)
     : size_(size),
       default_recv_timeout_(options.recv_timeout_seconds),
@@ -141,6 +155,32 @@ std::vector<std::byte> InProcessCluster::wait_for(int rank, int src, int tag,
           rank, src);
     }
   }
+}
+
+std::optional<std::vector<std::byte>> InProcessCluster::try_take(int rank,
+                                                                 int src,
+                                                                 int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+    if (it->src == src && it->tag == tag) {
+      std::vector<std::byte> payload = std::move(it->payload);
+      box.messages.erase(it);
+      return payload;
+    }
+  }
+  // Match first, then liveness — same order as wait_for: a finished rank's
+  // already-queued messages drain normally; only once they are gone does
+  // the probe report the peer as failed.
+  if (rank_done_[static_cast<std::size_t>(src)].load(
+          std::memory_order_acquire)) {
+    throw PeerFailureError(
+        strprintf("inproc transport: rank %d finished with no message "
+                  "matching tag %d queued for rank %d",
+                  src, tag, rank),
+        rank, src);
+  }
+  return std::nullopt;
 }
 
 void InProcessCluster::barrier_wait(int rank) {

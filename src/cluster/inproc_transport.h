@@ -14,6 +14,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "cluster/transport.h"
@@ -64,6 +65,9 @@ class InProcessCluster final : public Cluster {
   void deliver(int dest, Message message);
   std::vector<std::byte> wait_for(int rank, int src, int tag,
                                   double timeout_seconds);
+  /// Non-blocking mailbox probe for `rank`: a queued (src, tag) match, or
+  /// nullopt; throws PeerFailureError when src is done with no match left.
+  std::optional<std::vector<std::byte>> try_take(int rank, int src, int tag);
   void barrier_wait(int rank);
   /// Marks `rank` as finished for this run() and wakes every waiter so
   /// pending recvs/barriers on it fail fast instead of hanging.
@@ -110,6 +114,7 @@ class InProcessTransport final : public Transport {
   std::vector<std::byte> recv(int src, int tag) override;
   std::vector<std::byte> recv(int src, int tag,
                               double timeout_seconds) override;
+  std::optional<std::vector<std::byte>> try_recv(int src, int tag) override;
   void barrier() override { hub_->barrier_wait(rank_); }
 
   std::vector<PeerTraffic> peer_traffic() const override {

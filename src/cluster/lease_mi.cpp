@@ -1,0 +1,448 @@
+#include "cluster/lease_mi.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "cluster/faulty_transport.h"
+#include "cluster/ring_mi.h"
+#include "util/timer.h"
+
+namespace tinge::cluster {
+
+LeaseLedger::LeaseLedger(const SweepPlan& plan,
+                         const std::vector<char>* resumed) {
+  TINGE_EXPECTS(resumed == nullptr || resumed->size() == plan.count());
+  slots_.resize(plan.count());
+  std::vector<std::uint64_t> order;
+  order.reserve(plan.count());
+  for (std::size_t t = 0; t < plan.count(); ++t) {
+    if (resumed != nullptr && (*resumed)[t]) {
+      slots_[t].state = State::Done;
+      ++resumed_;
+    } else {
+      order.push_back(static_cast<std::uint64_t>(t));
+    }
+  }
+  // LPT order: biggest tiles first (descending pair_count, ties by index).
+  // The full-size diagonal-band tiles go out while every rank still has
+  // work, so the sweep never ends with one rank alone on a big tile.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint64_t a, std::uint64_t b) {
+                     return plan.tile(static_cast<std::size_t>(a)).pair_count() >
+                            plan.tile(static_cast<std::size_t>(b)).pair_count();
+                   });
+  ready_.assign(order.begin(), order.end());
+}
+
+std::vector<std::uint64_t> LeaseLedger::grant(int rank,
+                                              std::size_t max_tiles) {
+  TINGE_EXPECTS(rank >= 0);
+  std::vector<std::uint64_t> granted;
+  while (granted.size() < max_tiles && !ready_.empty()) {
+    const std::uint64_t t = ready_.front();
+    ready_.pop_front();
+    Slot& slot = slots_[static_cast<std::size_t>(t)];
+    TINGE_ENSURES(slot.state == State::Ready);
+    slot.state = State::Leased;
+    slot.holder = rank;
+    granted.push_back(t);
+  }
+  granted_ += granted.size();
+  outstanding_ += granted.size();
+  return granted;
+}
+
+void LeaseLedger::complete(int rank, std::uint64_t tile) {
+  TINGE_EXPECTS(static_cast<std::size_t>(tile) < slots_.size());
+  Slot& slot = slots_[static_cast<std::size_t>(tile)];
+  TINGE_EXPECTS(slot.state == State::Leased && slot.holder == rank);
+  slot.state = State::Done;
+  slot.holder = -1;
+  ++completed_;
+  --outstanding_;
+}
+
+std::vector<std::uint64_t> LeaseLedger::reclaim(int rank) {
+  std::vector<std::uint64_t> reclaimed;
+  for (std::size_t t = 0; t < slots_.size(); ++t) {
+    Slot& slot = slots_[t];
+    if (slot.state == State::Leased && slot.holder == rank) {
+      slot.state = State::Ready;
+      slot.holder = -1;
+      reclaimed.push_back(static_cast<std::uint64_t>(t));
+    }
+  }
+  // Front of the queue, ascending index: these tiles already made someone
+  // wait once, so they preempt the LPT tail.
+  for (auto it = reclaimed.rbegin(); it != reclaimed.rend(); ++it)
+    ready_.push_front(*it);
+  reclaimed_ += reclaimed.size();
+  outstanding_ -= reclaimed.size();
+  return reclaimed;
+}
+
+int LeaseLedger::lowest_holder() const {
+  int lowest = -1;
+  for (const Slot& slot : slots_) {
+    if (slot.state != State::Leased) continue;
+    if (lowest < 0 || slot.holder < lowest) lowest = slot.holder;
+  }
+  return lowest;
+}
+
+namespace {
+
+/// Wire format of a kTagTileDone message:
+///   u64 tile_index | u64 busy_us | Edge (u32, u32, f32) x count
+struct TileDoneHeader {
+  std::uint64_t tile = 0;
+  std::uint64_t busy_us = 0;
+};
+static_assert(std::is_trivially_copyable_v<TileDoneHeader>);
+static_assert(std::is_trivially_copyable_v<Edge> && sizeof(Edge) == 12);
+
+std::vector<std::byte> pack_tile_done(std::uint64_t tile,
+                                      std::uint64_t busy_us,
+                                      const std::vector<Edge>& edges) {
+  TileDoneHeader header{tile, busy_us};
+  std::vector<std::byte> wire(sizeof(header) + edges.size() * sizeof(Edge));
+  std::memcpy(wire.data(), &header, sizeof(header));
+  if (!edges.empty())
+    std::memcpy(wire.data() + sizeof(header), edges.data(),
+                edges.size() * sizeof(Edge));
+  return wire;
+}
+
+struct TileDone {
+  std::uint64_t tile = 0;
+  double busy_seconds = 0.0;
+  std::vector<Edge> edges;
+};
+
+TileDone unpack_tile_done(const std::vector<std::byte>& wire) {
+  TINGE_EXPECTS(wire.size() >= sizeof(TileDoneHeader) &&
+                (wire.size() - sizeof(TileDoneHeader)) % sizeof(Edge) == 0);
+  TileDoneHeader header;
+  std::memcpy(&header, wire.data(), sizeof(header));
+  TileDone done;
+  done.tile = header.tile;
+  done.busy_seconds = static_cast<double>(header.busy_us) * 1e-6;
+  done.edges.resize((wire.size() - sizeof(header)) / sizeof(Edge));
+  if (!done.edges.empty())
+    std::memcpy(done.edges.data(), wire.data() + sizeof(header),
+                wire.size() - sizeof(header));
+  return done;
+}
+
+void straggle(double delay_ms) {
+  if (delay_ms > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+/// One tile's edges through the exact engine kernel path (bit-identical to
+/// the single-process sweep, so merge order is the only variable — and
+/// GeneNetwork::finalize sorts that away).
+template <typename RowSource>
+std::vector<Edge> compute_tile_edges(const BsplineMi& estimator,
+                                     RowSource& row, const Tile& tile,
+                                     const PanelPlan& panels, double threshold,
+                                     JointHistogram& scratch) {
+  EdgeSink sink(threshold, /*contexts=*/1);
+  SweepCounters counters;
+  detail::sweep_tile(estimator, row, tile, panels, /*phase=*/0, /*stride=*/1,
+                     scratch, counters, sink, /*tid=*/0);
+  return sink.take_all();
+}
+
+/// The static ring rule's owner for a tile of the global plan — what the
+/// steal counter compares actual assignment against. Tiles never span the
+/// contiguous ceil(n/p) block boundaries' pair regions ambiguously for
+/// this purpose: the owning blocks are read off the tile's first row/col.
+int static_tile_owner(const Tile& tile, std::size_t n_genes, int ranks) {
+  const std::size_t per =
+      (n_genes + static_cast<std::size_t>(ranks) - 1) /
+      static_cast<std::size_t>(ranks);
+  const auto block_of = [&](std::size_t g) {
+    return static_cast<int>(std::min(g / per,
+                                     static_cast<std::size_t>(ranks - 1)));
+  };
+  const int a = block_of(tile.row_begin);
+  const int b = block_of(tile.col_begin);
+  return block_pair_owner(std::min(a, b), std::max(a, b), ranks);
+}
+
+template <typename RowSource>
+GeneNetwork lease_worker(Comm& comm, const BsplineMi& estimator,
+                         RowSource& row, const RankedMatrix& ranked,
+                         const SweepPlan& plan, const PanelPlan& panels,
+                         double threshold, double straggle_ms,
+                         const std::atomic<bool>* cancel) {
+  JointHistogram scratch = estimator.make_scratch();
+  while (true) {
+    comm.send(0, nullptr, 0, kTagLeaseRequest);
+    const std::vector<std::uint64_t> granted =
+        comm.recv_vector<std::uint64_t>(0, kTagLeaseGrant);
+    if (granted.empty()) break;  // released: the ledger has nothing left
+    for (const std::uint64_t t : granted) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed))
+        throw SweepAborted();
+      const Stopwatch tile_watch;
+      straggle(straggle_ms);
+      const std::vector<Edge> edges =
+          compute_tile_edges(estimator, row, plan.tile(static_cast<std::size_t>(t)),
+                             panels, threshold, scratch);
+      const auto busy_us =
+          static_cast<std::uint64_t>(tile_watch.seconds() * 1e6);
+      const std::vector<std::byte> wire = pack_tile_done(t, busy_us, edges);
+      comm.send(0, wire.data(), wire.size(), kTagTileDone);
+    }
+  }
+  GeneNetwork network(ranked.gene_names());
+  network.finalize();
+  return network;
+}
+
+template <typename RowSource>
+GeneNetwork lease_master(Comm& comm, const BsplineMi& estimator,
+                         RowSource& row, const RankedMatrix& ranked,
+                         const SweepPlan& plan, const PanelPlan& panels,
+                         double threshold, const TingeConfig& config,
+                         double straggle_ms, LeaseSweepReport* report,
+                         const std::atomic<bool>* cancel) {
+  const int p = comm.size();
+  const std::size_t n = ranked.n_genes();
+
+  // Partition-independent resume: the signature binds (dataset, kernel
+  // basis, tile grid, threshold) only — no world size — so journals from
+  // any rank count, the p == 1 engine included, seed this ledger, and a
+  // journal this run writes resumes on any world size.
+  // Basis parameters come from the estimator, exactly as the p == 1
+  // engine's checkpointed path derives them, so the two journal families
+  // are interchangeable even when config and estimator disagree.
+  RunSignature signature;
+  signature.n_genes = n;
+  signature.n_samples = ranked.n_samples();
+  signature.tile_size = config.tile_size;
+  signature.bins = static_cast<std::uint32_t>(estimator.basis().bins());
+  signature.order = static_cast<std::uint32_t>(estimator.basis().order());
+  signature.threshold = threshold;
+  ResumeState resume;
+  std::unique_ptr<CheckpointWriter> writer;
+  if (!config.checkpoint_path.empty()) {
+    // Load before constructing the writer — the writer truncates.
+    resume = load_resume_state(config.checkpoint_path, signature, plan);
+    writer =
+        std::make_unique<CheckpointWriter>(config.checkpoint_path, signature);
+    for (const TileRecord& record : resume.records)
+      writer->append_tile(record.tile_index, record.edges);
+  }
+  LeaseLedger ledger(plan,
+                     config.checkpoint_path.empty() ? nullptr : &resume.done);
+
+  GeneNetwork network(ranked.gene_names());
+  for (const TileRecord& record : resume.records)
+    network.add_edges(record.edges);
+
+  std::vector<char> dead(static_cast<std::size_t>(p), 0);
+  std::vector<char> pending(static_cast<std::size_t>(p), 0);
+  std::vector<std::size_t> pairs(static_cast<std::size_t>(p), 0);
+  std::vector<double> busy(static_cast<std::size_t>(p), 0.0);
+  std::vector<int> dead_ranks;
+  std::size_t steals = 0;
+  std::size_t pairs_computed = 0;
+  JointHistogram scratch = estimator.make_scratch();
+
+  const auto mark_dead = [&](int src) {
+    if (dead[static_cast<std::size_t>(src)]) return;
+    dead[static_cast<std::size_t>(src)] = 1;
+    dead_ranks.push_back(src);
+    ledger.reclaim(src);
+  };
+
+  const auto account = [&](int src, std::uint64_t t, double busy_seconds,
+                           const std::vector<Edge>& edges) {
+    ledger.complete(src, t);
+    const Tile& tile = plan.tile(static_cast<std::size_t>(t));
+    pairs[static_cast<std::size_t>(src)] += tile.pair_count();
+    pairs_computed += tile.pair_count();
+    busy[static_cast<std::size_t>(src)] += busy_seconds;
+    if (static_tile_owner(tile, n, p) != src) ++steals;
+    network.add_edges(edges);
+    if (writer) writer->append_tile(t, edges);
+  };
+
+  const auto handle_done = [&](int src, const std::vector<std::byte>& wire) {
+    const TileDone done = unpack_tile_done(wire);
+    account(src, done.tile, done.busy_seconds, done.edges);
+  };
+
+  // A grant send can race the peer's death (tcp write error / inproc
+  // done-roster): treat any transport failure as that peer dying, but let
+  // rank 0's own injected kill play out.
+  const auto send_grant = [&](int dest,
+                              const std::vector<std::uint64_t>& tiles) {
+    try {
+      comm.send_vector(dest, tiles, kTagLeaseGrant);
+      return true;
+    } catch (const InjectedFault&) {
+      throw;
+    } catch (const std::runtime_error&) {
+      return false;
+    }
+  };
+
+  const auto grant_batch = [&]() -> std::size_t {
+    int live = 1;
+    for (int s = 1; s < p; ++s)
+      if (!dead[static_cast<std::size_t>(s)]) ++live;
+    const std::size_t ready = ledger.tiles_total() - ledger.tiles_resumed() -
+                              ledger.tiles_completed() - ledger.outstanding();
+    return std::clamp<std::size_t>(
+        ready / (4 * static_cast<std::size_t>(live)), 1, 8);
+  };
+
+  while (!ledger.done()) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed))
+      throw SweepAborted();
+    // 1. Poll every live worker: drain completions, then note a lease
+    //    request. Per-(src, tag) FIFO means every TileDone a worker sent
+    //    before its request is visible before the request is.
+    for (int src = 1; src < p; ++src) {
+      if (dead[static_cast<std::size_t>(src)]) continue;
+      try {
+        while (const auto wire = comm.try_recv(src, kTagTileDone))
+          handle_done(src, *wire);
+        if (!pending[static_cast<std::size_t>(src)] &&
+            comm.try_recv(src, kTagLeaseRequest))
+          pending[static_cast<std::size_t>(src)] = 1;
+      } catch (const PeerFailureError&) {
+        mark_dead(src);
+      }
+    }
+    // 2. Serve pending requests while tiles are ready. A drained-but-not-
+    //    done ledger defers the request: if an outstanding holder dies,
+    //    its reclaimed tiles go to whoever waited.
+    for (int src = 1; src < p && !ledger.drained(); ++src) {
+      if (dead[static_cast<std::size_t>(src)] ||
+          !pending[static_cast<std::size_t>(src)])
+        continue;
+      const std::vector<std::uint64_t> batch =
+          ledger.grant(src, grant_batch());
+      if (send_grant(src, batch)) {
+        pending[static_cast<std::size_t>(src)] = 0;
+      } else {
+        mark_dead(src);  // reclaim() re-queues the batch at the front
+      }
+    }
+    // 3. Self-work: rank 0 takes one tile at a time between polls, so it
+    //    contributes compute while staying responsive to requests.
+    if (!ledger.drained()) {
+      for (const std::uint64_t t : ledger.grant(0, 1)) {
+        const Stopwatch tile_watch;
+        straggle(straggle_ms);
+        const std::vector<Edge> edges = compute_tile_edges(
+            estimator, row, plan.tile(static_cast<std::size_t>(t)), panels,
+            threshold, scratch);
+        account(0, t, tile_watch.seconds(), edges);
+      }
+      continue;  // re-poll promptly
+    }
+    // 4. Drained with leases outstanding: block on the lowest live holder
+    //    instead of spinning. TimeoutError is a PeerFailureError, so a
+    //    stuck straggler's leases are reclaimed and recomputed here too.
+    if (!ledger.done()) {
+      const int holder = ledger.lowest_holder();
+      TINGE_ENSURES(holder > 0);
+      try {
+        handle_done(holder, comm.recv(holder, kTagTileDone));
+      } catch (const PeerFailureError&) {
+        mark_dead(holder);
+      }
+    }
+  }
+
+  // Release: answer every live worker's final request with an empty grant.
+  // A rank that dies this late has nothing outstanding to reclaim.
+  for (int src = 1; src < p; ++src) {
+    if (dead[static_cast<std::size_t>(src)]) continue;
+    try {
+      if (!pending[static_cast<std::size_t>(src)])
+        comm.recv(src, kTagLeaseRequest);
+      if (!send_grant(src, {})) mark_dead(src);
+    } catch (const InjectedFault&) {
+      throw;
+    } catch (const PeerFailureError&) {
+      mark_dead(src);
+    }
+  }
+
+  // Work conservation, the protocol's contract: every tile in the plan is
+  // accounted exactly once, and every grant either completed or was
+  // reclaimed — no tile lost to a dead rank, none computed twice.
+  TINGE_ENSURES(ledger.done());
+  TINGE_ENSURES(ledger.leases_granted() ==
+                ledger.tiles_completed() + ledger.tiles_reclaimed());
+  TINGE_ENSURES(pairs_computed + resume.pairs_resumed ==
+                n * (n - 1) / 2);
+
+  network.finalize();
+  if (writer) {
+    writer->close();
+    writer.reset();
+    std::remove(config.checkpoint_path.c_str());
+  }
+
+  if (report != nullptr) {
+    report->pairs_per_rank = std::move(pairs);
+    report->busy_seconds_per_rank = std::move(busy);
+    report->leases_granted = ledger.leases_granted();
+    report->steals = steals;
+    report->tiles_reclaimed = ledger.tiles_reclaimed();
+    report->tiles_total = ledger.tiles_total();
+    report->tiles_resumed = ledger.tiles_resumed();
+    report->pairs_resumed = resume.pairs_resumed;
+    report->dead_ranks = std::move(dead_ranks);
+  }
+  return network;
+}
+
+}  // namespace
+
+GeneNetwork lease_sweep(Comm& comm, const BsplineMi& estimator,
+                        const RankedMatrix& ranked, double threshold,
+                        const TingeConfig& config, LeaseSweepReport* report,
+                        const std::atomic<bool>* cancel) {
+  TINGE_EXPECTS(estimator.n_samples() == ranked.n_samples());
+  const std::size_t m = ranked.n_samples();
+  // The GLOBAL tile plan — identical to the single-process engine's, which
+  // is what makes the checkpoint journal world-size-free.
+  const SweepPlan plan =
+      SweepPlan::triangular(0, ranked.n_genes(), config.tile_size);
+  const PanelPlan panels = plan_panels(estimator, config);
+  const double straggle_ms = straggle_delay_ms(comm.transport());
+  if (report != nullptr) *report = {};
+
+  if (config.stage_ranks && StagedRankMatrix::can_stage(m)) {
+    const StagedRankMatrix staged(ranked);
+    const auto row = [&](std::size_t g) { return staged.row(g); };
+    return comm.rank() == 0
+               ? lease_master(comm, estimator, row, ranked, plan, panels,
+                              threshold, config, straggle_ms, report, cancel)
+               : lease_worker(comm, estimator, row, ranked, plan, panels,
+                              threshold, straggle_ms, cancel);
+  }
+  const auto row = [&](std::size_t g) { return ranked.ranks(g).data(); };
+  return comm.rank() == 0
+             ? lease_master(comm, estimator, row, ranked, plan, panels,
+                            threshold, config, straggle_ms, report, cancel)
+             : lease_worker(comm, estimator, row, ranked, plan, panels,
+                            threshold, straggle_ms, cancel);
+}
+
+}  // namespace tinge::cluster

@@ -1,0 +1,148 @@
+// Elastic distributed all-pairs MI: rank-0 tile leases with work stealing.
+//
+// The TINGe-classic ring (ring_mi.h) assigns block pairs statically, so the
+// slowest rank gates every sweep and a checkpoint binds to the world size
+// that wrote it. The lease protocol fixes both at once by changing what is
+// distributed: not gene blocks, but tiles of the *global* single-process
+// sweep plan (SweepPlan::triangular(0, n, tile_size) — the exact tile index
+// space the engine's checkpoint journal uses).
+//
+//   * Every rank holds the full ranked matrix (it is loaded and ranked
+//     locally anyway), so any rank can compute any tile.
+//   * Rank 0 owns a LeaseLedger over the plan. Workers request a lease
+//     when their local queue drains; rank 0 grants a batch from the ready
+//     queue in LPT order (largest pair_count first — the hot diagonal
+//     tiles go out early so no rank is left holding a big tile at the
+//     end), computes tiles itself between polls, and reclaims the leases
+//     of any rank that dies (PeerFailureError on its probe), re-queueing
+//     them at the front of the ready queue.
+//   * Completed tiles come back as (tile, busy_us, edges) messages; rank 0
+//     merges, journals (config.checkpoint_path), and accounts per-rank
+//     pairs and busy seconds.
+//
+// Because the tile index space is the single-process engine's, the journal
+// is partition-independent: a checkpoint written by a 4-rank lease run (or
+// by the p == 1 engine) seeds the ledger of a 2- or 8-rank resume, and the
+// merged network is byte-identical to the single-process one in all cases
+// (GeneNetwork::finalize sorts, so assignment order cannot show).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cluster/transport.h"
+#include "core/config.h"
+#include "core/sweep.h"
+#include "graph/network.h"
+#include "mi/bspline_mi.h"
+#include "preprocess/rank_transform.h"
+
+namespace tinge::cluster {
+
+// Lease protocol tags, above the ring (1..p, 10000/10001) and the sharded
+// collectives (20000..20004).
+constexpr int kTagLeaseRequest = 30000;  ///< worker -> 0, empty payload
+constexpr int kTagLeaseGrant = 30001;    ///< 0 -> worker, u64 tile indices
+constexpr int kTagTileDone = 30002;      ///< worker -> 0, packed TileDone
+
+/// Rank 0's global tile ledger: which plan tiles are ready, leased (and to
+/// whom), or done. Single-threaded — the master loop is the only caller —
+/// and transport-free, so the property test can model-check it over
+/// arbitrary request/grant/reclaim interleavings in isolation.
+///
+/// Invariants (TINGE-enforced and test-enforced):
+///   * every tile is granted to at most one holder at a time;
+///   * a tile leaves the ledger only through complete();
+///   * leases_granted == tiles_completed + tiles_reclaimed + outstanding
+///     at every point, so when the ledger is done and nothing is
+///     outstanding, granted = completed + reclaimed (work conservation).
+class LeaseLedger {
+ public:
+  /// `resumed`, when non-null, flags plan tiles already journaled by a
+  /// previous attempt (one char per plan tile, as in ResumeState::done);
+  /// they start Done and are never granted. Ready tiles are ordered LPT:
+  /// descending pair_count, ties by ascending tile index.
+  explicit LeaseLedger(const SweepPlan& plan,
+                       const std::vector<char>* resumed = nullptr);
+
+  /// Leases up to `max_tiles` ready tiles to `rank`, in ready order.
+  /// Returns the granted tile indices (empty when the ready queue is dry).
+  std::vector<std::uint64_t> grant(int rank, std::size_t max_tiles);
+
+  /// Marks a leased tile complete. The tile must be leased to `rank`.
+  void complete(int rank, std::uint64_t tile);
+
+  /// Revokes every lease held by `rank` (it died or timed out): the tiles
+  /// return to the *front* of the ready queue — someone idled waiting on
+  /// them — in ascending index order. Returns the reclaimed indices.
+  std::vector<std::uint64_t> reclaim(int rank);
+
+  /// No ready tiles left to grant (outstanding leases may remain).
+  bool drained() const { return ready_.empty(); }
+  /// Every plan tile is done (completed now or resumed from the journal).
+  bool done() const { return completed_ + resumed_ == slots_.size(); }
+  /// Tiles currently out on lease.
+  std::size_t outstanding() const { return outstanding_; }
+  /// Lowest rank currently holding a lease, or -1 when none is out.
+  int lowest_holder() const;
+
+  std::size_t tiles_total() const { return slots_.size(); }
+  std::size_t tiles_resumed() const { return resumed_; }
+  std::size_t tiles_completed() const { return completed_; }
+  std::size_t tiles_reclaimed() const { return reclaimed_; }
+  /// Tile-grants issued, re-grants of reclaimed tiles included.
+  std::size_t leases_granted() const { return granted_; }
+
+ private:
+  enum class State : char { Ready, Leased, Done };
+  struct Slot {
+    State state = State::Ready;
+    int holder = -1;
+  };
+
+  std::deque<std::uint64_t> ready_;
+  std::vector<Slot> slots_;
+  std::size_t resumed_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t reclaimed_ = 0;
+  std::size_t granted_ = 0;
+  std::size_t outstanding_ = 0;
+};
+
+/// What the lease sweep reports to the pipeline (rank 0 only; workers get
+/// a default-constructed report).
+struct LeaseSweepReport {
+  std::vector<std::size_t> pairs_per_rank;
+  /// Wall seconds each rank spent inside tile compute (straggle sleeps
+  /// included — that is the point: the straggler's tiles cost more).
+  std::vector<double> busy_seconds_per_rank;
+  std::size_t leases_granted = 0;
+  /// Tiles computed by a rank other than the static ring rule's owner —
+  /// the work the protocol actually moved.
+  std::size_t steals = 0;
+  std::size_t tiles_reclaimed = 0;
+  std::size_t tiles_total = 0;
+  std::size_t tiles_resumed = 0;
+  std::size_t pairs_resumed = 0;
+  /// Ranks whose leases were reclaimed (died or timed out mid-sweep).
+  std::vector<int> dead_ranks;
+};
+
+/// One rank's share of the lease-balanced distributed sweep. Collective
+/// over `comm`; every rank passes the same inputs. Returns the merged,
+/// finalized network on rank 0 (byte-identical to the single-process
+/// engine) and an empty finalized network elsewhere.
+///
+/// Rank 0 honors config.checkpoint_path: completed tiles are journaled
+/// with the engine's world-size-free RunSignature, an existing matching
+/// journal seeds the ledger (resume on ANY world size), and the journal is
+/// removed on success. `cancel` is polled between tiles on every rank.
+GeneNetwork lease_sweep(Comm& comm, const BsplineMi& estimator,
+                        const RankedMatrix& ranked, double threshold,
+                        const TingeConfig& config,
+                        LeaseSweepReport* report = nullptr,
+                        const std::atomic<bool>* cancel = nullptr);
+
+}  // namespace tinge::cluster

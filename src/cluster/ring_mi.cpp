@@ -2,17 +2,57 @@
 
 #include <algorithm>
 
+#include "cluster/faulty_transport.h"
+#include "cluster/lease_mi.h"
 #include "core/sweep.h"
 #include "util/timer.h"
 
 namespace tinge::cluster {
 
+namespace {
+
+/// max/min over the values that pass `active` (1.0 when fewer than two do,
+/// so a run where work landed on a single rank reads "balanced" rather
+/// than dividing by an idle rank's zero).
+template <typename T, typename Pred>
+double active_spread(const std::vector<T>& values, Pred active) {
+  double lo = 0.0;
+  double hi = 0.0;
+  int count = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!active(i)) continue;
+    const double v = static_cast<double>(values[i]);
+    if (count == 0 || v < lo) lo = v;
+    if (count == 0 || v > hi) hi = v;
+    ++count;
+  }
+  if (count < 2 || lo <= 0.0) return 1.0;
+  return hi / lo;
+}
+
+}  // namespace
+
 double ClusterStats::imbalance() const {
-  if (pairs_per_rank.empty()) return 1.0;
-  const auto [lo, hi] =
-      std::minmax_element(pairs_per_rank.begin(), pairs_per_rank.end());
-  if (*lo == 0) return static_cast<double>(*hi);
-  return static_cast<double>(*hi) / static_cast<double>(*lo);
+  return active_spread(pairs_per_rank,
+                       [&](std::size_t i) { return pairs_per_rank[i] > 0; });
+}
+
+double ClusterStats::imbalance_pre() const {
+  // Per-rank compute rate: pairs per busy second, over ranks that did both.
+  std::vector<double> rate(pairs_per_rank.size(), 0.0);
+  for (std::size_t i = 0;
+       i < pairs_per_rank.size() && i < busy_seconds_per_rank.size(); ++i)
+    if (pairs_per_rank[i] > 0 && busy_seconds_per_rank[i] > 0.0)
+      rate[i] = static_cast<double>(pairs_per_rank[i]) /
+                busy_seconds_per_rank[i];
+  return active_spread(rate, [&](std::size_t i) { return rate[i] > 0.0; });
+}
+
+double ClusterStats::imbalance_post() const {
+  return active_spread(busy_seconds_per_rank, [&](std::size_t i) {
+    return i < pairs_per_rank.size() && pairs_per_rank[i] > 0 &&
+           busy_seconds_per_rank[i] > 0.0;
+  });
 }
 
 int block_pair_owner(int a, int b, int ranks) {
@@ -95,7 +135,8 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
                        const RankedMatrix& ranked, double threshold,
                        const TingeConfig& config,
                        std::vector<std::size_t>* pairs_per_rank_out,
-                       const std::atomic<bool>* cancel) {
+                       const std::atomic<bool>* cancel,
+                       std::vector<double>* busy_seconds_out) {
   TINGE_EXPECTS(estimator.n_samples() == ranked.n_samples());
   const std::size_t m = ranked.n_samples();
   const int r = comm.rank();
@@ -117,11 +158,17 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
   if (staged) stage_block(resident);
 
   // One thread per rank, no pool (classic flat-MPI TINGe); edges accumulate
-  // across all of this rank's run_sweep calls in one sink.
+  // across all of this rank's run_sweep calls in one sink. A fault-plan
+  // straggler (tile-delay-ms) sleeps inside tile compute via StraggleSink,
+  // and busy-seconds accounting measures it — that is the imbalance the
+  // lease balancer is benchmarked against.
   SweepOptions options;
   options.cancel = cancel;
-  EdgeSink sink(threshold, /*contexts=*/1);
+  EdgeSink edge_sink(threshold, /*contexts=*/1);
+  const double straggle_ms = straggle_delay_ms(comm.transport());
+  StraggleSink<EdgeSink> sink(edge_sink, straggle_ms);
   std::size_t pairs = 0;
+  double busy_seconds = 0.0;
 
   // Sweeps the upper-triangle/rectangle plan over the two blocks' buffers.
   // Rows are always the lower-gene-range block, so kernel arguments stay in
@@ -129,6 +176,7 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
   // its float summation order is not.
   const auto sweep_blocks = [&](const SweepPlan& plan, const Block& lo,
                                 const Block& hi) {
+    const Stopwatch busy_watch;
     if (staged) {
       const auto row = [&](std::size_t g) {
         const Block& block = g >= hi.first_gene ? hi : lo;
@@ -146,6 +194,7 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
                          options, sink)[0]
                    .pairs;
     }
+    busy_seconds += busy_watch.seconds();
   };
 
   // Diagonal (within-block) pairs.
@@ -177,21 +226,27 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
           lo, hi);
     }
   }
-  std::vector<Edge> edges = sink.take_all();
+  std::vector<Edge> edges = edge_sink.take_all();
 
   // Results to rank 0; rank 0 merges in rank order (0, 1, ..., p-1) so the
-  // edge list is deterministic regardless of arrival order.
+  // edge list is deterministic regardless of arrival order. The count
+  // message carries {pairs, busy_us} so rank 0 can report wall imbalance,
+  // not just pair imbalance.
   GeneNetwork network(ranked.gene_names());
   if (r == 0) {
     std::vector<std::size_t> pairs_per_rank(static_cast<std::size_t>(p), 0);
+    std::vector<double> busy_per_rank(static_cast<std::size_t>(p), 0.0);
     network.add_edges(edges);
     pairs_per_rank[0] = pairs;
+    busy_per_rank[0] = busy_seconds;
     std::size_t total_pairs = pairs;
     for (int src = 1; src < p; ++src) {
       network.add_edges(comm.recv_vector<Edge>(src, kTagEdges));
       const auto count = comm.recv_vector<std::uint64_t>(src, kTagPairCount);
       pairs_per_rank[static_cast<std::size_t>(src)] =
           static_cast<std::size_t>(count.at(0));
+      busy_per_rank[static_cast<std::size_t>(src)] =
+          static_cast<double>(count.at(1)) * 1e-6;
       total_pairs += pairs_per_rank[static_cast<std::size_t>(src)];
     }
     network.finalize();
@@ -199,10 +254,14 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
                   ranked.n_genes() * (ranked.n_genes() - 1) / 2);
     if (pairs_per_rank_out != nullptr)
       *pairs_per_rank_out = std::move(pairs_per_rank);
+    if (busy_seconds_out != nullptr) *busy_seconds_out = std::move(busy_per_rank);
   } else {
     comm.send_vector(0, edges, kTagEdges);
     comm.send_vector(
-        0, std::vector<std::uint64_t>{static_cast<std::uint64_t>(pairs)},
+        0,
+        std::vector<std::uint64_t>{
+            static_cast<std::uint64_t>(pairs),
+            static_cast<std::uint64_t>(busy_seconds * 1e6)},
         kTagPairCount);
     network.finalize();
   }
@@ -221,14 +280,33 @@ GeneNetwork cluster_compute_network(const BsplineMi& estimator,
   const std::unique_ptr<Cluster> cluster = make_cluster(kind, ranks, options);
   GeneNetwork network(ranked.gene_names());
   std::vector<std::size_t> pairs_per_rank;
+  std::vector<double> busy_per_rank;
+  LeaseSweepReport lease_report;
+  const bool lease = config.cluster_balance == "lease";
 
   cluster->run([&](Comm& comm) {
+    if (lease) {
+      LeaseSweepReport report;
+      GeneNetwork merged =
+          lease_sweep(comm, estimator, ranked, threshold, config, &report);
+      if (comm.rank() == 0) {  // only rank 0 touches the shared result
+        network = std::move(merged);
+        pairs_per_rank = std::move(report.pairs_per_rank);
+        busy_per_rank = std::move(report.busy_seconds_per_rank);
+        report.pairs_per_rank.clear();
+        report.busy_seconds_per_rank.clear();
+        lease_report = std::move(report);
+      }
+      return;
+    }
     std::vector<std::size_t> pairs;
-    GeneNetwork merged =
-        ring_sweep(comm, estimator, ranked, threshold, config, &pairs);
-    if (comm.rank() == 0) {  // only rank 0 touches the shared result
+    std::vector<double> busy;
+    GeneNetwork merged = ring_sweep(comm, estimator, ranked, threshold, config,
+                                    &pairs, /*cancel=*/nullptr, &busy);
+    if (comm.rank() == 0) {
       network = std::move(merged);
       pairs_per_rank = std::move(pairs);
+      busy_per_rank = std::move(busy);
     }
   });
 
@@ -238,14 +316,20 @@ GeneNetwork cluster_compute_network(const BsplineMi& estimator,
   if (stats != nullptr) {
     stats->ranks = ranks;
     stats->transport = transport_kind_name(kind);
+    stats->balance = lease ? "lease" : "static";
     stats->bytes_transferred = cluster->bytes_transferred();
     stats->messages = cluster->messages_sent();
     stats->bytes_per_rank.clear();
     for (const PeerTraffic& rank : cluster->rank_traffic())
       stats->bytes_per_rank.push_back(rank.bytes_sent);
     stats->pairs_per_rank = pairs_per_rank;
+    stats->busy_seconds_per_rank = busy_per_rank;
     stats->pairs_total = total_pairs;
     stats->seconds = watch.seconds();
+    stats->leases_granted = lease_report.leases_granted;
+    stats->steals = lease_report.steals;
+    stats->tiles_reclaimed = lease_report.tiles_reclaimed;
+    stats->dead_ranks = lease_report.dead_ranks;
   }
   return network;
 }

@@ -37,15 +37,31 @@ namespace tinge::cluster {
 struct ClusterStats {
   int ranks = 0;
   std::string transport = "inproc";
+  std::string balance = "static";       ///< tile assignment: static | lease
   std::uint64_t bytes_transferred = 0;  ///< payload bytes through the ring
   std::uint64_t messages = 0;
   std::vector<std::uint64_t> bytes_per_rank;  ///< payload bytes sent, by rank
   std::vector<std::size_t> pairs_per_rank;
+  /// Wall seconds each rank spent inside tile compute (straggle included).
+  std::vector<double> busy_seconds_per_rank;
   std::size_t pairs_total = 0;
   double seconds = 0.0;
+  // Lease-mode accounting (zero under static balancing).
+  std::size_t leases_granted = 0;
+  std::size_t steals = 0;  ///< tiles computed off the static owner rank
+  std::size_t tiles_reclaimed = 0;
+  std::vector<int> dead_ranks;
 
-  /// max/min computed pairs across ranks (1.0 = perfectly balanced).
+  /// max/min computed pairs across ranks that computed any (1.0 = perfectly
+  /// balanced; 1.0 when fewer than two ranks computed pairs).
   double imbalance() const;
+  /// Predicted wall imbalance of a *static* split: max/min per-rank compute
+  /// rate (pairs per busy second) across active ranks. A 5x straggler shows
+  /// up here whether or not the balancer hid it.
+  double imbalance_pre() const;
+  /// Actual wall imbalance: max/min per-rank busy seconds across active
+  /// ranks. Under lease balancing this is what the stealing bought.
+  double imbalance_post() const;
 };
 
 /// One rank's share of the distributed sweep, callable from any Transport
@@ -55,21 +71,25 @@ struct ClusterStats {
 ///
 /// Returns the merged, finalized network on rank 0 and an empty finalized
 /// network elsewhere. If `pairs_per_rank_out` is non-null it is filled on
-/// rank 0 with per-rank computed-pair counts (left empty on other ranks).
+/// rank 0 with per-rank computed-pair counts (left empty on other ranks);
+/// `busy_seconds_out` likewise with per-rank compute-wall seconds.
 /// `cancel`, when non-null, is polled between tiles of every local sweep;
 /// a tripped flag aborts the rank with SweepAborted (see core/sweep.h).
 GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
                        const RankedMatrix& ranked, double threshold,
                        const TingeConfig& config,
                        std::vector<std::size_t>* pairs_per_rank_out = nullptr,
-                       const std::atomic<bool>* cancel = nullptr);
+                       const std::atomic<bool>* cancel = nullptr,
+                       std::vector<double>* busy_seconds_out = nullptr);
 
 /// Runs the distributed computation on `ranks` ranks over the chosen
 /// backend and returns the merged thresholded network (identical, up to
 /// edge order, to MiEngine::compute_network on the same inputs —
 /// test-enforced, for both backends). `config` supplies the kernel choice;
 /// threading inside a rank is not used (one thread per rank, as in the
-/// classic flat-MPI TINGe).
+/// classic flat-MPI TINGe). config.cluster_balance selects the sweep:
+/// "static" runs the ring above, "lease" runs the rank-0 tile-lease
+/// protocol (see lease_mi.h) over the same transport.
 GeneNetwork cluster_compute_network(
     const BsplineMi& estimator, const RankedMatrix& ranked, double threshold,
     int ranks, const TingeConfig& config, ClusterStats* stats = nullptr,

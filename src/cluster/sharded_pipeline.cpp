@@ -1,9 +1,11 @@
 #include "cluster/sharded_pipeline.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <utility>
 
+#include "cluster/lease_mi.h"
 #include "core/mi_engine.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -199,9 +201,14 @@ ShardedBuildResult sharded_build(Comm& comm, ExpressionMatrix&& expression,
 
   // Stage 4: the all-pairs MI sweep. A single-rank cluster IS the
   // single-process pipeline, so it runs the tiled multithreaded engine
-  // (checkpointing and teamed scheduling included); p > 1 runs the
-  // TINGe-classic ring, one single-threaded sweep per rank.
+  // (checkpointing and teamed scheduling included); p > 1 runs the sweep
+  // config.cluster_balance selects — the TINGe-classic static ring, or the
+  // elastic rank-0 tile-lease protocol (lease_mi.h), one single-threaded
+  // sweep per rank either way.
+  const bool lease = p > 1 && config.cluster_balance == "lease";
   std::vector<std::size_t> pairs_per_rank;
+  std::vector<double> busy_per_rank;
+  LeaseSweepReport lease_report;
   {
     const OptionalSpan span(hooks.trace, "mi_sweep");
     if (p == 1) {
@@ -228,9 +235,30 @@ ShardedBuildResult sharded_build(Comm& comm, ExpressionMatrix&& expression,
                 ? 100.0 * static_cast<double>(result.network.n_edges()) /
                       static_cast<double>(stats->pairs_computed)
                 : 0.0));
+    } else if (lease) {
+      result.network = lease_sweep(comm, estimator, ranked, result.threshold,
+                                   config, &lease_report, hooks.cancel);
+      pairs_per_rank = lease_report.pairs_per_rank;
+      busy_per_rank = lease_report.busy_seconds_per_rank;
+      if (r == 0) {
+        obs::MetricsRegistry::global().counter("cluster.lease.granted")
+            .add(lease_report.leases_granted);
+        obs::MetricsRegistry::global().counter("cluster.lease.steals")
+            .add(lease_report.steals);
+        obs::MetricsRegistry::global().counter("cluster.lease.reclaimed")
+            .add(lease_report.tiles_reclaimed);
+        if (hooks.log)
+          hooks.log(strprintf(
+              "lease sweep: %zu tiles (%zu resumed), %zu leases, %zu steals, "
+              "%zu reclaimed, %zu dead ranks",
+              lease_report.tiles_total, lease_report.tiles_resumed,
+              lease_report.leases_granted, lease_report.steals,
+              lease_report.tiles_reclaimed, lease_report.dead_ranks.size()));
+      }
     } else {
       result.network = ring_sweep(comm, estimator, ranked, result.threshold,
-                                  config, &pairs_per_rank, hooks.cancel);
+                                  config, &pairs_per_rank, hooks.cancel,
+                                  &busy_per_rank);
     }
   }
 
@@ -248,26 +276,45 @@ ShardedBuildResult sharded_build(Comm& comm, ExpressionMatrix&& expression,
   }
 
   // Traffic gather: snapshot local totals first so the gather itself is
-  // not part of the reported algorithm traffic.
+  // not part of the reported algorithm traffic. Under lease balancing the
+  // sweep may have outlived dead ranks, so rank 0 skips peers the lease
+  // master declared dead and treats a gather-time PeerFailureError as one
+  // more late death rather than a pipeline failure.
   TrafficReport own;
   own.bytes_sent = comm.transport().bytes_sent();
   own.messages_sent = comm.transport().messages_sent();
   result.cluster.ranks = p;
   result.cluster.transport = transport_kind_name(comm.transport().kind());
+  result.cluster.balance = lease ? "lease" : "static";
   result.cluster.bytes_per_rank.assign(static_cast<std::size_t>(p), 0);
   result.cluster.bytes_per_rank[static_cast<std::size_t>(r)] = own.bytes_sent;
   if (r == 0) {
     result.cluster.bytes_transferred = own.bytes_sent;
     result.cluster.messages = own.messages_sent;
     for (int src = 1; src < p; ++src) {
-      const TrafficReport peer =
-          comm.recv_vector<TrafficReport>(src, kTagTraffic).at(0);
-      result.cluster.bytes_per_rank[static_cast<std::size_t>(src)] =
-          peer.bytes_sent;
-      result.cluster.bytes_transferred += peer.bytes_sent;
-      result.cluster.messages += peer.messages_sent;
+      const bool known_dead =
+          std::find(lease_report.dead_ranks.begin(),
+                    lease_report.dead_ranks.end(),
+                    src) != lease_report.dead_ranks.end();
+      if (known_dead) continue;
+      try {
+        const TrafficReport peer =
+            comm.recv_vector<TrafficReport>(src, kTagTraffic).at(0);
+        result.cluster.bytes_per_rank[static_cast<std::size_t>(src)] =
+            peer.bytes_sent;
+        result.cluster.bytes_transferred += peer.bytes_sent;
+        result.cluster.messages += peer.messages_sent;
+      } catch (const PeerFailureError&) {
+        if (!lease) throw;
+        lease_report.dead_ranks.push_back(src);
+      }
     }
     result.cluster.pairs_per_rank = pairs_per_rank;
+    result.cluster.busy_seconds_per_rank = busy_per_rank;
+    result.cluster.leases_granted = lease_report.leases_granted;
+    result.cluster.steals = lease_report.steals;
+    result.cluster.tiles_reclaimed = lease_report.tiles_reclaimed;
+    result.cluster.dead_ranks = lease_report.dead_ranks;
     for (const std::size_t count : pairs_per_rank)
       result.pairs_total += count;
     result.cluster.pairs_total = result.pairs_total;
@@ -279,9 +326,11 @@ ShardedBuildResult sharded_build(Comm& comm, ExpressionMatrix&& expression,
   // would look like a failure to peers still mid-recv on TCP). At one rank
   // there is no peer to wait for, and publishing the self-loop transport's
   // cluster.* counters would dirty the delegated single-process run's
-  // metrics delta.
+  // metrics delta. Lease mode skips the barrier: a rank that died
+  // mid-sweep would deadlock the survivors inside it, and the lease
+  // protocol's release handshake already sequenced everyone's exit.
   if (p > 1) {
-    comm.barrier();
+    if (!lease) comm.barrier();
     comm.transport().publish_metrics();
   }
   result.seconds = watch.seconds();
@@ -293,13 +342,22 @@ ClusterManifest to_cluster_manifest(const ClusterStats& stats) {
   ClusterManifest manifest;
   manifest.transport = stats.transport;
   manifest.ranks = stats.ranks;
+  manifest.balance = stats.balance;
   manifest.bytes_transferred = stats.bytes_transferred;
   manifest.messages = stats.messages;
   manifest.bytes_per_rank = stats.bytes_per_rank;
   manifest.pairs_per_rank.reserve(stats.pairs_per_rank.size());
   for (const std::size_t pairs : stats.pairs_per_rank)
     manifest.pairs_per_rank.push_back(static_cast<std::uint64_t>(pairs));
+  manifest.busy_seconds_per_rank = stats.busy_seconds_per_rank;
   manifest.imbalance = stats.imbalance();
+  manifest.imbalance_pre = stats.imbalance_pre();
+  manifest.imbalance_post = stats.imbalance_post();
+  manifest.leases_granted = static_cast<std::uint64_t>(stats.leases_granted);
+  manifest.steals = static_cast<std::uint64_t>(stats.steals);
+  manifest.tiles_reclaimed =
+      static_cast<std::uint64_t>(stats.tiles_reclaimed);
+  manifest.dead_ranks = stats.dead_ranks;
   manifest.seconds = stats.seconds;
   return manifest;
 }

@@ -203,6 +203,11 @@ void TcpTransport::rendezvous(const TransportOptions& options) {
         backoff_ms = std::min(backoff_ms * 2.0, 200.0);
       }
     }
+    // Nagle coalescing holds a small frame back ~40 ms waiting for the
+    // delayed ACK of the previous one — fatal for the lease protocol,
+    // whose request/grant messages are a few bytes each. Every frame here
+    // is already a complete message, so flush eagerly.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     FrameHeader hello;
     hello.kind = kFrameHello;
     hello.tag = rank_;
@@ -240,6 +245,7 @@ void TcpTransport::rendezvous(const TransportOptions& options) {
       ::close(fd);  // stray connection; not one of our peers
       continue;
     }
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     Peer& peer = peers_[static_cast<std::size_t>(hello.tag)];
     peer.fd = fd;
     peer.open = true;
@@ -429,6 +435,33 @@ std::vector<std::byte> TcpTransport::wait_for(int src, int tag, bool count,
           rank_, src);
     }
   }
+}
+
+std::optional<std::vector<std::byte>> TcpTransport::try_recv(int src,
+                                                             int tag) {
+  TINGE_EXPECTS(src >= 0 && src < size_);
+  TINGE_EXPECTS(tag >= 0);
+  std::lock_guard<std::mutex> lock(mailbox_mutex_);
+  for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
+    if (it->src == src && it->tag == tag) {
+      std::vector<std::byte> payload = std::move(it->payload);
+      mailbox_.erase(it);
+      Peer& peer = peers_[static_cast<std::size_t>(src)];
+      peer.traffic.bytes_received += payload.size();
+      ++peer.traffic.messages_received;
+      return payload;
+    }
+  }
+  // Match first, then liveness — a closed peer's already-queued messages
+  // drain normally; an empty probe on a closed connection can never
+  // complete, so surface the failure now instead of on some later recv.
+  if (src != rank_ && !peers_[static_cast<std::size_t>(src)].open)
+    throw PeerFailureError(
+        strprintf("tcp transport: rank %d's connection to rank %d closed "
+                  "with no message matching tag %d",
+                  rank_, src, tag),
+        rank_, src);
+  return std::nullopt;
 }
 
 void TcpTransport::barrier() {

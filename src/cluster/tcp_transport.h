@@ -24,6 +24,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,6 +59,11 @@ class TcpTransport final : public Transport {
   std::vector<std::byte> recv(int src, int tag) override;
   std::vector<std::byte> recv(int src, int tag,
                               double timeout_seconds) override;
+
+  /// Non-blocking mailbox probe (see Transport::try_recv). Throws
+  /// PeerFailureError when the peer's connection is closed with no
+  /// matching message queued, mirroring recv.
+  std::optional<std::vector<std::byte>> try_recv(int src, int tag) override;
 
   void barrier() override;
 

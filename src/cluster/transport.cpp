@@ -137,6 +137,20 @@ class LocalTransport final : public Transport {
     return recv(src, tag);
   }
 
+  std::optional<std::vector<std::byte>> try_recv(int src, int tag) override {
+    TINGE_EXPECTS(src == 0);
+    for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
+      if (it->tag == tag) {
+        std::vector<std::byte> payload = std::move(it->payload);
+        mailbox_.erase(it);
+        traffic_.bytes_received += payload.size();
+        ++traffic_.messages_received;
+        return payload;
+      }
+    }
+    return std::nullopt;
+  }
+
   void barrier() override {}
 
   std::vector<PeerTraffic> peer_traffic() const override {

@@ -27,6 +27,7 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -142,6 +143,15 @@ class Transport {
   virtual std::vector<std::byte> recv(int src, int tag,
                                       double timeout_seconds) = 0;
 
+  /// Non-blocking probe: returns the payload of a queued message matching
+  /// (src, tag), or std::nullopt when none is queued right now. Same
+  /// matching and failure semantics as recv minus the waiting — when no
+  /// match is queued and the peer can never send one (finished rank-thread,
+  /// closed connection) this throws PeerFailureError instead of returning
+  /// nullopt, so a polling loop learns of a dead peer on its next probe.
+  /// The lease protocol's rank-0 loop is built on this.
+  virtual std::optional<std::vector<std::byte>> try_recv(int src, int tag) = 0;
+
   /// All ranks must arrive before any proceeds. Reusable. Subject to the
   /// options' default recv deadline (a rank that never arrives surfaces as
   /// TimeoutError / PeerFailureError, not a hang).
@@ -186,6 +196,12 @@ class Comm {
   std::vector<std::byte> recv(int src, int tag, double timeout_seconds) {
     TINGE_EXPECTS(tag >= 0);
     return transport_->recv(src, tag, timeout_seconds);
+  }
+
+  /// Non-blocking probe (see Transport::try_recv).
+  std::optional<std::vector<std::byte>> try_recv(int src, int tag) {
+    TINGE_EXPECTS(tag >= 0);
+    return transport_->try_recv(src, tag);
   }
 
   void barrier() { transport_->barrier(); }

@@ -26,6 +26,7 @@ void TingeConfig::validate() const {
   TINGE_EXPECTS(dpi_tolerance >= 0.0 && dpi_tolerance < 1.0);
   TINGE_EXPECTS(cluster_ranks >= 0);
   TINGE_EXPECTS(cluster_transport == "inproc" || cluster_transport == "tcp");
+  TINGE_EXPECTS(cluster_balance == "static" || cluster_balance == "lease");
 }
 
 }  // namespace tinge

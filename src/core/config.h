@@ -91,6 +91,11 @@ struct TingeConfig {
   /// Transport backend for cluster runs: "inproc" (rank-threads, simulated
   /// network) or "tcp" (real framed sockets / worker processes).
   std::string cluster_transport = "inproc";
+  /// Tile assignment for cluster runs: "static" (TINGe-classic balanced
+  /// block-pair rule) or "lease" (rank-0 tile leases with work stealing —
+  /// idle ranks pull tiles from a global ledger, so a straggler no longer
+  /// gates the sweep and checkpoints resume on any world size).
+  std::string cluster_balance = "static";
 
   // --- post-processing ----------------------------------------------------
   bool apply_dpi = false;      ///< ARACNE-style indirect-edge removal

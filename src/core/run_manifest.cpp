@@ -14,6 +14,18 @@ obs::Json u64_array(const std::vector<std::uint64_t>& values) {
   return array;
 }
 
+obs::Json f64_array(const std::vector<double>& values) {
+  obs::Json array = obs::Json::array();
+  for (const double v : values) array.push_back(obs::Json(v));
+  return array;
+}
+
+obs::Json i32_array(const std::vector<int>& values) {
+  obs::Json array = obs::Json::array();
+  for (const int v : values) array.push_back(obs::Json(v));
+  return array;
+}
+
 }  // namespace
 
 obs::Json config_to_json(const TingeConfig& config) {
@@ -38,18 +50,27 @@ obs::Json config_to_json(const TingeConfig& config) {
   json["dpi_tolerance"] = obs::Json(config.dpi_tolerance);
   json["cluster_ranks"] = obs::Json(config.cluster_ranks);
   json["cluster_transport"] = obs::Json(config.cluster_transport);
+  json["cluster_balance"] = obs::Json(config.cluster_balance);
   return json;
 }
 
 obs::Json cluster_to_json(const ClusterManifest& cluster) {
   obs::Json json = obs::Json::object();
   json["transport"] = obs::Json(cluster.transport);
+  json["balance"] = obs::Json(cluster.balance);
   json["ranks"] = obs::Json(cluster.ranks);
   json["bytes_transferred"] = obs::Json(cluster.bytes_transferred);
   json["messages"] = obs::Json(cluster.messages);
   json["bytes_per_rank"] = u64_array(cluster.bytes_per_rank);
   json["pairs_per_rank"] = u64_array(cluster.pairs_per_rank);
+  json["busy_seconds_per_rank"] = f64_array(cluster.busy_seconds_per_rank);
   json["imbalance"] = obs::Json(cluster.imbalance);
+  json["imbalance_pre"] = obs::Json(cluster.imbalance_pre);
+  json["imbalance_post"] = obs::Json(cluster.imbalance_post);
+  json["leases_granted"] = obs::Json(cluster.leases_granted);
+  json["steals"] = obs::Json(cluster.steals);
+  json["tiles_reclaimed"] = obs::Json(cluster.tiles_reclaimed);
+  json["dead_ranks"] = i32_array(cluster.dead_ranks);
   json["seconds"] = obs::Json(cluster.seconds);
   return json;
 }

@@ -26,13 +26,26 @@ inline constexpr int kManifestSchemaVersion = 1;
 /// core cannot depend on the cluster module, so the cluster pipeline maps
 /// its own stats into this struct before manifest assembly.
 struct ClusterManifest {
-  std::string transport;  ///< "inproc" or "tcp"
+  std::string transport;       ///< "inproc" or "tcp"
+  std::string balance = "static";  ///< tile assignment: "static" or "lease"
   int ranks = 0;
   std::uint64_t bytes_transferred = 0;
   std::uint64_t messages = 0;
   std::vector<std::uint64_t> bytes_per_rank;
   std::vector<std::uint64_t> pairs_per_rank;
+  std::vector<double> busy_seconds_per_rank;
   double imbalance = 1.0;  ///< max/min computed pairs across ranks
+  /// Predicted static wall imbalance (max/min per-rank compute rate) and
+  /// the actually observed one (max/min per-rank busy seconds). The
+  /// elastic-balancing CI gate compares these: lease mode must deliver
+  /// imbalance_post < imbalance_pre under an injected straggler.
+  double imbalance_pre = 1.0;
+  double imbalance_post = 1.0;
+  // Lease-mode accounting (zero under static balancing).
+  std::uint64_t leases_granted = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t tiles_reclaimed = 0;
+  std::vector<int> dead_ranks;
   double seconds = 0.0;
 };
 

@@ -1,0 +1,137 @@
+# End-to-end elastic-balancing check for the cluster runtime, run as a
+# ctest script:
+#
+#   cmake -DTINGE_CLI=<path> -DWORK_DIR=<dir> -P cluster_elastic_e2e.cmake
+#
+# Scenarios (the acceptance criteria of the tile-lease layer):
+#   * a lease-balanced run is byte-identical to the single-process engine;
+#   * with an injected 5x+ straggler, lease balancing must actually move
+#     work: the manifest's imbalance_post must come in under its
+#     imbalance_pre, and under the static run's imbalance_post on the same
+#     seed (the CI gate);
+#   * a lease run whose rank 0 is killed mid-sweep leaves a checkpoint
+#     journal that resumes on a GROWN (4 -> 8) and a SHRUNK (4 -> 2) world
+#     size, byte-identical to the single-process network, under inproc and
+#     tcp transports alike.
+
+if(NOT TINGE_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DTINGE_CLI=... -DWORK_DIR=... -P cluster_elastic_e2e.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Large enough that healthy ranks accumulate measurable busy time (~91
+# tiles): the imbalance gate compares busy-second ratios, which drown in
+# clock noise when every tile is sub-millisecond and the plan is tiny.
+set(COMMON --synthetic=200 --permutations=300 --alpha=0.01 --tile=16 --quiet)
+set(STRAGGLER --fault=rank=1,tile-delay-ms=20)
+
+function(run_cli)
+  execute_process(COMMAND "${TINGE_CLI}" ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "tinge_cli ${ARGN} failed (exit ${rc}):\n${out}\n${err}")
+  endif()
+endfunction()
+
+function(require_identical reference candidate)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          "${reference}" "${candidate}"
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${candidate} differs from ${reference}")
+  endif()
+endfunction()
+
+function(require_manifest_key path key)
+  file(READ "${path}" manifest)
+  string(FIND "${manifest}" "${key}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "${path} is missing ${key}")
+  endif()
+endfunction()
+
+# Pulls a numeric field out of a run manifest into `var` in the caller.
+function(manifest_number path key var)
+  file(READ "${path}" manifest)
+  string(REGEX MATCH "\"${key}\": ([0-9.eE+-]+)" _ "${manifest}")
+  if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR "could not extract ${key} from ${path}")
+  endif()
+  set(${var} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+
+# Kills the run (expected nonzero exit), then checks the journal survived.
+function(run_killed journal)
+  execute_process(COMMAND "${TINGE_CLI}" ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  TIMEOUT 120)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "killed run reported success:\n${out}")
+  endif()
+  if(NOT EXISTS "${journal}")
+    message(FATAL_ERROR "killed run left no journal at ${journal}:\n${err}")
+  endif()
+endfunction()
+
+# Baseline: the single-process network this seeded input must produce.
+run_cli(${COMMON} --out=${WORK_DIR}/base.tsv)
+
+# ---- straggler gate: lease must beat static on the same seed ---------------
+
+run_cli(${COMMON} --cluster=4 --balance=static ${STRAGGLER}
+        --out=${WORK_DIR}/static.tsv --metrics-out=${WORK_DIR}/static.json)
+run_cli(${COMMON} --cluster=4 --balance=lease ${STRAGGLER}
+        --out=${WORK_DIR}/lease.tsv --metrics-out=${WORK_DIR}/lease.json)
+require_identical(${WORK_DIR}/base.tsv ${WORK_DIR}/static.tsv)
+require_identical(${WORK_DIR}/base.tsv ${WORK_DIR}/lease.tsv)
+require_manifest_key(${WORK_DIR}/lease.json "\"balance\": \"lease\"")
+require_manifest_key(${WORK_DIR}/lease.json "\"leases_granted\"")
+
+manifest_number(${WORK_DIR}/lease.json imbalance_pre lease_pre)
+manifest_number(${WORK_DIR}/lease.json imbalance_post lease_post)
+manifest_number(${WORK_DIR}/lease.json steals lease_steals)
+manifest_number(${WORK_DIR}/static.json imbalance_post static_post)
+if(NOT lease_post LESS lease_pre)
+  message(FATAL_ERROR "lease balancing did not absorb the straggler: "
+          "imbalance_post ${lease_post} >= imbalance_pre ${lease_pre}")
+endif()
+if(NOT lease_post LESS static_post)
+  message(FATAL_ERROR "lease imbalance_post ${lease_post} is no better than "
+          "static's ${static_post} on the same straggler")
+endif()
+if(lease_steals EQUAL 0)
+  message(FATAL_ERROR "lease run under a straggler recorded zero steals")
+endif()
+
+# ---- elastic resume: kill rank 0 mid-sweep, resume on another world --------
+
+foreach(transport inproc tcp)
+  set(journal ${WORK_DIR}/${transport}.ckpt)
+  foreach(resume_ranks 8 2)
+    # The tile-delay keeps rank 0 slow enough that grant traffic (not its
+    # own compute) carries its op count to the kill — so the kill lands
+    # mid-sweep with tiles still outstanding, not in the release handshake.
+    run_killed(${journal} ${COMMON} --cluster=4 --transport=${transport}
+               --balance=lease --checkpoint=${journal}
+               --fault=rank=0,tile-delay-ms=15,kill-after=20,mode=throw
+               --out=${WORK_DIR}/killed.tsv)
+    # The journal binds to (dataset, kernel, tile grid) — not the world
+    # size — so 4-rank leftovers resume on ${resume_ranks} ranks.
+    run_cli(${COMMON} --cluster=${resume_ranks} --transport=${transport}
+            --balance=lease --checkpoint=${journal}
+            --out=${WORK_DIR}/resumed.tsv)
+    require_identical(${WORK_DIR}/base.tsv ${WORK_DIR}/resumed.tsv)
+    if(EXISTS "${journal}")
+      message(FATAL_ERROR "journal not removed after successful resume")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "cluster elastic e2e: straggler gate held, 4->8 and 4->2 "
+        "resumes byte-identical on inproc and tcp")
