@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
 
   const bench::RandomRanks data(n, m);
   const BsplineMi estimator(10, 3, m);
+  const BsplineStat statistic(estimator);
   TingeConfig config;
   const double threshold = 0.033;  // ~1% tail of the m=512 null
 
@@ -79,7 +80,7 @@ int main(int argc, char** argv) {
     for (int ranks = 2; ranks <= max_ranks; ranks *= 2) {
       cluster::ClusterStats stats;
       const GeneNetwork network = cluster::cluster_compute_network(
-          estimator, data.ranked(), threshold, ranks, config, &stats, kind);
+          statistic, data.ranked(), threshold, ranks, config, &stats, kind);
       table.add_row(
           {strprintf("%d-rank cluster", ranks), stats.transport,
            strprintf("%.1f",
@@ -155,7 +156,7 @@ int main(int argc, char** argv) {
       const auto rank_body = [&](cluster::Comm& endpoint) {
         if (balance == "lease") {
           cluster::LeaseSweepReport report;
-          cluster::lease_sweep(endpoint, estimator, data.ranked(), threshold,
+          cluster::lease_sweep(endpoint, statistic, data.ranked(), threshold,
                                pass_config, &report);
           if (comm.rank() == 0) {
             stats.pairs_per_rank = std::move(report.pairs_per_rank);
@@ -168,7 +169,7 @@ int main(int argc, char** argv) {
         }
         std::vector<std::size_t> pairs;
         std::vector<double> busy;
-        cluster::ring_sweep(endpoint, estimator, data.ranked(), threshold,
+        cluster::ring_sweep(endpoint, statistic, data.ranked(), threshold,
                             pass_config, &pairs, /*cancel=*/nullptr, &busy);
         if (comm.rank() == 0) {
           stats.pairs_per_rank = std::move(pairs);

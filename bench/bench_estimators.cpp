@@ -7,14 +7,17 @@
 //          (tanh) regulatory response, where correlation underperforms.
 // Panel 3: single-thread cost of each estimator.
 #include <cmath>
+#include <memory>
 
 #include "bench_common.h"
 #include "core/mi_engine.h"
+#include "core/pair_statistic.h"
 #include "graph/metrics.h"
 #include "mi/bspline_mi.h"
 #include "mi/correlation.h"
 #include "mi/histogram_mi.h"
 #include "mi/ksg_mi.h"
+#include "mi/phi_mixing.h"
 #include "parallel/thread_pool.h"
 #include "stats/gaussian.h"
 #include "util/args.h"
@@ -69,20 +72,6 @@ void accuracy_panel(std::size_t m) {
   std::printf("\n");
 }
 
-GeneNetwork score_network_with(
-    const ExpressionMatrix& matrix,
-    const std::function<float(std::span<const float>, std::span<const float>)>&
-        score) {
-  GeneNetwork network(matrix.gene_names());
-  for (std::size_t i = 0; i < matrix.n_genes(); ++i)
-    for (std::size_t j = i + 1; j < matrix.n_genes(); ++j)
-      network.add_edge(static_cast<std::uint32_t>(i),
-                       static_cast<std::uint32_t>(j),
-                       score(matrix.row(i), matrix.row(j)));
-  network.finalize();
-  return network;
-}
-
 void bins_sweep_panel(std::size_t m) {
   std::printf("Panel 1b: bins sweep — bias at independence vs fidelity at "
               "rho=0.6 (m=%zu, k=3, mean of 5 trials; suggest_bins=%d)\n",
@@ -116,35 +105,10 @@ void recovery_panel(std::size_t genes, std::size_t samples) {
   const double chance = static_cast<double>(dataset.truth.n_edges()) /
                         static_cast<double>(genes * (genes - 1) / 2);
 
-  // B-spline MI scores via the engine (dense).
+  // Every estimator scores through the same lattice the pipeline exposes
+  // as --estimator=...: make_pair_statistic + the engine's dense sweep.
   const RankedMatrix ranked(dataset.expression);
-  const BsplineMi estimator(10, 3, samples);
-  const MiEngine engine(estimator, ranked);
   par::ThreadPool pool(par::detect_host_topology().total_threads());
-  TingeConfig config;
-  const auto dense = engine.compute_dense(config, pool);
-  GeneNetwork mi_network(dataset.expression.gene_names());
-  for (std::size_t i = 0; i < genes; ++i)
-    for (std::size_t j = i + 1; j < genes; ++j)
-      mi_network.add_edge(static_cast<std::uint32_t>(i),
-                          static_cast<std::uint32_t>(j),
-                          dense[i * genes + j]);
-  mi_network.finalize();
-
-  const GeneNetwork hist_network = score_network_with(
-      dataset.expression, [&](auto x, auto y) {
-        return static_cast<float>(
-            histogram_mi_from_ranks(rank_order(x), rank_order(y), 10));
-      });
-  const GeneNetwork pearson_network = score_network_with(
-      dataset.expression, [](auto x, auto y) {
-        return static_cast<float>(std::fabs(pearson_correlation(x, y)));
-      });
-  const GeneNetwork spearman_network = score_network_with(
-      dataset.expression, [](auto x, auto y) {
-        return static_cast<float>(std::fabs(spearman_correlation(x, y)));
-      });
-
   Table table({"estimator", "AUPR", "vs chance", "AUROC"});
   const auto add = [&](const char* name, const GeneNetwork& network) {
     const double aupr = average_precision(network, dataset.truth);
@@ -152,10 +116,24 @@ void recovery_panel(std::size_t genes, std::size_t samples) {
                    strprintf("%.1fx", aupr / chance),
                    strprintf("%.3f", auroc(network, dataset.truth))});
   };
-  add("B-spline MI (b=10,k=3)", mi_network);
-  add("histogram MI (b=10)", hist_network);
-  add("|Pearson|", pearson_network);
-  add("|Spearman|", spearman_network);
+  for (const EstimatorKind kind :
+       {EstimatorKind::Bspline, EstimatorKind::Histogram, EstimatorKind::Ksg,
+        EstimatorKind::Pearson, EstimatorKind::Spearman, EstimatorKind::Phi}) {
+    TingeConfig config;
+    config.estimator = kind;
+    const std::unique_ptr<PairStatistic> statistic =
+        make_pair_statistic(config, ranked, &dataset.expression);
+    const MiEngine engine(*statistic, ranked);
+    const auto dense = engine.compute_dense(config, pool);
+    GeneNetwork network(dataset.expression.gene_names());
+    for (std::size_t i = 0; i < genes; ++i)
+      for (std::size_t j = i + 1; j < genes; ++j)
+        network.add_edge(static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(j),
+                         dense[i * genes + j]);
+    network.finalize();
+    add(estimator_name(kind), network);
+  }
   table.print();
   std::printf("chance AUPR = %.4f\n\n", chance);
 }
@@ -200,6 +178,10 @@ void cost_panel(std::size_t m) {
   });
   time_it("Spearman", [&](std::size_t i, std::size_t j) {
     return spearman_correlation(values[i], values[j]);
+  });
+  time_it("phi-mixing (b=10)", [&](std::size_t i, std::size_t j) {
+    return phi_mixing_symmetric(data.ranked().ranks(i),
+                                data.ranked().ranks(j), 10);
   });
   time_it("KSG k=4 (O(m^2))", [&](std::size_t i, std::size_t j) {
     return ksg_mi(values[i], values[j], 4);

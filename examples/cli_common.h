@@ -35,7 +35,20 @@ inline void add_dataset_options(ArgParser& args) {
 
 inline void add_pipeline_options(ArgParser& args) {
   const TingeConfig defaults;
-  args.add("bins", "B-spline histogram bins",
+  args.add("estimator",
+           "pair statistic: bspline|histogram|ksg|pearson|spearman|phi",
+           std::string(estimator_name(defaults.estimator)));
+  args.add("consensus",
+           "bootstrap resamples B for consensus mode (0 = off)",
+           strprintf("%zu", defaults.consensus_resamples));
+  args.add("consensus-estimators",
+           "comma-separated estimators voting per resample (empty = "
+           "--estimator only)",
+           defaults.consensus_estimators);
+  args.add("consensus-min",
+           "keep consensus edges with frequency >= this",
+           strprintf("%g", defaults.consensus_min_frequency));
+  args.add("bins", "histogram/B-spline/phi bins",
            strprintf("%d", defaults.bins));
   args.add("order", "B-spline order", strprintf("%d", defaults.spline_order));
   args.add("alpha", "permutation-test significance level",
@@ -122,6 +135,11 @@ inline ExpressionMatrix load_dataset(const ArgParser& args, bool quiet) {
 /// std::invalid_argument on an unknown kernel name.
 inline TingeConfig config_from_args(const ArgParser& args) {
   TingeConfig config;
+  config.estimator = parse_estimator(args.get("estimator"));
+  config.consensus_resamples =
+      static_cast<std::size_t>(args.get_int("consensus"));
+  config.consensus_estimators = args.get("consensus-estimators");
+  config.consensus_min_frequency = args.get_double("consensus-min");
   config.bins = static_cast<int>(args.get_int("bins"));
   config.spline_order = static_cast<int>(args.get_int("order"));
   config.alpha = args.get_double("alpha");

@@ -1,12 +1,22 @@
 // Network recovery study: generate a GRN with known ground truth, infer
 // networks with the B-spline MI pipeline and the baseline estimators, and
 // compare precision/recall/AUPR — including the effect of DPI filtering.
+//
+// The baselines go through the same PairStatistic lattice the pipeline
+// uses (--estimator=...), so this doubles as a smoke test that every
+// estimator kind scores the same dataset through MiEngine.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
+#include "core/mi_engine.h"
 #include "core/network_builder.h"
+#include "core/pair_statistic.h"
 #include "graph/metrics.h"
-#include "mi/correlation.h"
+#include "parallel/thread_pool.h"
+#include "preprocess/rank_transform.h"
 #include "synth/expression.h"
 #include "util/args.h"
 #include "util/str.h"
@@ -41,7 +51,7 @@ int main(int argc, char** argv) {
               n, m, dataset.truth.n_edges(), chance);
 
   Table table({"method", "edges", "precision", "recall", "F1", "AUPR", "AUROC"});
-  const auto score = [&](const char* name, const GeneNetwork& network) {
+  const auto score = [&](const std::string& name, const GeneNetwork& network) {
     const Confusion c = compare_networks(network, dataset.truth);
     table.add_row({name, std::to_string(network.n_edges()),
                    strprintf("%.3f", c.precision()),
@@ -63,25 +73,21 @@ int main(int argc, char** argv) {
   score("  + DPI filtering",
         NetworkBuilder(config).build(dataset.expression).network);
 
-  // 3. Correlation baselines thresholded to the same edge budget as (1).
+  // 3. Baseline estimators thresholded to the same edge budget as (1).
+  // Each goes through the estimator lattice — the same selection the
+  // pipeline exposes as --estimator=... — instead of ad-hoc scoring code.
   config.apply_dpi = false;
   const std::size_t budget =
       NetworkBuilder(config).build(dataset.expression).network.n_edges();
-  const auto correlation_network = [&](bool spearman) {
-    GeneNetwork network(dataset.expression.gene_names());
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double r =
-            spearman ? spearman_correlation(dataset.expression.row(i),
-                                            dataset.expression.row(j))
-                     : pearson_correlation(dataset.expression.row(i),
-                                           dataset.expression.row(j));
-        network.add_edge(static_cast<std::uint32_t>(i),
-                         static_cast<std::uint32_t>(j),
-                         static_cast<float>(std::fabs(r)));
-      }
-    }
-    network.finalize();
+  const RankedMatrix ranked(dataset.expression);
+  par::ThreadPool& pool = par::ThreadPool::global();
+  const auto estimator_network = [&](EstimatorKind kind) {
+    TingeConfig member = config;
+    member.estimator = kind;
+    const std::unique_ptr<PairStatistic> statistic =
+        make_pair_statistic(member, ranked, &dataset.expression);
+    const GeneNetwork network =
+        MiEngine(*statistic, ranked).compute_network(0.0, member, pool);
     // Keep the strongest `budget` edges for a like-for-like comparison.
     std::vector<Edge> edges(network.edges().begin(), network.edges().end());
     std::sort(edges.begin(), edges.end(),
@@ -92,8 +98,12 @@ int main(int argc, char** argv) {
     top.finalize();
     return top;
   };
-  score("|Pearson| (same edge budget)", correlation_network(false));
-  score("|Spearman| (same edge budget)", correlation_network(true));
+  for (const EstimatorKind kind :
+       {EstimatorKind::Histogram, EstimatorKind::Pearson,
+        EstimatorKind::Spearman, EstimatorKind::Phi}) {
+    score(strprintf("%s (same edge budget)", estimator_name(kind)),
+          estimator_network(kind));
+  }
 
   table.print();
   std::printf(

@@ -291,12 +291,21 @@ int main(int argc, char** argv) {
           "done: %zu genes, %zu edges, threshold %.5f nats, %.2f s total\n",
           result.genes_used, result.network.n_edges(), result.threshold,
           result.times.total);
-      std::printf("mi kernel: %s, panel width %d (%.0f pairs/s)\n",
-                  result.engine.kernel, result.engine.panel_width,
-                  result.engine.seconds > 0.0
-                      ? static_cast<double>(result.engine.pairs_computed) /
-                            result.engine.seconds
-                      : 0.0);
+      if (result.consensus.resamples > 0) {
+        std::printf("consensus: %zu resamples x %zu estimators, %zu of %zu "
+                    "candidate edges kept (%.2f s)\n",
+                    result.consensus.resamples, result.consensus.estimators,
+                    result.consensus.kept_edges,
+                    result.consensus.candidate_edges,
+                    result.consensus.seconds);
+      } else {
+        std::printf("mi kernel: %s, panel width %d (%.0f pairs/s)\n",
+                    result.engine.kernel, result.engine.panel_width,
+                    result.engine.seconds > 0.0
+                        ? static_cast<double>(result.engine.pairs_computed) /
+                              result.engine.seconds
+                        : 0.0);
+      }
       std::printf("network written to %s\n", args.get("out").c_str());
     }
     return 0;

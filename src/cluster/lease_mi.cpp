@@ -149,13 +149,13 @@ void straggle(double delay_ms) {
 /// the single-process sweep, so merge order is the only variable — and
 /// GeneNetwork::finalize sorts that away).
 template <typename RowSource>
-std::vector<Edge> compute_tile_edges(const BsplineMi& estimator,
+std::vector<Edge> compute_tile_edges(const PairStatistic& statistic,
                                      RowSource& row, const Tile& tile,
                                      const PanelPlan& panels, double threshold,
-                                     JointHistogram& scratch) {
+                                     PairScratch& scratch) {
   EdgeSink sink(threshold, /*contexts=*/1);
   SweepCounters counters;
-  detail::sweep_tile(estimator, row, tile, panels, /*phase=*/0, /*stride=*/1,
+  detail::sweep_tile(statistic, row, tile, panels, /*phase=*/0, /*stride=*/1,
                      scratch, counters, sink, /*tid=*/0);
   return sink.take_all();
 }
@@ -178,12 +178,12 @@ int static_tile_owner(const Tile& tile, std::size_t n_genes, int ranks) {
 }
 
 template <typename RowSource>
-GeneNetwork lease_worker(Comm& comm, const BsplineMi& estimator,
+GeneNetwork lease_worker(Comm& comm, const PairStatistic& statistic,
                          RowSource& row, const RankedMatrix& ranked,
                          const SweepPlan& plan, const PanelPlan& panels,
                          double threshold, double straggle_ms,
                          const std::atomic<bool>* cancel) {
-  JointHistogram scratch = estimator.make_scratch();
+  const std::unique_ptr<PairScratch> scratch = statistic.make_scratch();
   while (true) {
     comm.send(0, nullptr, 0, kTagLeaseRequest);
     const std::vector<std::uint64_t> granted =
@@ -194,9 +194,9 @@ GeneNetwork lease_worker(Comm& comm, const BsplineMi& estimator,
         throw SweepAborted();
       const Stopwatch tile_watch;
       straggle(straggle_ms);
-      const std::vector<Edge> edges =
-          compute_tile_edges(estimator, row, plan.tile(static_cast<std::size_t>(t)),
-                             panels, threshold, scratch);
+      const std::vector<Edge> edges = compute_tile_edges(
+          statistic, row, plan.tile(static_cast<std::size_t>(t)), panels,
+          threshold, *scratch);
       const auto busy_us =
           static_cast<std::uint64_t>(tile_watch.seconds() * 1e6);
       const std::vector<std::byte> wire = pack_tile_done(t, busy_us, edges);
@@ -209,7 +209,7 @@ GeneNetwork lease_worker(Comm& comm, const BsplineMi& estimator,
 }
 
 template <typename RowSource>
-GeneNetwork lease_master(Comm& comm, const BsplineMi& estimator,
+GeneNetwork lease_master(Comm& comm, const PairStatistic& statistic,
                          RowSource& row, const RankedMatrix& ranked,
                          const SweepPlan& plan, const PanelPlan& panels,
                          double threshold, const TingeConfig& config,
@@ -218,20 +218,21 @@ GeneNetwork lease_master(Comm& comm, const BsplineMi& estimator,
   const int p = comm.size();
   const std::size_t n = ranked.n_genes();
 
-  // Partition-independent resume: the signature binds (dataset, kernel
-  // basis, tile grid, threshold) only — no world size — so journals from
-  // any rank count, the p == 1 engine included, seed this ledger, and a
-  // journal this run writes resumes on any world size.
-  // Basis parameters come from the estimator, exactly as the p == 1
+  // Partition-independent resume: the signature binds (dataset, statistic
+  // parameters, tile grid, threshold) only — no world size — so journals
+  // from any rank count, the p == 1 engine included, seed this ledger, and
+  // a journal this run writes resumes on any world size.
+  // Signature parameters come from the statistic, exactly as the p == 1
   // engine's checkpointed path derives them, so the two journal families
-  // are interchangeable even when config and estimator disagree.
+  // are interchangeable even when config and statistic disagree.
   RunSignature signature;
   signature.n_genes = n;
   signature.n_samples = ranked.n_samples();
   signature.tile_size = config.tile_size;
-  signature.bins = static_cast<std::uint32_t>(estimator.basis().bins());
-  signature.order = static_cast<std::uint32_t>(estimator.basis().order());
+  signature.bins = statistic.signature_bins();
+  signature.order = statistic.signature_order();
   signature.threshold = threshold;
+  signature.estimator = static_cast<std::uint32_t>(statistic.kind());
   ResumeState resume;
   std::unique_ptr<CheckpointWriter> writer;
   if (!config.checkpoint_path.empty()) {
@@ -256,7 +257,7 @@ GeneNetwork lease_master(Comm& comm, const BsplineMi& estimator,
   std::vector<int> dead_ranks;
   std::size_t steals = 0;
   std::size_t pairs_computed = 0;
-  JointHistogram scratch = estimator.make_scratch();
+  const std::unique_ptr<PairScratch> scratch = statistic.make_scratch();
 
   const auto mark_dead = [&](int src) {
     if (dead[static_cast<std::size_t>(src)]) return;
@@ -347,8 +348,8 @@ GeneNetwork lease_master(Comm& comm, const BsplineMi& estimator,
         const Stopwatch tile_watch;
         straggle(straggle_ms);
         const std::vector<Edge> edges = compute_tile_edges(
-            estimator, row, plan.tile(static_cast<std::size_t>(t)), panels,
-            threshold, scratch);
+            statistic, row, plan.tile(static_cast<std::size_t>(t)), panels,
+            threshold, *scratch);
         account(0, t, tile_watch.seconds(), edges);
       }
       continue;  // re-poll promptly
@@ -414,17 +415,17 @@ GeneNetwork lease_master(Comm& comm, const BsplineMi& estimator,
 
 }  // namespace
 
-GeneNetwork lease_sweep(Comm& comm, const BsplineMi& estimator,
+GeneNetwork lease_sweep(Comm& comm, const PairStatistic& statistic,
                         const RankedMatrix& ranked, double threshold,
                         const TingeConfig& config, LeaseSweepReport* report,
                         const std::atomic<bool>* cancel) {
-  TINGE_EXPECTS(estimator.n_samples() == ranked.n_samples());
+  TINGE_EXPECTS(statistic.n_samples() == ranked.n_samples());
   const std::size_t m = ranked.n_samples();
   // The GLOBAL tile plan — identical to the single-process engine's, which
   // is what makes the checkpoint journal world-size-free.
   const SweepPlan plan =
       SweepPlan::triangular(0, ranked.n_genes(), config.tile_size);
-  const PanelPlan panels = plan_panels(estimator, config);
+  const PanelPlan panels = statistic.plan(config);
   const double straggle_ms = straggle_delay_ms(comm.transport());
   if (report != nullptr) *report = {};
 
@@ -432,16 +433,16 @@ GeneNetwork lease_sweep(Comm& comm, const BsplineMi& estimator,
     const StagedRankMatrix staged(ranked);
     const auto row = [&](std::size_t g) { return staged.row(g); };
     return comm.rank() == 0
-               ? lease_master(comm, estimator, row, ranked, plan, panels,
+               ? lease_master(comm, statistic, row, ranked, plan, panels,
                               threshold, config, straggle_ms, report, cancel)
-               : lease_worker(comm, estimator, row, ranked, plan, panels,
+               : lease_worker(comm, statistic, row, ranked, plan, panels,
                               threshold, straggle_ms, cancel);
   }
   const auto row = [&](std::size_t g) { return ranked.ranks(g).data(); };
   return comm.rank() == 0
-             ? lease_master(comm, estimator, row, ranked, plan, panels,
+             ? lease_master(comm, statistic, row, ranked, plan, panels,
                             threshold, config, straggle_ms, report, cancel)
-             : lease_worker(comm, estimator, row, ranked, plan, panels,
+             : lease_worker(comm, statistic, row, ranked, plan, panels,
                             threshold, straggle_ms, cancel);
 }
 

@@ -34,9 +34,9 @@
 
 #include "cluster/transport.h"
 #include "core/config.h"
+#include "core/pair_statistic.h"
 #include "core/sweep.h"
 #include "graph/network.h"
-#include "mi/bspline_mi.h"
 #include "preprocess/rank_transform.h"
 
 namespace tinge::cluster {
@@ -139,7 +139,7 @@ struct LeaseSweepReport {
 /// with the engine's world-size-free RunSignature, an existing matching
 /// journal seeds the ledger (resume on ANY world size), and the journal is
 /// removed on success. `cancel` is polled between tiles on every rank.
-GeneNetwork lease_sweep(Comm& comm, const BsplineMi& estimator,
+GeneNetwork lease_sweep(Comm& comm, const PairStatistic& statistic,
                         const RankedMatrix& ranked, double threshold,
                         const TingeConfig& config,
                         LeaseSweepReport* report = nullptr,

@@ -131,22 +131,22 @@ Block unpack_block(const std::vector<std::uint32_t>& wire) {
 
 }  // namespace
 
-GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
+GeneNetwork ring_sweep(Comm& comm, const PairStatistic& statistic,
                        const RankedMatrix& ranked, double threshold,
                        const TingeConfig& config,
                        std::vector<std::size_t>* pairs_per_rank_out,
                        const std::atomic<bool>* cancel,
                        std::vector<double>* busy_seconds_out) {
-  TINGE_EXPECTS(estimator.n_samples() == ranked.n_samples());
+  TINGE_EXPECTS(statistic.n_samples() == ranked.n_samples());
   const std::size_t m = ranked.n_samples();
   const int r = comm.rank();
   const int p = comm.size();
-  // The same panel kernel plan as the single-chip engine: panel results are
-  // bit-identical to per-pair joint_entropy with the matching kernel and
-  // independent of tile/panel grouping, so the sharded network is
-  // byte-identical to the single-chip one even though the rank-block tiles
-  // cut the pair space differently.
-  const PanelPlan panels = plan_panels(estimator, config);
+  // The same panel plan as the single-chip engine: panel results are
+  // bit-identical to per-pair evaluation (for B-spline, to joint_entropy
+  // with the matching kernel) and independent of tile/panel grouping, so
+  // the sharded network is byte-identical to the single-chip one even
+  // though the rank-block tiles cut the pair space differently.
+  const PanelPlan panels = statistic.plan(config);
 
   // uint16 staging mirrors the single-chip engine's (bit-identical — the
   // narrower indices select the same table rows).
@@ -182,7 +182,7 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
         const Block& block = g >= hi.first_gene ? hi : lo;
         return block.ranks16.data() + (g - block.first_gene) * m;
       };
-      pairs += run_sweep(plan, estimator, row, panels, /*pool=*/nullptr,
+      pairs += run_sweep(plan, statistic, row, panels, /*pool=*/nullptr,
                          options, sink)[0]
                    .pairs;
     } else {
@@ -190,7 +190,7 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
         const Block& block = g >= hi.first_gene ? hi : lo;
         return block.ranks.data() + (g - block.first_gene) * m;
       };
-      pairs += run_sweep(plan, estimator, row, panels, /*pool=*/nullptr,
+      pairs += run_sweep(plan, statistic, row, panels, /*pool=*/nullptr,
                          options, sink)[0]
                    .pairs;
     }
@@ -268,7 +268,7 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
   return network;
 }
 
-GeneNetwork cluster_compute_network(const BsplineMi& estimator,
+GeneNetwork cluster_compute_network(const PairStatistic& statistic,
                                     const RankedMatrix& ranked,
                                     double threshold, int ranks,
                                     const TingeConfig& config,
@@ -288,7 +288,7 @@ GeneNetwork cluster_compute_network(const BsplineMi& estimator,
     if (lease) {
       LeaseSweepReport report;
       GeneNetwork merged =
-          lease_sweep(comm, estimator, ranked, threshold, config, &report);
+          lease_sweep(comm, statistic, ranked, threshold, config, &report);
       if (comm.rank() == 0) {  // only rank 0 touches the shared result
         network = std::move(merged);
         pairs_per_rank = std::move(report.pairs_per_rank);
@@ -301,7 +301,7 @@ GeneNetwork cluster_compute_network(const BsplineMi& estimator,
     }
     std::vector<std::size_t> pairs;
     std::vector<double> busy;
-    GeneNetwork merged = ring_sweep(comm, estimator, ranked, threshold, config,
+    GeneNetwork merged = ring_sweep(comm, statistic, ranked, threshold, config,
                                     &pairs, /*cancel=*/nullptr, &busy);
     if (comm.rank() == 0) {
       network = std::move(merged);

@@ -28,8 +28,8 @@
 
 #include "cluster/transport.h"
 #include "core/config.h"
+#include "core/pair_statistic.h"
 #include "graph/network.h"
-#include "mi/bspline_mi.h"
 #include "preprocess/rank_transform.h"
 
 namespace tinge::cluster {
@@ -75,7 +75,7 @@ struct ClusterStats {
 /// `busy_seconds_out` likewise with per-rank compute-wall seconds.
 /// `cancel`, when non-null, is polled between tiles of every local sweep;
 /// a tripped flag aborts the rank with SweepAborted (see core/sweep.h).
-GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
+GeneNetwork ring_sweep(Comm& comm, const PairStatistic& statistic,
                        const RankedMatrix& ranked, double threshold,
                        const TingeConfig& config,
                        std::vector<std::size_t>* pairs_per_rank_out = nullptr,
@@ -91,8 +91,9 @@ GeneNetwork ring_sweep(Comm& comm, const BsplineMi& estimator,
 /// "static" runs the ring above, "lease" runs the rank-0 tile-lease
 /// protocol (see lease_mi.h) over the same transport.
 GeneNetwork cluster_compute_network(
-    const BsplineMi& estimator, const RankedMatrix& ranked, double threshold,
-    int ranks, const TingeConfig& config, ClusterStats* stats = nullptr,
+    const PairStatistic& statistic, const RankedMatrix& ranked,
+    double threshold, int ranks, const TingeConfig& config,
+    ClusterStats* stats = nullptr,
     TransportKind kind = TransportKind::InProcess,
     const TransportOptions& options = {});
 

@@ -159,16 +159,29 @@ ShardedBuildResult sharded_build(Comm& comm, ExpressionMatrix&& expression,
                           result.imputed_cells));
   }
 
-  // Stage 2: shared weight table, built once and broadcast.
-  const BsplineMi estimator = [&] {
+  // Stage 2: the pair statistic. B-spline keeps the shared weight table,
+  // built once on rank 0 and broadcast (bit-identical ranks without
+  // re-deriving the basis); every other estimator is derived locally per
+  // rank from the (deterministic) preprocessed data, so nothing crosses
+  // the wire.
+  const std::unique_ptr<PairStatistic> statistic = [&] {
     const OptionalSpan span(hooks.trace, "weight_table");
-    return broadcast_estimator(comm, ranked, config);
+    if (config.estimator == EstimatorKind::Bspline)
+      return std::unique_ptr<PairStatistic>(std::make_unique<BsplineStat>(
+          broadcast_estimator(comm, ranked, config), config.kernel));
+    return make_pair_statistic(config, ranked, &working);
   }();
-  result.marginal_entropy = estimator.marginal_entropy();
-  if (hooks.log)
-    hooks.log(strprintf("weight table: b=%d k=%d m=%zu, H_marginal=%.4f nats",
-                        config.bins, config.spline_order, ranked.n_samples(),
-                        result.marginal_entropy));
+  result.marginal_entropy = statistic->marginal_entropy();
+  if (hooks.log) {
+    if (config.estimator == EstimatorKind::Bspline)
+      hooks.log(strprintf("weight table: b=%d k=%d m=%zu, H_marginal=%.4f "
+                          "nats",
+                          config.bins, config.spline_order,
+                          ranked.n_samples(), result.marginal_entropy));
+    else
+      hooks.log(strprintf("estimator: %s, m=%zu", statistic->name(),
+                          ranked.n_samples()));
+  }
 
   // Stage 3: universal permutation null on rank 0, threshold broadcast.
   // build_null_distribution is deterministic for a seed regardless of
@@ -178,9 +191,9 @@ ShardedBuildResult sharded_build(Comm& comm, ExpressionMatrix&& expression,
     {
       const OptionalSpan span(hooks.trace, "null");
       result.null = std::make_shared<EmpiricalDistribution>(
-          build_null_distribution(estimator, config.permutations, config.seed,
-                                  ensure_pool(), config.threads,
-                                  config.kernel));
+          build_null_distribution(*statistic, config.permutations,
+                                  config.seed, ensure_pool(),
+                                  config.threads));
     }
     {
       const OptionalSpan span(hooks.trace, "threshold");
@@ -211,8 +224,23 @@ ShardedBuildResult sharded_build(Comm& comm, ExpressionMatrix&& expression,
   LeaseSweepReport lease_report;
   {
     const OptionalSpan span(hooks.trace, "mi_sweep");
-    if (p == 1) {
-      const MiEngine engine(estimator, ranked);
+    if (p == 1 && config.consensus_resamples > 0) {
+      // Consensus mode: B bootstrap resamples x the selected estimators,
+      // every member sweep through the same engine. The stage-3 null and
+      // threshold above stay reported (they are the primary estimator's
+      // full-data values); the per-member thresholds live in
+      // result.consensus.thresholds.
+      result.network = build_consensus_network(
+          working, ranked, config, ensure_pool(), hooks.log,
+          &result.consensus);
+      pairs_per_rank.assign(1, result.consensus.pairs_computed);
+      if (hooks.log)
+        hooks.log(strprintf(
+            "consensus pass: %zu members, %zu candidate edges, %zu kept",
+            result.consensus.resamples * result.consensus.estimators,
+            result.consensus.candidate_edges, result.consensus.kept_edges));
+    } else if (p == 1) {
+      const MiEngine engine(*statistic, ranked);
       EngineStats local_stats;
       EngineStats* stats =
           hooks.engine != nullptr ? hooks.engine : &local_stats;
@@ -236,7 +264,7 @@ ShardedBuildResult sharded_build(Comm& comm, ExpressionMatrix&& expression,
                       static_cast<double>(stats->pairs_computed)
                 : 0.0));
     } else if (lease) {
-      result.network = lease_sweep(comm, estimator, ranked, result.threshold,
+      result.network = lease_sweep(comm, *statistic, ranked, result.threshold,
                                    config, &lease_report, hooks.cancel);
       pairs_per_rank = lease_report.pairs_per_rank;
       busy_per_rank = lease_report.busy_seconds_per_rank;
@@ -256,7 +284,7 @@ ShardedBuildResult sharded_build(Comm& comm, ExpressionMatrix&& expression,
               lease_report.tiles_reclaimed, lease_report.dead_ranks.size()));
       }
     } else {
-      result.network = ring_sweep(comm, estimator, ranked, result.threshold,
+      result.network = ring_sweep(comm, *statistic, ranked, result.threshold,
                                   config, &pairs_per_rank, hooks.cancel,
                                   &busy_per_rank);
     }
@@ -388,6 +416,19 @@ obs::Json make_cluster_run_manifest(const ShardedBuildResult& result,
         obs::Json(result.dpi_stats.triangles_examined);
     run_result["dpi_edges_removed"] =
         obs::Json(result.dpi_stats.edges_removed);
+  }
+  if (result.consensus.resamples > 0) {
+    obs::Json consensus = obs::Json::object();
+    consensus["resamples"] = obs::Json(result.consensus.resamples);
+    consensus["estimators"] = obs::Json(result.consensus.estimators);
+    consensus["candidate_edges"] =
+        obs::Json(result.consensus.candidate_edges);
+    consensus["kept_edges"] = obs::Json(result.consensus.kept_edges);
+    obs::Json thresholds = obs::Json::array();
+    for (const double t : result.consensus.thresholds)
+      thresholds.push_back(obs::Json(t));
+    consensus["thresholds"] = std::move(thresholds);
+    run_result["consensus"] = std::move(consensus);
   }
   manifest["result"] = std::move(run_result);
 

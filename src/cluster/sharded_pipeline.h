@@ -34,6 +34,7 @@
 #include "cluster/launcher.h"
 #include "cluster/ring_mi.h"
 #include "core/config.h"
+#include "core/consensus.h"
 #include "core/dpi.h"
 #include "core/null_distribution.h"
 #include "core/run_manifest.h"
@@ -66,6 +67,9 @@ struct ShardedBuildResult {
   std::size_t imputed_cells = 0;
   std::size_t pairs_total = 0;  ///< rank 0 only
   DpiStats dpi_stats;
+  /// Consensus-mode accounting (zero unless config.consensus_resamples > 0,
+  /// which implies the single-rank pipeline).
+  ConsensusStats consensus;
   /// Communication accounting for the whole sharded run (rank 0 only;
   /// other ranks carry just their own totals in bytes_per_rank[rank]).
   ClusterStats cluster;

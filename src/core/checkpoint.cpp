@@ -16,7 +16,22 @@ namespace tinge {
 
 namespace {
 constexpr char kMagic[4] = {'T', 'N', 'G', 'C'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 appended the estimator field to the packed signature. Version 1
+// journals (the pinned-bytes compatibility surface) predate estimator
+// selection: their 40-byte signature loads as estimator 0 — B-spline, the
+// value every pre-estimator journal implicitly carried.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion1 = 1;
+
+struct PackedSignatureV1 {
+  std::uint64_t n_genes;
+  std::uint64_t n_samples;
+  std::uint64_t tile_size;
+  std::uint32_t bins;
+  std::uint32_t order;
+  double threshold;
+};
+static_assert(sizeof(PackedSignatureV1) == 40);
 
 struct PackedSignature {
   std::uint64_t n_genes;
@@ -25,12 +40,15 @@ struct PackedSignature {
   std::uint32_t bins;
   std::uint32_t order;
   double threshold;
+  std::uint32_t estimator;
+  std::uint32_t reserved;  ///< keeps the struct padding explicit (zeroed)
 };
-static_assert(sizeof(PackedSignature) == 40);
+static_assert(sizeof(PackedSignature) == 48);
 
 PackedSignature pack(const RunSignature& s) {
   return PackedSignature{s.n_genes, s.n_samples, s.tile_size,
-                         s.bins, s.order, s.threshold};
+                         s.bins,    s.order,     s.threshold,
+                         s.estimator, 0};
 }
 
 RunSignature unpack(const PackedSignature& p) {
@@ -41,6 +59,7 @@ RunSignature unpack(const PackedSignature& p) {
   s.bins = p.bins;
   s.order = p.order;
   s.threshold = p.threshold;
+  s.estimator = p.estimator;
   return s;
 }
 
@@ -142,10 +161,18 @@ CheckpointState load_checkpoint(const std::string& path) {
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
     fail("not a TNGC checkpoint");
   if (std::fread(&version, sizeof(version), 1, file) != 1 ||
-      version != kVersion)
+      (version != kVersion && version != kVersion1))
     fail("unsupported checkpoint version");
-  if (std::fread(&packed, sizeof(packed), 1, file) != 1)
+  if (version == kVersion1) {
+    PackedSignatureV1 v1{};
+    if (std::fread(&v1, sizeof(v1), 1, file) != 1)
+      fail("truncated checkpoint header");
+    packed = PackedSignature{v1.n_genes, v1.n_samples, v1.tile_size,
+                             v1.bins,    v1.order,     v1.threshold,
+                             0,          0};
+  } else if (std::fread(&packed, sizeof(packed), 1, file) != 1) {
     fail("truncated checkpoint header");
+  }
 
   CheckpointState state;
   state.signature = unpack(packed);

@@ -31,6 +31,9 @@ struct RunSignature {
   std::uint32_t bins = 0;
   std::uint32_t order = 0;
   double threshold = 0.0;
+  /// EstimatorKind of the pair statistic, as uint32 (0 = bspline, the
+  /// value every pre-estimator journal implicitly carried).
+  std::uint32_t estimator = 0;
 
   friend bool operator==(const RunSignature&, const RunSignature&) = default;
 };

@@ -27,6 +27,11 @@ void TingeConfig::validate() const {
   TINGE_EXPECTS(cluster_ranks >= 0);
   TINGE_EXPECTS(cluster_transport == "inproc" || cluster_transport == "tcp");
   TINGE_EXPECTS(cluster_balance == "static" || cluster_balance == "lease");
+  TINGE_EXPECTS(consensus_min_frequency > 0.0 &&
+                consensus_min_frequency <= 1.0);
+  // Consensus is an ensemble over single-process engine runs; sharding one
+  // resample across ranks is not supported.
+  TINGE_EXPECTS(consensus_resamples == 0 || cluster_ranks == 0);
 }
 
 }  // namespace tinge

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/estimator_kind.h"
 #include "mi/bspline_kernels.h"
 #include "parallel/parallel_for.h"
 #include "preprocess/filter.h"
@@ -18,7 +19,11 @@ const char* knob_mode_name(KnobMode mode);
 
 struct TingeConfig {
   // --- estimator (Daub et al. defaults used by TINGe) ------------------
-  int bins = 10;          ///< B-spline histogram bins b
+  /// Which pair statistic the sweep computes (core/pair_statistic.h).
+  /// Bspline is the paper's pipeline; the others reuse the same executor
+  /// through the generic panel fallback.
+  EstimatorKind estimator = EstimatorKind::Bspline;
+  int bins = 10;          ///< histogram/B-spline/phi bins b
   int spline_order = 3;   ///< B-spline order k (degree k-1)
 
   // --- significance ------------------------------------------------------
@@ -96,6 +101,18 @@ struct TingeConfig {
   /// idle ranks pull tiles from a global ledger, so a straggler no longer
   /// gates the sweep and checkpoints resume on any world size).
   std::string cluster_balance = "static";
+
+  // --- consensus (bootstrapped ensemble; ARACNE's procedure) ---------------
+  /// B > 0 runs the single-process pipeline as an ensemble: B bootstrap
+  /// column resamples per selected estimator, each swept through the same
+  /// executor at that estimator's own null threshold; edge weights become
+  /// per-edge support frequencies in (0, 1]. 0 = plain single network.
+  std::size_t consensus_resamples = 0;
+  /// Comma-separated estimator names voting in the consensus ("bspline,
+  /// pearson"); empty = just `estimator`.
+  std::string consensus_estimators;
+  /// Minimum support frequency for an edge to survive the consensus.
+  double consensus_min_frequency = 0.5;
 
   // --- post-processing ----------------------------------------------------
   bool apply_dpi = false;      ///< ARACNE-style indirect-edge removal

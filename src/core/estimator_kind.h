@@ -1,0 +1,34 @@
+// The pair-statistic selector.
+//
+// Which dependence score run_sweep computes per gene pair is a run-level
+// choice (TingeConfig::estimator / --estimator=...). This tiny header only
+// names the choices so config.h does not have to pull in the full
+// PairStatistic machinery; the concrete estimators live in
+// core/pair_statistic.h.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tinge {
+
+/// Enumerates the pair statistics the sweep executor can run. The numeric
+/// values are persisted in checkpoint journals (RunSignature::estimator) —
+/// append new kinds, never renumber.
+enum class EstimatorKind : std::uint32_t {
+  Bspline = 0,   ///< B-spline MI (TINGe; the paper's estimator, SIMD panels)
+  Histogram,     ///< equal-frequency histogram MI
+  Ksg,           ///< Kraskov-Stoegbauer-Grassberger kNN MI (KSG-1)
+  Pearson,       ///< |Pearson correlation| on raw expression values
+  Spearman,      ///< |Spearman correlation| (Pearson on ranks)
+  Phi,           ///< phi-mixing coefficient (Singh et al.)
+};
+
+/// Stable lower-case name ("bspline", "histogram", ...).
+const char* estimator_name(EstimatorKind kind);
+
+/// Parses an --estimator value. Throws std::invalid_argument naming the
+/// accepted spellings on anything unrecognized.
+EstimatorKind parse_estimator(std::string_view name);
+
+}  // namespace tinge

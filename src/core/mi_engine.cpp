@@ -50,10 +50,12 @@ int resolved_numa_nodes(const TingeConfig& config) {
 
 // Dispatches run_sweep over the staged uint16 rows when available, the
 // classic uint32 rows otherwise — the only place the engine's row-source
-// choice is made.
+// choice is made. Staging is estimator-independent: the B-spline kernels
+// index the same table rows either way and the generic fallback widens
+// losslessly, so every statistic sees identical rank values.
 template <typename Sink>
 std::vector<SweepCounters> run_ranked_sweep(
-    const SweepPlan& plan, const BsplineMi& estimator,
+    const SweepPlan& plan, const PairStatistic& estimator,
     const RankedMatrix& ranks, const StagedRankMatrix* staged,
     const PanelPlan& panels, par::ThreadPool* pool,
     const SweepOptions& options, Sink& sink) {
@@ -140,8 +142,16 @@ EngineStats engine_stats_from_metrics(const obs::MetricsSnapshot& snapshot) {
   return stats;
 }
 
+MiEngine::MiEngine(const PairStatistic& statistic, const RankedMatrix& ranks)
+    : statistic_(statistic), ranks_(ranks) {
+  TINGE_EXPECTS(statistic.n_samples() == ranks.n_samples());
+  TINGE_EXPECTS(ranks.n_genes() >= 2);
+}
+
 MiEngine::MiEngine(const BsplineMi& estimator, const RankedMatrix& ranks)
-    : estimator_(estimator), ranks_(ranks) {
+    : owned_statistic_(std::make_unique<BsplineStat>(estimator)),
+      statistic_(*owned_statistic_),
+      ranks_(ranks) {
   TINGE_EXPECTS(estimator.n_samples() == ranks.n_samples());
   TINGE_EXPECTS(ranks.n_genes() >= 2);
 }
@@ -169,7 +179,7 @@ GeneNetwork MiEngine::compute_network(double threshold,
   const Stopwatch watch;
   const SweepPlan plan =
       SweepPlan::triangular(0, ranks_.n_genes(), config.tile_size);
-  const PanelPlan panels = plan_panels(estimator_, config);
+  const PanelPlan panels = statistic_.plan(config);
   SweepOptions options = sweep_options(config, pool);
 
   const int numa_nodes = resolved_numa_nodes(config);
@@ -185,7 +195,7 @@ GeneNetwork MiEngine::compute_network(double threshold,
 
   EdgeSink sink(threshold, options.threads);
   const std::vector<SweepCounters> counters = run_ranked_sweep(
-      plan, estimator_, ranks_, staged, panels, &pool, options, sink);
+      plan, statistic_, ranks_, staged, panels, &pool, options, sink);
 
   GeneNetwork network(ranks_.gene_names());
   sink.drain_into(network);
@@ -206,13 +216,17 @@ GeneNetwork MiEngine::compute_network_checkpointed(
   const Stopwatch watch;
   const SweepPlan plan =
       SweepPlan::triangular(0, ranks_.n_genes(), config.tile_size);
-  const PanelPlan panels = plan_panels(estimator_, config);
+  const PanelPlan panels = statistic_.plan(config);
   SweepOptions options = sweep_options(config, pool);
 
   const RunSignature signature{
-      ranks_.n_genes(), ranks_.n_samples(), config.tile_size,
-      static_cast<std::uint32_t>(estimator_.basis().bins()),
-      static_cast<std::uint32_t>(estimator_.basis().order()), threshold};
+      ranks_.n_genes(),
+      ranks_.n_samples(),
+      config.tile_size,
+      statistic_.signature_bins(),
+      statistic_.signature_order(),
+      threshold,
+      static_cast<std::uint32_t>(statistic_.kind())};
   const ResumeState resume =
       load_resume_state(checkpoint_path, signature, plan);
   options.skip = &resume.done;
@@ -240,7 +254,7 @@ GeneNetwork MiEngine::compute_network_checkpointed(
   JournalSink sink(writer, threshold, options.threads,
                    {progress, interval, plan.count(), resume.records.size()});
   const std::vector<SweepCounters> counters = run_ranked_sweep(
-      plan, estimator_, ranks_, staged, panels, &pool, options, sink);
+      plan, statistic_, ranks_, staged, panels, &pool, options, sink);
   writer.close();
 
   // All tiles journaled: assemble the network from the (now complete) file
@@ -278,7 +292,7 @@ std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
   TINGE_EXPECTS(n <= 1u << 15);  // dense mode is for study-sized problems
   std::vector<float> mi_matrix(n * n, 0.0f);
   const SweepPlan plan = SweepPlan::triangular(0, n, config.tile_size);
-  const PanelPlan panels = plan_panels(estimator_, config);
+  const PanelPlan panels = statistic_.plan(config);
   SweepOptions options = sweep_options(config, pool);
 
   const int numa_nodes = resolved_numa_nodes(config);
@@ -293,7 +307,7 @@ std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
 
   DenseSink sink(mi_matrix.data(), n);
   const std::vector<SweepCounters> counters = run_ranked_sweep(
-      plan, estimator_, ranks_, staged, panels, &pool, options, sink);
+      plan, statistic_, ranks_, staged, panels, &pool, options, sink);
 
   finalize_engine_pass(stats, panels, plan.count(), watch.seconds(), counters,
                        /*edges_emitted=*/0, /*tiles_resumed=*/0,

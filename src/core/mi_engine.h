@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/pair_statistic.h"
 #include "core/tile.h"
 #include "graph/network.h"
 #include "mi/bspline_mi.h"
@@ -58,6 +59,8 @@ struct EngineStats {
   /// Name of the kernel variant actually run (config Auto resolved through
   /// the one-shot microbenchmark; static string, never null).
   const char* kernel = "?";
+  /// Name of the pair statistic the pass evaluated (static string).
+  const char* estimator = "bspline";
   /// Panel width B actually used by the row-reuse sweep (>= 1).
   int panel_width = 0;
 
@@ -110,7 +113,12 @@ void fill_staged_first_touch(StagedRankMatrix& staged,
 class MiEngine {
  public:
   /// Both references must outlive the engine. The ranked matrix must have
-  /// the same sample count as the estimator.
+  /// the same sample count as the statistic.
+  MiEngine(const PairStatistic& statistic, const RankedMatrix& ranks);
+
+  /// B-spline convenience: wraps `estimator` in a BsplineStat internally
+  /// (kernel selection still flows through config at sweep time). Kept so
+  /// the many B-spline call sites read as before the estimator redesign.
   MiEngine(const BsplineMi& estimator, const RankedMatrix& ranks);
 
   /// All-pairs MI with thresholding: returns the network of pairs with
@@ -168,7 +176,10 @@ class MiEngine {
                                        par::ThreadPool& pool, int threads,
                                        int numa_nodes) const;
 
-  const BsplineMi& estimator_;
+  /// Set only by the B-spline convenience constructor (declared before
+  /// statistic_ so the reference can bind to it during construction).
+  std::unique_ptr<PairStatistic> owned_statistic_;
+  const PairStatistic& statistic_;
   const RankedMatrix& ranks_;
   mutable std::once_flag staged_once_;
   mutable std::unique_ptr<StagedRankMatrix> staged_;

@@ -58,6 +58,7 @@ BuildResult NetworkBuilder::run(ExpressionMatrix working) const {
   result.samples = sharded.samples;
   result.imputed_cells = sharded.imputed_cells;
   result.dpi_stats = sharded.dpi_stats;
+  result.consensus = std::move(sharded.consensus);
 
   result.pool_busy_seconds = pool.busy_seconds_all();
   result.pool_lifetime_seconds = pool.lifetime_seconds();

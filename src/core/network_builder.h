@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "core/config.h"
+#include "core/consensus.h"
 #include "core/dpi.h"
 #include "core/mi_engine.h"
 #include "core/null_distribution.h"
@@ -44,6 +45,10 @@ struct BuildResult {
   std::size_t samples = 0;         ///< experiments per gene
   std::size_t imputed_cells = 0;
   DpiStats dpi_stats;
+  /// Consensus-mode accounting (zero unless config.consensus_resamples > 0;
+  /// then `network` is the bootstrap consensus and edge weights are
+  /// frequencies, not statistic values).
+  ConsensusStats consensus;
 
   // --- observability (DESIGN.md §6c) ------------------------------------
   /// Per-run stage tree: run -> preprocess(impute, filter, rank),

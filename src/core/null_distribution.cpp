@@ -8,12 +8,12 @@
 
 namespace tinge {
 
-EmpiricalDistribution build_null_distribution(const BsplineMi& estimator,
+EmpiricalDistribution build_null_distribution(const PairStatistic& statistic,
                                               std::size_t q, std::uint64_t seed,
-                                              par::ThreadPool& pool, int threads,
-                                              MiKernel kernel) {
+                                              par::ThreadPool& pool,
+                                              int threads) {
   TINGE_EXPECTS(q >= 1);
-  const std::size_t m = estimator.n_samples();
+  const std::size_t m = statistic.n_samples();
   std::vector<double> null_sample(q, 0.0);
 
   // Deterministic independent of the thread count: draw i always uses the
@@ -29,7 +29,7 @@ EmpiricalDistribution build_null_distribution(const BsplineMi& estimator,
   par::parallel_for(
       pool, threads, 0, n_streams, 1, par::Schedule::Dynamic,
       [&](std::size_t stream_begin, std::size_t stream_end, int /*tid*/) {
-        JointHistogram scratch = estimator.make_scratch();
+        const std::unique_ptr<PairScratch> scratch = statistic.make_scratch();
         std::vector<std::uint32_t> perm_x(m), perm_y(m);
         for (std::size_t stream = stream_begin; stream < stream_end; ++stream) {
           Xoshiro256 rng(seed + 0x9e3779b97f4a7c15ULL * (stream + 1));
@@ -42,7 +42,9 @@ EmpiricalDistribution build_null_distribution(const BsplineMi& estimator,
             }
             shuffle(perm_x, rng);
             shuffle(perm_y, rng);
-            null_sample[draw] = estimator.mi(perm_x, perm_y, scratch, kernel);
+            null_sample[draw] = statistic.eval_null_pair(perm_x.data(),
+                                                         perm_y.data(),
+                                                         *scratch);
           }
         }
       });
@@ -51,6 +53,14 @@ EmpiricalDistribution build_null_distribution(const BsplineMi& estimator,
   registry.counter("null.builds").add(1);
   registry.counter("null.draws").add(q);
   return EmpiricalDistribution(std::move(null_sample));
+}
+
+EmpiricalDistribution build_null_distribution(const BsplineMi& estimator,
+                                              std::size_t q, std::uint64_t seed,
+                                              par::ThreadPool& pool,
+                                              int threads, MiKernel kernel) {
+  const BsplineStat statistic(estimator, kernel);
+  return build_null_distribution(statistic, q, seed, pool, threads);
 }
 
 double threshold_for_alpha(const EmpiricalDistribution& null, double alpha) {

@@ -15,14 +15,27 @@
 
 #include <cstdint>
 
+#include "core/pair_statistic.h"
 #include "mi/bspline_mi.h"
 #include "parallel/thread_pool.h"
 #include "stats/quantile.h"
 
 namespace tinge {
 
-/// Draws `q` null MI values (parallel over `threads` contexts of `pool`,
-/// deterministic for a given seed regardless of thread count).
+/// Draws `q` null values of the pair statistic (parallel over `threads`
+/// contexts of `pool`, deterministic for a given seed regardless of thread
+/// count). The universal-null argument survives the estimator redesign
+/// unchanged: every statistic here scores *rank* profiles, and after the
+/// rank transform every gene is a uniform-random permutation of 0..m-1
+/// under the null, so one q-draw sample serves all pairs.
+EmpiricalDistribution build_null_distribution(const PairStatistic& statistic,
+                                              std::size_t q,
+                                              std::uint64_t seed,
+                                              par::ThreadPool& pool,
+                                              int threads);
+
+/// B-spline convenience wrapper (wraps `estimator` in a BsplineStat with
+/// the given point-eval kernel): bit-identical to the pre-redesign null.
 EmpiricalDistribution build_null_distribution(const BsplineMi& estimator,
                                               std::size_t q,
                                               std::uint64_t seed,

@@ -7,6 +7,34 @@
 
 namespace tinge {
 
+PairTestResult pair_permutation_test(const PairStatistic& statistic,
+                                     std::span<const std::uint32_t> ranks_x,
+                                     std::span<const std::uint32_t> ranks_y,
+                                     std::size_t q, std::uint64_t seed,
+                                     PairScratch& scratch) {
+  TINGE_EXPECTS(q >= 1);
+  TINGE_EXPECTS(ranks_x.size() == statistic.n_samples());
+  TINGE_EXPECTS(ranks_y.size() == statistic.n_samples());
+  PairTestResult result;
+  result.mi = statistic.eval_null_pair(ranks_x.data(), ranks_y.data(), scratch);
+
+  Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> permuted(ranks_y.begin(), ranks_y.end());
+  std::size_t at_least = 0;
+  for (std::size_t draw = 0; draw < q; ++draw) {
+    shuffle(permuted, rng);
+    const double null_value =
+        statistic.eval_null_pair(ranks_x.data(), permuted.data(), scratch);
+    if (null_value >= result.mi) ++at_least;
+  }
+  result.p_value = (static_cast<double>(at_least) + 1.0) /
+                   (static_cast<double>(q) + 1.0);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("permtest.pairs_tested").add(1);
+  registry.counter("permtest.draws").add(q);
+  return result;
+}
+
 PairTestResult pair_permutation_test(const BsplineMi& estimator,
                                      std::span<const std::uint32_t> ranks_x,
                                      std::span<const std::uint32_t> ranks_y,

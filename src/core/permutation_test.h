@@ -7,17 +7,27 @@
 #include <cstdint>
 #include <span>
 
+#include "core/pair_statistic.h"
 #include "mi/bspline_mi.h"
 
 namespace tinge {
 
 struct PairTestResult {
-  double mi = 0.0;       ///< observed MI (nats)
+  double mi = 0.0;       ///< observed statistic (MI in nats for bspline)
   double p_value = 1.0;  ///< (#{null >= mi} + 1) / (q + 1)
 };
 
 /// Permutes ranks_y against ranks_x `q` times and estimates the p-value of
-/// the observed MI under the independence null.
+/// the observed statistic under the independence null. The shuffled draws
+/// score through eval_null_pair, matching the universal null's treatment
+/// of value-based statistics.
+PairTestResult pair_permutation_test(const PairStatistic& statistic,
+                                     std::span<const std::uint32_t> ranks_x,
+                                     std::span<const std::uint32_t> ranks_y,
+                                     std::size_t q, std::uint64_t seed,
+                                     PairScratch& scratch);
+
+/// B-spline convenience wrapper: bit-identical to the pre-redesign test.
 PairTestResult pair_permutation_test(const BsplineMi& estimator,
                                      std::span<const std::uint32_t> ranks_x,
                                      std::span<const std::uint32_t> ranks_y,

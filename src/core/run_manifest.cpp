@@ -30,6 +30,11 @@ obs::Json i32_array(const std::vector<int>& values) {
 
 obs::Json config_to_json(const TingeConfig& config) {
   obs::Json json = obs::Json::object();
+  json["estimator"] = obs::Json(std::string(estimator_name(config.estimator)));
+  json["consensus_resamples"] = obs::Json(config.consensus_resamples);
+  json["consensus_estimators"] = obs::Json(config.consensus_estimators);
+  json["consensus_min_frequency"] =
+      obs::Json(config.consensus_min_frequency);
   json["bins"] = obs::Json(config.bins);
   json["spline_order"] = obs::Json(config.spline_order);
   json["alpha"] = obs::Json(config.alpha);
@@ -80,6 +85,7 @@ namespace {
 obs::Json engine_to_json(const EngineStats& engine) {
   obs::Json json = obs::Json::object();
   json["kernel"] = obs::Json(std::string(engine.kernel));
+  json["estimator"] = obs::Json(std::string(engine.estimator));
   json["panel_width"] = obs::Json(engine.panel_width);
   json["pairs_computed"] = obs::Json(engine.pairs_computed);
   json["pairs_resumed"] = obs::Json(engine.pairs_resumed);
@@ -124,6 +130,7 @@ obs::Json make_run_manifest(const BuildResult& result,
 
   obs::Json resolved = obs::Json::object();
   resolved["kernel"] = obs::Json(std::string(result.engine.kernel));
+  resolved["estimator"] = obs::Json(std::string(result.engine.estimator));
   resolved["panel_width"] = obs::Json(result.engine.panel_width);
   manifest["resolved"] = std::move(resolved);
 
@@ -144,6 +151,15 @@ obs::Json make_run_manifest(const BuildResult& result,
     run_result["dpi_triangles_examined"] =
         obs::Json(result.dpi_stats.triangles_examined);
     run_result["dpi_edges_removed"] = obs::Json(result.dpi_stats.edges_removed);
+  }
+  if (result.consensus.resamples > 0) {
+    obs::Json consensus = obs::Json::object();
+    consensus["resamples"] = obs::Json(result.consensus.resamples);
+    consensus["estimators"] = obs::Json(result.consensus.estimators);
+    consensus["candidate_edges"] = obs::Json(result.consensus.candidate_edges);
+    consensus["kept_edges"] = obs::Json(result.consensus.kept_edges);
+    consensus["thresholds"] = f64_array(result.consensus.thresholds);
+    run_result["consensus"] = std::move(consensus);
   }
   manifest["result"] = std::move(run_result);
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/mi_engine.h"
+#include "data/tsv_io.h"
 #include "obs/metrics.h"
 
 namespace tinge {
@@ -135,7 +136,36 @@ ResumeState load_resume_state(const std::string& path,
                               const SweepPlan& plan) {
   ResumeState resume;
   resume.done.assign(plan.count(), 0);
-  if (!checkpoint_matches(path, signature)) return resume;
+  if (!checkpoint_matches(path, signature)) {
+    // A journal that matches in every dimension *except* the estimator is
+    // not a stale leftover — it is the same run asked to continue under a
+    // different statistic, whose scores are incomparable with the
+    // journaled edges. Fail loudly instead of quietly starting over.
+    CheckpointState mismatched;
+    bool readable = true;
+    try {
+      mismatched = load_checkpoint(path);
+    } catch (const IoError&) {
+      readable = false;  // absent/corrupt/old-format: plain fresh start
+    }
+    if (readable) {
+      RunSignature rebased = mismatched.signature;
+      rebased.estimator = signature.estimator;
+      if (rebased == signature && mismatched.signature.estimator !=
+                                      signature.estimator) {
+        throw ContractViolation(strprintf(
+            "checkpoint %s was journaled with estimator '%s' but this run "
+            "uses '%s'; remove the journal or rerun with --estimator=%s",
+            path.c_str(),
+            estimator_name(
+                static_cast<EstimatorKind>(mismatched.signature.estimator)),
+            estimator_name(static_cast<EstimatorKind>(signature.estimator)),
+            estimator_name(
+                static_cast<EstimatorKind>(mismatched.signature.estimator))));
+      }
+    }
+    return resume;
+  }
   CheckpointState state = load_checkpoint(path);
   for (TileRecord& record : state.records) {
     const auto index = static_cast<std::size_t>(record.tile_index);
@@ -172,6 +202,10 @@ void finalize_engine_pass(EngineStats* stats, const PanelPlan& plan,
   registry.counter("engine.tiles_resumed").add(tiles_resumed);
   registry.counter("engine.panels_swept").add(panels);
   registry.gauge("engine.panel_width").set(plan.width);
+  // Per-estimator attribution: which statistic swept how many pairs (the
+  // consensus ensemble runs several per process).
+  registry.counter(strprintf("engine.estimator.%s.pairs", plan.stat_name))
+      .add(pairs);
   // Only the NUMA node-queue scheduler produces these; publishing zeros
   // from every plain pass would just bloat the registry dump.
   if (tiles_local + tiles_stolen > 0) {
@@ -196,6 +230,7 @@ void finalize_engine_pass(EngineStats* stats, const PanelPlan& plan,
     stats->panels_swept = panels;
     stats->seconds = seconds;
     stats->kernel = plan.name;
+    stats->estimator = plan.stat_name;
     stats->panel_width = plan.width;
     stats->tiles_per_thread.assign(per_thread.size(), 0);
     stats->pairs_per_thread.assign(per_thread.size(), 0);

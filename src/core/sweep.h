@@ -1,15 +1,18 @@
 // The unified pair-sweep executor (DESIGN.md §6d).
 //
-// Every all-pairs MI sweep in the system — the engine's plain, checkpointed,
-// teamed and dense passes and the cluster ring sweep's local + received-block
-// computations — is the same algorithm: walk a set of tiles, sweep each
-// tile's rows as row-reuse panels through the B-spline kernel, hand each
-// pair's MI to a consumer. run_sweep() is that algorithm written once,
-// parameterized by three orthogonal policies:
+// Every all-pairs sweep in the system — the engine's plain, checkpointed,
+// teamed and dense passes and the cluster ring/lease sweeps' local +
+// received-block computations — is the same algorithm: walk a set of tiles,
+// sweep each tile's rows as row-reuse panels through a pair statistic, hand
+// each pair's score to a consumer. run_sweep() is that algorithm written
+// once, parameterized by four orthogonal policies:
 //
 //   * a TILE PLAN (SweepPlan): which tiles — the upper triangle of a gene
 //     range (single-chip engine, ring diagonal blocks) or a rectangle
 //     (ring cross-block steps);
+//   * a PAIR STATISTIC (core/pair_statistic.h): what is computed per pair —
+//     B-spline MI through the SIMD panel kernels (the paper's path), or any
+//     other estimator through the generic pair-loop fallback;
 //   * a SCHEDULER (SweepOptions): dynamic per-thread tile claiming via
 //     parallel_for, or teamed claiming where `team_size` threads share one
 //     tile's panels round-robin; plus an optional per-tile resume filter
@@ -18,9 +21,10 @@
 //     (EdgeSink), a dense matrix (DenseSink), or thresholded edges
 //     journaled per tile with throttled progress (JournalSink).
 //
-// Pair values are bit-identical across every configuration: panel results
-// equal per-pair joint_entropy with the matching kernel (test-enforced), so
-// regrouping tiles or splitting panels across a team cannot change bits.
+// B-spline pair values are bit-identical across every configuration: panel
+// results equal per-pair joint_entropy with the matching kernel
+// (test-enforced), so regrouping tiles or splitting panels across a team —
+// or routing through the PairStatistic interface — cannot change bits.
 #pragma once
 
 #include <algorithm>
@@ -37,6 +41,7 @@
 
 #include "core/checkpoint.h"
 #include "core/config.h"
+#include "core/pair_statistic.h"
 #include "core/tile.h"
 #include "graph/network.h"
 #include "mi/bspline_mi.h"
@@ -87,19 +92,14 @@ class SweepPlan {
 };
 
 // --- kernel plan ------------------------------------------------------------
+//
+// PanelPlan itself lives in core/pair_statistic.h (each statistic resolves
+// its own plan); the measured B-spline resolution stays here.
 
-/// Kernel, panel width and memory-side policies resolved once per pass,
-/// before the parallel region: config Auto goes through the one-shot
-/// microbenchmarks here (not in the hot loop), and the stats report the
-/// variant that actually ran.
-struct PanelPlan {
-  MiKernel kernel;   ///< concrete kernel handed to every panel sweep
-  int width;         ///< panel width B (1..kMaxPanelWidth)
-  const char* name;  ///< resolved variant name for EngineStats
-  bool prefetch = false;  ///< software prefetch in the panel kernels
-  bool packed = false;    ///< FMA panels read the packed table rows
-};
-
+/// Resolves kernel, panel width and memory-side knobs for a B-spline pass:
+/// config Auto goes through the one-shot microbenchmarks here (not in the
+/// hot loop), and the stats report the variant that actually ran. This is
+/// what BsplineStat::plan delegates to.
 PanelPlan plan_panels(const BsplineMi& estimator, const TingeConfig& config);
 
 // --- scheduler --------------------------------------------------------------
@@ -328,7 +328,11 @@ struct ResumeState {
 
 /// Loads the checkpoint at `path` if it exists and matches `signature`;
 /// deduplicates records (first occurrence wins) and drops indices outside
-/// the plan. Returns an all-clear state when no matching checkpoint exists.
+/// the plan. Returns an all-clear state when no matching checkpoint exists
+/// — except when the journal differs from `signature` *only* in the
+/// estimator, which is almost certainly an operator error (same data, same
+/// tiling, wrong --estimator): that throws ContractViolation naming both
+/// estimators instead of silently recomputing.
 ResumeState load_resume_state(const std::string& path,
                               const RunSignature& signature,
                               const SweepPlan& plan);
@@ -348,18 +352,20 @@ void finalize_engine_pass(EngineStats* stats, const PanelPlan& plan,
 
 namespace detail {
 
-/// Sweeps one tile's row panels through the kernel, emitting per-pair MI to
-/// the sink. `phase`/`stride` select this context's share of the panels
-/// (0/1 = all of them; member/team_size in teamed mode — panels, not
-/// pairs, are the unit of splitting so each member runs whole row-reuse
-/// sweeps).
+/// Sweeps one tile's row panels through the pair statistic, emitting each
+/// pair's score to the sink. `phase`/`stride` select this context's share
+/// of the panels (0/1 = all of them; member/team_size in teamed mode —
+/// panels, not pairs, are the unit of splitting so each member runs whole
+/// row-reuse sweeps).
 template <typename RowSource, typename Sink>
-void sweep_tile(const BsplineMi& estimator, RowSource& row, const Tile& tile,
-                const PanelPlan& plan, std::size_t phase, std::size_t stride,
-                JointHistogram& scratch, SweepCounters& counters, Sink& sink,
-                int tid) {
+void sweep_tile(const PairStatistic& estimator, RowSource& row,
+                const Tile& tile, const PanelPlan& plan, std::size_t phase,
+                std::size_t stride, PairScratch& scratch,
+                SweepCounters& counters, Sink& sink, int tid) {
   // Rank element width follows the row source: uint32 classic rows or
-  // uint16 staged rows (bit-identical, see bspline_kernels.h).
+  // uint16 staged rows (bit-identical — the B-spline kernels index the
+  // same table rows, the generic fallback widens losslessly). Overload
+  // resolution on eval_panel picks the matching variant.
   using RankT = std::remove_cv_t<
       std::remove_pointer_t<decltype(row(std::size_t{0}))>>;
   const PanelOptions options{plan.kernel, plan.prefetch, plan.packed};
@@ -371,24 +377,39 @@ void sweep_tile(const BsplineMi& estimator, RowSource& row, const Tile& tile,
       [&](std::size_t i, std::size_t j0, std::size_t width) {
         if (stride > 1 && panel_index++ % stride != phase) return;
         for (std::size_t p = 0; p < width; ++p) ry[p] = row(j0 + p);
-        estimator.mi_panel(row(i), ry, width, scratch, options, mi);
+        estimator.eval_panel(row(i), ry, width, i, j0, options, scratch, mi);
         ++counters.panels;
         counters.pairs += width;
         for (std::size_t p = 0; p < width; ++p) sink.pair(tid, i, j0 + p, mi[p]);
       });
 }
 
+/// One sweep context's working state: the statistic's per-context scratch
+/// plus this context's counter slot. The single place every scheduler body
+/// allocates from, so scratch construction policy lives here, once.
+struct SweepContext {
+  std::unique_ptr<PairScratch> scratch;
+  SweepCounters* counters;
+};
+
+inline SweepContext make_sweep_context(const PairStatistic& estimator,
+                                       par::PerThread<SweepCounters>& state,
+                                       int tid) {
+  return SweepContext{estimator.make_scratch(), &state.local(tid)};
+}
+
 }  // namespace detail
 
 /// Runs the sweep described by `plan` with the scheduler in `options`,
-/// feeding every pair's MI to `sink`. `row(g)` must return the rank profile
-/// of gene g (a const std::uint32_t* of at least n_samples entries) and be
-/// safe to call concurrently. `pool` may be null only for the inline case
-/// (threads == 1 and team_size == 1). Returns the per-context counters
-/// (one slot per participating context).
+/// feeding every pair's score to `sink`. `row(g)` must return the rank
+/// profile of gene g (a const std::uint32_t* or std::uint16_t* of at least
+/// n_samples entries) and be safe to call concurrently. `panels` is the
+/// statistic's resolved plan (estimator.plan(config)). `pool` may be null
+/// only for the inline case (threads == 1 and team_size == 1). Returns the
+/// per-context counters (one slot per participating context).
 template <typename RowSource, typename Sink>
 std::vector<SweepCounters> run_sweep(const SweepPlan& plan,
-                                     const BsplineMi& estimator,
+                                     const PairStatistic& estimator,
                                      RowSource&& row, const PanelPlan& panels,
                                      par::ThreadPool* pool,
                                      const SweepOptions& options, Sink& sink) {
@@ -429,8 +450,9 @@ std::vector<SweepCounters> run_sweep(const SweepPlan& plan,
       std::vector<NodeCursor> cursors(static_cast<std::size_t>(nodes));
 
       pool->run(contexts, [&](int tid, int /*width*/) {
-        JointHistogram scratch = estimator.make_scratch();
-        SweepCounters& local = state.local(tid);
+        const detail::SweepContext context =
+            detail::make_sweep_context(estimator, state, tid);
+        SweepCounters& local = *context.counters;
         // Home node: prefer the node of the CPU this context is actually
         // running on (tids are claimed in wake order, so the plan's
         // tid-block mapping cannot know it); fall back to that mapping
@@ -461,7 +483,7 @@ std::vector<SweepCounters> run_sweep(const SweepPlan& plan,
               ++local.tiles_stolen;
             }
             detail::sweep_tile(estimator, row, plan.tile(t), panels, 0, 1,
-                               scratch, local, sink, tid);
+                               *context.scratch, local, sink, tid);
             sink.tile_end(tid, t, 1);
           }
         }
@@ -471,8 +493,9 @@ std::vector<SweepCounters> run_sweep(const SweepPlan& plan,
       // parallel_for distributes them (grain 1).
       const auto body = [&](std::size_t tile_begin, std::size_t tile_end,
                             int tid) {
-        JointHistogram scratch = estimator.make_scratch();
-        SweepCounters& local = state.local(tid);
+        const detail::SweepContext context =
+            detail::make_sweep_context(estimator, state, tid);
+        SweepCounters& local = *context.counters;
         for (std::size_t t = tile_begin; t < tile_end; ++t) {
           if (options.cancel != nullptr &&
               options.cancel->load(std::memory_order_relaxed))
@@ -481,7 +504,7 @@ std::vector<SweepCounters> run_sweep(const SweepPlan& plan,
           sink.tile_begin(tid, t);
           ++local.tiles;
           detail::sweep_tile(estimator, row, plan.tile(t), panels, 0, 1,
-                             scratch, local, sink, tid);
+                             *context.scratch, local, sink, tid);
           sink.tile_end(tid, t, 1);
         }
       };
@@ -538,8 +561,9 @@ std::vector<SweepCounters> run_sweep(const SweepPlan& plan,
       const int team_id = tid / team_size;
       const int member = tid % team_size;
       TeamSlot& team = teams[static_cast<std::size_t>(team_id)];
-      JointHistogram scratch = estimator.make_scratch();
-      SweepCounters& local = state.local(tid);
+      const detail::SweepContext context =
+          detail::make_sweep_context(estimator, state, tid);
+      SweepCounters& local = *context.counters;
 
       while (true) {
         if (member == 0) {
@@ -569,8 +593,8 @@ std::vector<SweepCounters> run_sweep(const SweepPlan& plan,
             if (member == 0) ++local.tiles;
             detail::sweep_tile(estimator, row, plan.tile(t), panels,
                                static_cast<std::size_t>(member),
-                               static_cast<std::size_t>(team_size), scratch,
-                               local, sink, tid);
+                               static_cast<std::size_t>(team_size),
+                               *context.scratch, local, sink, tid);
           } catch (...) {
             record_error();
           }

@@ -1,0 +1,78 @@
+#include "mi/phi_mixing.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace tinge {
+
+namespace {
+
+/// phi(Y|X) from a b x b joint count table: for each occupied x-bin, the
+/// total-variation distance between P(Y | X = x) and P(Y).
+double phi_from_counts(const std::vector<double>& joint,
+                       const std::vector<double>& row_totals,
+                       const std::vector<double>& col_totals, std::size_t b,
+                       double m) {
+  double phi = 0.0;
+  for (std::size_t bx = 0; bx < b; ++bx) {
+    const double n_x = row_totals[bx];
+    if (n_x <= 0.0) continue;
+    double tv = 0.0;
+    for (std::size_t by = 0; by < b; ++by)
+      tv += std::abs(joint[bx * b + by] / n_x - col_totals[by] / m);
+    phi = std::max(phi, 0.5 * tv);
+  }
+  return phi;
+}
+
+}  // namespace
+
+double phi_mixing_from_ranks(std::span<const std::uint32_t> ranks_x,
+                             std::span<const std::uint32_t> ranks_y,
+                             int bins) {
+  TINGE_EXPECTS(ranks_x.size() == ranks_y.size());
+  TINGE_EXPECTS(ranks_x.size() >= 2);
+  TINGE_EXPECTS(bins >= 1);
+  const std::size_t m = ranks_x.size();
+  const auto b = static_cast<std::size_t>(bins);
+  std::vector<double> joint(b * b, 0.0), px(b, 0.0), py(b, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t bx = static_cast<std::size_t>(ranks_x[j]) * b / m;
+    const std::size_t by = static_cast<std::size_t>(ranks_y[j]) * b / m;
+    joint[bx * b + by] += 1.0;
+    px[bx] += 1.0;
+    py[by] += 1.0;
+  }
+  return phi_from_counts(joint, px, py, b, static_cast<double>(m));
+}
+
+double phi_mixing_symmetric(std::span<const std::uint32_t> ranks_x,
+                            std::span<const std::uint32_t> ranks_y,
+                            int bins) {
+  TINGE_EXPECTS(ranks_x.size() == ranks_y.size());
+  TINGE_EXPECTS(ranks_x.size() >= 2);
+  TINGE_EXPECTS(bins >= 1);
+  const std::size_t m = ranks_x.size();
+  const auto b = static_cast<std::size_t>(bins);
+  std::vector<double> joint(b * b, 0.0), px(b, 0.0), py(b, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t bx = static_cast<std::size_t>(ranks_x[j]) * b / m;
+    const std::size_t by = static_cast<std::size_t>(ranks_y[j]) * b / m;
+    joint[bx * b + by] += 1.0;
+    px[bx] += 1.0;
+    py[by] += 1.0;
+  }
+  const double md = static_cast<double>(m);
+  const double phi_yx = phi_from_counts(joint, px, py, b, md);
+  // phi(X|Y) reuses the same table transposed.
+  std::vector<double> transposed(b * b, 0.0);
+  for (std::size_t bx = 0; bx < b; ++bx)
+    for (std::size_t by = 0; by < b; ++by)
+      transposed[by * b + bx] = joint[bx * b + by];
+  const double phi_xy = phi_from_counts(transposed, py, px, b, md);
+  return std::max(phi_yx, phi_xy);
+}
+
+}  // namespace tinge

@@ -1,0 +1,29 @@
+// Phi-mixing coefficient as a directed dependence measure (Singh et al.,
+// "Finite-Sample Analysis of Phi-Mixing Coefficients", arXiv:1208.4066).
+//
+//   phi(Y|X) = max_x (1/2) sum_y | P(y|x) - P(y) |
+//
+// measures how much conditioning on X can move the distribution of Y: 0 iff
+// X and Y are independent, bounded by 1. Unlike MI it is a worst-case (not
+// average-case) dependence measure, so it flags variables whose influence is
+// concentrated in a few states. Estimated here on equal-frequency rank bins
+// — the same discretization the histogram MI baseline uses — and
+// symmetrized with max(phi(Y|X), phi(X|Y)) to score undirected edges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tinge {
+
+/// Directed phi-mixing coefficient phi(Y|X) from rank profiles with
+/// equal-frequency bins (sample with rank r falls in bin floor(r*bins/m)).
+/// Returns a value in [0, 1).
+double phi_mixing_from_ranks(std::span<const std::uint32_t> ranks_x,
+                             std::span<const std::uint32_t> ranks_y, int bins);
+
+/// Symmetrized edge score: max(phi(Y|X), phi(X|Y)).
+double phi_mixing_symmetric(std::span<const std::uint32_t> ranks_x,
+                            std::span<const std::uint32_t> ranks_y, int bins);
+
+}  // namespace tinge

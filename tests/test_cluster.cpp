@@ -151,6 +151,7 @@ class RingMiFixture : public ::testing::Test {
   }
 
   BsplineMi estimator_;
+  BsplineStat statistic_{estimator_};
   RankedMatrix ranked_;
 };
 
@@ -162,7 +163,7 @@ TEST_F(RingMiFixture, MatchesSingleChipEngineForEveryRankCount) {
   for (const int ranks : {1, 2, 3, 4, 7}) {
     ClusterStats stats;
     const GeneNetwork distributed = cluster_compute_network(
-        estimator_, ranked_, threshold, ranks, config, &stats);
+        statistic_, ranked_, threshold, ranks, config, &stats);
     ASSERT_EQ(distributed.n_edges(), expected.n_edges()) << ranks << " ranks";
     for (std::size_t i = 0; i < expected.n_edges(); ++i) {
       EXPECT_EQ(distributed.edges()[i].u, expected.edges()[i].u);
@@ -177,15 +178,15 @@ TEST_F(RingMiFixture, MatchesSingleChipEngineForEveryRankCount) {
 TEST_F(RingMiFixture, SingleRankMovesNoBlockData) {
   TingeConfig config;
   ClusterStats stats;
-  cluster_compute_network(estimator_, ranked_, 0.2, 1, config, &stats);
+  cluster_compute_network(statistic_, ranked_, 0.2, 1, config, &stats);
   EXPECT_EQ(stats.bytes_transferred, 0u);  // no ring, results stay on rank 0
 }
 
 TEST_F(RingMiFixture, CommunicationGrowsWithRankCount) {
   TingeConfig config;
   ClusterStats stats2, stats4;
-  cluster_compute_network(estimator_, ranked_, 0.2, 2, config, &stats2);
-  cluster_compute_network(estimator_, ranked_, 0.2, 4, config, &stats4);
+  cluster_compute_network(statistic_, ranked_, 0.2, 2, config, &stats2);
+  cluster_compute_network(statistic_, ranked_, 0.2, 4, config, &stats4);
   EXPECT_GT(stats2.bytes_transferred, 0u);
   // Ring volume ~ (P-1) * n * m * 4 bytes: quadruples 2 -> 4... at least grows.
   EXPECT_GT(stats4.bytes_transferred, stats2.bytes_transferred);
@@ -195,7 +196,7 @@ TEST_F(RingMiFixture, CommunicationGrowsWithRankCount) {
 TEST_F(RingMiFixture, LoadIsReasonablyBalanced) {
   TingeConfig config;
   ClusterStats stats;
-  cluster_compute_network(estimator_, ranked_, 0.2, 5, config, &stats);
+  cluster_compute_network(statistic_, ranked_, 0.2, 5, config, &stats);
   ASSERT_EQ(stats.pairs_per_rank.size(), 5u);
   EXPECT_LT(stats.imbalance(), 2.5);  // small blocks: diagonal skew allowed
 }
@@ -210,7 +211,7 @@ TEST_F(RingMiFixture, MoreRanksThanGenesStillCorrect) {
   TingeConfig config;
   ClusterStats stats;
   const GeneNetwork network = cluster_compute_network(
-      estimator_, ranked, -1.0, 6, config, &stats);
+      statistic_, ranked, -1.0, 6, config, &stats);
   EXPECT_EQ(network.n_edges(), 3u);  // all pairs kept at threshold < 0
   EXPECT_EQ(stats.pairs_total, 3u);
 }
@@ -223,7 +224,7 @@ TEST_F(RingMiFixture, TcpTransportMatchesSingleChipEngine) {
   for (const int ranks : {2, 4}) {
     ClusterStats stats;
     const GeneNetwork distributed =
-        cluster_compute_network(estimator_, ranked_, threshold, ranks, config,
+        cluster_compute_network(statistic_, ranked_, threshold, ranks, config,
                                 &stats, TransportKind::Tcp);
     ASSERT_EQ(distributed.n_edges(), expected.n_edges()) << ranks << " ranks";
     for (std::size_t i = 0; i < expected.n_edges(); ++i) {

@@ -1,0 +1,185 @@
+// Bootstrapped consensus networks: estimator-list parsing, seeded
+// determinism, frequency semantics, multi-estimator voting, and the
+// pipeline integration (NetworkBuilder --consensus=B, DPI on consensus
+// weights).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/consensus.h"
+#include "core/network_builder.h"
+#include "core/pair_statistic.h"
+#include "parallel/thread_pool.h"
+#include "stats/rng.h"
+#include "synth/expression.h"
+
+namespace tinge {
+namespace {
+
+TEST(ConsensusEstimatorList, EmptyStringFallsBackToConfigEstimator) {
+  TingeConfig config;
+  config.estimator = EstimatorKind::Spearman;
+  const std::vector<EstimatorKind> kinds = consensus_estimator_list(config);
+  ASSERT_EQ(kinds.size(), 1u);
+  EXPECT_EQ(kinds[0], EstimatorKind::Spearman);
+}
+
+TEST(ConsensusEstimatorList, ParsesCommaListWithSpaces) {
+  TingeConfig config;
+  config.consensus_estimators = " histogram, pearson ,phi";
+  const std::vector<EstimatorKind> kinds = consensus_estimator_list(config);
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], EstimatorKind::Histogram);
+  EXPECT_EQ(kinds[1], EstimatorKind::Pearson);
+  EXPECT_EQ(kinds[2], EstimatorKind::Phi);
+}
+
+TEST(ConsensusEstimatorList, RejectsDuplicatesAndUnknownNames) {
+  TingeConfig config;
+  config.consensus_estimators = "pearson,pearson";
+  EXPECT_THROW(consensus_estimator_list(config), std::invalid_argument);
+  config.consensus_estimators = "pearson,mic";
+  EXPECT_THROW(consensus_estimator_list(config), std::invalid_argument);
+  config.consensus_estimators = " , ,";
+  EXPECT_THROW(consensus_estimator_list(config), std::invalid_argument);
+}
+
+class ConsensusFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kGenes = 20;
+  static constexpr std::size_t kSamples = 48;
+
+  ConsensusFixture() : working_(kGenes, kSamples) {
+    Xoshiro256 rng(2024);
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      const double driver = rng.normal();
+      for (std::size_t g = 0; g < kGenes; ++g)
+        working_.at(g, s) = static_cast<float>(
+            g < 6 ? driver + 0.5 * rng.normal() : rng.normal());
+    }
+    ranked_ = RankedMatrix(working_);
+  }
+
+  TingeConfig config() const {
+    TingeConfig c;
+    c.consensus_resamples = 5;
+    c.permutations = 300;
+    c.alpha = 0.05;
+    c.threads = 2;
+    c.seed = 11;
+    return c;
+  }
+
+  ExpressionMatrix working_;
+  RankedMatrix ranked_;
+};
+
+TEST_F(ConsensusFixture, SameSeedGivesIdenticalNetworks) {
+  par::ThreadPool pool(2);
+  const TingeConfig c = config();
+  ConsensusStats first_stats;
+  const GeneNetwork first =
+      build_consensus_network(working_, ranked_, c, pool, {}, &first_stats);
+  const GeneNetwork second =
+      build_consensus_network(working_, ranked_, c, pool);
+  ASSERT_GT(first.n_edges(), 0u);
+  ASSERT_EQ(first.n_edges(), second.n_edges());
+  for (std::size_t i = 0; i < first.n_edges(); ++i) {
+    EXPECT_EQ(first.edges()[i].u, second.edges()[i].u);
+    EXPECT_EQ(first.edges()[i].v, second.edges()[i].v);
+    EXPECT_EQ(first.edges()[i].weight, second.edges()[i].weight);
+  }
+  EXPECT_EQ(first_stats.resamples, 5u);
+  EXPECT_EQ(first_stats.estimators, 1u);
+  ASSERT_EQ(first_stats.thresholds.size(), 1u);
+  EXPECT_EQ(first_stats.kept_edges, first.n_edges());
+  EXPECT_GE(first_stats.candidate_edges, first_stats.kept_edges);
+}
+
+TEST_F(ConsensusFixture, DifferentSeedsDisagree) {
+  // Not a correctness requirement in itself, but if two different seeds
+  // vote out byte-identical networks the resampling RNG is not wired in.
+  par::ThreadPool pool(2);
+  TingeConfig a = config();
+  TingeConfig b = config();
+  b.seed = 12;
+  const GeneNetwork first = build_consensus_network(working_, ranked_, a, pool);
+  const GeneNetwork second =
+      build_consensus_network(working_, ranked_, b, pool);
+  bool differs = first.n_edges() != second.n_edges();
+  for (std::size_t i = 0; !differs && i < first.n_edges(); ++i)
+    differs = !(first.edges()[i] == second.edges()[i]);
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(ConsensusFixture, EdgeWeightsAreFrequenciesAboveTheFloor) {
+  par::ThreadPool pool(2);
+  const TingeConfig c = config();
+  const GeneNetwork network =
+      build_consensus_network(working_, ranked_, c, pool);
+  ASSERT_GT(network.n_edges(), 0u);
+  for (const Edge& edge : network.edges()) {
+    EXPECT_GE(edge.weight, static_cast<float>(c.consensus_min_frequency));
+    EXPECT_LE(edge.weight, 1.0f);
+  }
+}
+
+TEST_F(ConsensusFixture, UnanimityFloorKeepsOnlyEveryRoundEdges) {
+  par::ThreadPool pool(2);
+  TingeConfig c = config();
+  const GeneNetwork majority =
+      build_consensus_network(working_, ranked_, c, pool);
+  c.consensus_min_frequency = 1.0;
+  const GeneNetwork unanimous =
+      build_consensus_network(working_, ranked_, c, pool);
+  EXPECT_LE(unanimous.n_edges(), majority.n_edges());
+  for (const Edge& edge : unanimous.edges())
+    EXPECT_EQ(edge.weight, 1.0f);
+}
+
+TEST_F(ConsensusFixture, MultipleEstimatorsVoteOnTheSameResamples) {
+  par::ThreadPool pool(2);
+  TingeConfig c = config();
+  c.consensus_estimators = "bspline,spearman";
+  ConsensusStats stats;
+  const GeneNetwork network =
+      build_consensus_network(working_, ranked_, c, pool, {}, &stats);
+  EXPECT_EQ(stats.estimators, 2u);
+  ASSERT_EQ(stats.thresholds.size(), 2u);
+  EXPECT_EQ(stats.pairs_computed,
+            5u * 2u * (kGenes * (kGenes - 1) / 2));
+  ASSERT_GT(network.n_edges(), 0u);
+  // Frequencies are counts over B*E runs: multiples of 1/10 here.
+  for (const Edge& edge : network.edges()) {
+    const double scaled = static_cast<double>(edge.weight) * 10.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-4);
+  }
+}
+
+TEST_F(ConsensusFixture, PipelineRunsConsensusAndDpiOnConsensusWeights) {
+  TingeConfig c = config();
+  const BuildResult plain = NetworkBuilder(c).build(working_);
+  EXPECT_EQ(plain.consensus.resamples, 5u);
+  EXPECT_EQ(plain.consensus.kept_edges, plain.network.n_edges());
+  ASSERT_GT(plain.network.n_edges(), 0u);
+  for (const Edge& edge : plain.network.edges()) EXPECT_LE(edge.weight, 1.0f);
+
+  c.apply_dpi = true;
+  c.dpi_tolerance = 0.0;
+  const BuildResult filtered = NetworkBuilder(c).build(working_);
+  EXPECT_EQ(filtered.consensus.resamples, 5u);
+  // DPI prunes the consensus network, so only consensus edges survive and
+  // none are added.
+  EXPECT_LE(filtered.network.n_edges(), plain.network.n_edges());
+  for (const Edge& edge : filtered.network.edges()) {
+    bool present = false;
+    for (const Edge& original : plain.network.edges())
+      present = present || (original.u == edge.u && original.v == edge.v &&
+                            original.weight == edge.weight);
+    EXPECT_TRUE(present) << edge.u << "-" << edge.v;
+  }
+}
+
+}  // namespace
+}  // namespace tinge

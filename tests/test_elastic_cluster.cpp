@@ -292,10 +292,10 @@ class ElasticClusterFixture : public ::testing::Test {
           if (own != nullptr) {
             FaultyTransport faulty(comm.transport(), *own);
             Comm endpoint(faulty);
-            return lease_sweep(endpoint, estimator_, ranked_, kThreshold,
+            return lease_sweep(endpoint, statistic_, ranked_, kThreshold,
                                config, &report);
           }
-          return lease_sweep(comm, estimator_, ranked_, kThreshold, config,
+          return lease_sweep(comm, statistic_, ranked_, kThreshold, config,
                              &report);
         }();
         if (comm.rank() == 0) {
@@ -358,6 +358,7 @@ class ElasticClusterFixture : public ::testing::Test {
   }
 
   BsplineMi estimator_;
+  BsplineStat statistic_{estimator_};
   RankedMatrix ranked_;
   TingeConfig config_;
   std::filesystem::path dir_;
@@ -453,12 +454,12 @@ TEST_F(ElasticClusterFixture, ResumeToleratesDuplicateRecordsAndTornTail) {
   const std::string journal = path("corrupt.ckpt");
   const SweepPlan plan = SweepPlan::triangular(0, kGenes, config_.tile_size);
   const PanelPlan panels = plan_panels(estimator_, config_);
-  JointHistogram scratch = estimator_.make_scratch();
+  const std::unique_ptr<PairScratch> scratch = statistic_.make_scratch();
   const auto row = [&](std::size_t g) { return ranked_.ranks(g).data(); };
   const auto tile_edges = [&](std::size_t t) {
     EdgeSink sink(kThreshold, 1);
     SweepCounters counters;
-    detail::sweep_tile(estimator_, row, plan.tile(t), panels, 0, 1, scratch,
+    detail::sweep_tile(statistic_, row, plan.tile(t), panels, 0, 1, *scratch,
                        counters, sink, 0);
     return sink.take_all();
   };
@@ -495,14 +496,14 @@ TEST_F(ElasticClusterFixture, EngineStyleJournalSeedsTheLeaseSweep) {
   const SweepPlan plan =
       SweepPlan::triangular(0, kGenes, config_.tile_size);
   const PanelPlan panels = plan_panels(estimator_, config_);
-  JointHistogram scratch = estimator_.make_scratch();
+  const std::unique_ptr<PairScratch> scratch = statistic_.make_scratch();
   const auto row = [&](std::size_t g) { return ranked_.ranks(g).data(); };
   {
     CheckpointWriter writer(journal, lease_signature());
     for (const std::size_t t : {std::size_t{0}, std::size_t{3}}) {
       EdgeSink sink(kThreshold, 1);
       SweepCounters counters;
-      detail::sweep_tile(estimator_, row, plan.tile(t), panels, 0, 1, scratch,
+      detail::sweep_tile(statistic_, row, plan.tile(t), panels, 0, 1, *scratch,
                          counters, sink, 0);
       writer.append_tile(t, sink.take_all());
     }

@@ -193,6 +193,7 @@ TEST(EngineStaging, StagedSweepMatchesClassicBitForBit) {
 TEST(ClusterStaging, RingSweepMatchesWithStagingOnAndOff) {
   const RankedMatrix ranked = random_ranked(24, 72, 31);
   const BsplineMi estimator(10, 3, 72);
+  const BsplineStat statistic(estimator);
 
   TingeConfig off;
   off.stage_ranks = false;
@@ -201,9 +202,9 @@ TEST(ClusterStaging, RingSweepMatchesWithStagingOnAndOff) {
 
   for (const int ranks : {2, 3}) {
     const GeneNetwork classic = cluster::cluster_compute_network(
-        estimator, ranked, 0.2, ranks, off);
+        statistic, ranked, 0.2, ranks, off);
     const GeneNetwork staged = cluster::cluster_compute_network(
-        estimator, ranked, 0.2, ranks, on);
+        statistic, ranked, 0.2, ranks, on);
     ASSERT_GT(classic.n_edges(), 0u);
     ASSERT_EQ(staged.n_edges(), classic.n_edges()) << ranks << " ranks";
     for (std::size_t i = 0; i < classic.n_edges(); ++i) {
@@ -271,6 +272,7 @@ TEST(NumaScheduler, NodeQueueSweepIsBitIdenticalAndWorkConserving) {
   constexpr std::size_t kSamples = 64;
   const RankedMatrix ranked = random_ranked(kGenes, kSamples, 23);
   const BsplineMi estimator(10, 3, kSamples);
+  const BsplineStat statistic(estimator);
   const SweepPlan plan = SweepPlan::triangular(0, kGenes, 8);
   const PanelPlan panels = plan_panels(estimator, TingeConfig{});
   const auto row = [&ranked](std::size_t g) {
@@ -282,7 +284,7 @@ TEST(NumaScheduler, NodeQueueSweepIsBitIdenticalAndWorkConserving) {
   flat.threads = 4;
   EdgeSink flat_sink(0.2, 4);
   const auto flat_counters =
-      run_sweep(plan, estimator, row, panels, &pool, flat, flat_sink);
+      run_sweep(plan, statistic, row, panels, &pool, flat, flat_sink);
   const std::vector<Edge> flat_edges = [&] {
     std::vector<Edge> edges = flat_sink.take_all();
     std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
@@ -297,7 +299,7 @@ TEST(NumaScheduler, NodeQueueSweepIsBitIdenticalAndWorkConserving) {
   with_numa.numa = &numa;
   EdgeSink numa_sink(0.2, 4);
   const auto numa_counters =
-      run_sweep(plan, estimator, row, panels, &pool, with_numa, numa_sink);
+      run_sweep(plan, statistic, row, panels, &pool, with_numa, numa_sink);
   std::vector<Edge> numa_edges = numa_sink.take_all();
   std::sort(numa_edges.begin(), numa_edges.end(),
             [](const Edge& a, const Edge& b) {

@@ -233,6 +233,7 @@ class SweepCancellationTest : public ::testing::Test {
   }
 
   BsplineMi estimator_;
+  BsplineStat statistic_{estimator_};
   RankedMatrix ranked_;
 };
 
@@ -246,7 +247,7 @@ TEST_F(SweepCancellationTest, FlatSchedulerAbortsBeforeClaimingTiles) {
   EdgeSink sink(0.0, /*contexts=*/1);
   const auto row = row_source();
   EXPECT_THROW(
-      run_sweep(plan, estimator_, row, panels, nullptr, options, sink),
+      run_sweep(plan, statistic_, row, panels, nullptr, options, sink),
       SweepAborted);
 }
 
@@ -275,7 +276,7 @@ TEST_F(SweepCancellationTest, FlatSchedulerStopsMidPassAndKeepsJournal) {
     JournalSink sink(writer, 0.0, /*contexts=*/1, std::move(progress));
     const auto row = row_source();
     EXPECT_THROW(
-        run_sweep(plan, estimator_, row, panels, nullptr, options, sink),
+        run_sweep(plan, statistic_, row, panels, nullptr, options, sink),
         SweepAborted);
   }
   const CheckpointState state = load_checkpoint(path);
@@ -299,7 +300,7 @@ TEST_F(SweepCancellationTest, TeamedSchedulerDrainsAllMembersOnAbort) {
   EdgeSink sink(0.0, /*contexts=*/4);
   const auto row = row_source();
   EXPECT_THROW(
-      run_sweep(plan, estimator_, row, panels, &pool, options, sink),
+      run_sweep(plan, statistic_, row, panels, &pool, options, sink),
       SweepAborted);
 }
 
