@@ -68,6 +68,10 @@ inline void add_pipeline_options(ArgParser& args) {
            std::string(kernel_name(defaults.kernel)));
   args.add("numa", "NUMA-aware tile scheduling: on|off|auto",
            std::string(knob_mode_name(defaults.numa)));
+  args.add("hetero",
+           "heterogeneous executor lanes: off|auto|kernel:threads,... "
+           "(explicit lane threads must sum to --threads)",
+           defaults.hetero);
   args.add("stage-ranks",
            "stage rank rows as uint16 when samples <= 65536: on|off",
            defaults.stage_ranks ? "on" : "off");
@@ -177,6 +181,7 @@ inline TingeConfig config_from_args(const ArgParser& args) {
         strprintf("--%s=%s: expected on|off", name, value.c_str()));
   };
   config.numa = parse_knob("numa");
+  config.hetero = args.get("hetero");
   config.prefetch = parse_knob("prefetch");
   config.stage_ranks = parse_switch("stage-ranks");
   config.packed_table = parse_knob("packed-table");

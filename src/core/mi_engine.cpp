@@ -1,11 +1,15 @@
 #include "core/mi_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "core/checkpoint.h"
 #include "core/sweep.h"
+#include "device/offload.h"
+#include "util/contracts.h"
 #include "parallel/topology.h"
+#include "util/str.h"
 #include "util/timer.h"
 
 namespace tinge {
@@ -46,6 +50,127 @@ const par::NumaLayout& cached_numa_layout() {
 int resolved_numa_nodes(const TingeConfig& config) {
   if (config.numa == KnobMode::Off) return 1;
   return cached_numa_layout().nodes;
+}
+
+// Assumed fraction of peak for the lane scheduler's *first* pass, before
+// any tile has been timed. Deliberately rough — live observe() feedback
+// replaces it within one grant batch; it only has to get the seed split
+// into the right order of magnitude.
+constexpr double kAssumedLaneEfficiency = 0.3;
+
+// Resolves config.hetero into the lane plan the sweep executor consumes:
+// per-lane panel plans (each lane sweeps with its own kernel variant),
+// contiguous context ranges summing to `threads`, and seed fractions from
+// the perf model — calibrated per lane, so a model that has already
+// observed tiles (earlier pass of this engine) predicts from measurement.
+void build_lane_plan(LanePlan& out, const TingeConfig& config,
+                     const PairStatistic& statistic, std::size_t n_samples,
+                     PerfModel& model, int threads) {
+  out.model = &model;
+  out.pair_shape.pairs = 1;
+  out.pair_shape.samples = n_samples;
+  out.pair_shape.order = statistic.signature_order() > 0
+                             ? static_cast<int>(statistic.signature_order())
+                             : config.spline_order;
+  out.pair_shape.bins = statistic.signature_bins() > 0
+                            ? static_cast<int>(statistic.signature_bins())
+                            : config.bins;
+
+  std::vector<LaneSpec> specs;
+  if (config.hetero == "auto") {
+    // The paper's two-device shape: the resolved --kernel as the fast lane,
+    // the scalar kernel as the slow one (Xeon-vs-Phi stand-ins).
+    specs.push_back(LaneSpec{config.kernel, 0});
+    specs.push_back(LaneSpec{MiKernel::Scalar, 0});
+  } else {
+    specs = parse_lane_specs(config.hetero);
+    int spec_threads = 0;
+    for (const LaneSpec& spec : specs) spec_threads += spec.threads;
+    if (spec_threads != threads) {
+      throw ContractViolation(strprintf(
+          "--hetero=%s needs %d pool contexts but the pass resolved %d",
+          config.hetero.c_str(), spec_threads, threads));
+    }
+  }
+
+  // Per-lane kernel resolution and modeled per-thread rate. lane_device
+  // narrows the host spec to the kernel's issue width, so the static model
+  // already ranks scalar below SIMD before any tile has been timed.
+  const DeviceSpec host = host_device();
+  std::vector<PanelPlan> panels;
+  std::vector<double> thread_rate;
+  for (std::size_t l = 0; l < specs.size(); ++l) {
+    TingeConfig lane_config = config;
+    lane_config.kernel = specs[l].kernel;
+    panels.push_back(statistic.plan(lane_config));
+    thread_rate.push_back(model.calibrated_gflops(
+        static_cast<int>(l), lane_device(host, specs[l].kernel), 1));
+  }
+
+  if (config.hetero == "auto") {
+    // Split the pool by predicted per-thread rate, each lane >= 1 context.
+    const double r0 = thread_rate[0];
+    const double r1 = thread_rate[1];
+    const double share =
+        r0 + r1 > 0.0 ? r0 / (r0 + r1) : 1.0 / static_cast<double>(specs.size());
+    const int t0 = std::clamp(
+        static_cast<int>(std::lround(share * static_cast<double>(threads))), 1,
+        threads - 1);
+    specs[0].threads = t0;
+    specs[1].threads = threads - t0;
+  }
+
+  std::vector<double> lane_rate;
+  for (std::size_t l = 0; l < specs.size(); ++l)
+    lane_rate.push_back(std::max(thread_rate[l], 1e-12) *
+                        static_cast<double>(specs[l].threads));
+  const std::vector<double> fractions = plan_lane_split(lane_rate);
+
+  int begin = 0;
+  for (std::size_t l = 0; l < specs.size(); ++l) {
+    SweepLane lane;
+    lane.panels = panels[l];
+    lane.begin_context = begin;
+    lane.end_context = begin + specs[l].threads;
+    begin = lane.end_context;
+    lane.predicted_fraction = fractions[l];
+    lane.label = strprintf("%s:%d", panels[l].name, specs[l].threads);
+    out.lanes.push_back(std::move(lane));
+  }
+  TINGE_ENSURES(begin == threads);
+}
+
+// Scheduler state whose lifetime must span the sweep. The engine methods
+// keep one PassSetup on the stack and let prepare_pass wire options.numa /
+// options.lanes at it — the one place the scheduler-precedence resolution
+// (teams > lanes > numa, see TingeConfig::numa) is implemented.
+struct PassSetup {
+  NumaTilePlan numa_plan;
+  LanePlan lane_plan;
+  int numa_nodes = 1;
+};
+
+void prepare_pass(PassSetup& setup, const SweepPlan& plan, std::size_t n_genes,
+                  const TingeConfig& config, const PairStatistic& statistic,
+                  std::size_t n_samples, PerfModel* lane_model,
+                  SweepOptions& options) {
+  setup.numa_nodes = resolved_numa_nodes(config);
+  if (config.hetero != "off" && options.team_size <= 1 &&
+      options.threads > 1 && plan.count() > 1) {
+    TINGE_EXPECTS(lane_model != nullptr);
+    build_lane_plan(setup.lane_plan, config, statistic, n_samples, *lane_model,
+                    options.threads);
+    if (setup.lane_plan.lanes.size() > 1) options.lanes = &setup.lane_plan;
+  }
+  // numa == Auto resolves off under teams or lanes; numa == On with either
+  // was already rejected by config.validate().
+  if (options.lanes == nullptr && setup.numa_nodes > 1 &&
+      options.team_size <= 1 && options.threads > 1) {
+    setup.numa_plan = make_numa_tile_plan(plan, n_genes, setup.numa_nodes,
+                                          options.threads,
+                                          &cached_numa_layout());
+    options.numa = &setup.numa_plan;
+  }
 }
 
 // Dispatches run_sweep over the staged uint16 rows when available, the
@@ -171,6 +296,14 @@ const StagedRankMatrix* MiEngine::staged_ranks(const TingeConfig& config,
   return staged_.get();
 }
 
+PerfModel* MiEngine::lane_model(const TingeConfig& config) const {
+  if (config.hetero == "off") return nullptr;
+  std::call_once(lane_model_once_, [&] {
+    lane_model_ = std::make_unique<PerfModel>(kAssumedLaneEfficiency);
+  });
+  return lane_model_.get();
+}
+
 GeneNetwork MiEngine::compute_network(double threshold,
                                       const TingeConfig& config,
                                       par::ThreadPool& pool,
@@ -182,16 +315,11 @@ GeneNetwork MiEngine::compute_network(double threshold,
   const PanelPlan panels = statistic_.plan(config);
   SweepOptions options = sweep_options(config, pool);
 
-  const int numa_nodes = resolved_numa_nodes(config);
-  NumaTilePlan numa_plan;
-  if (numa_nodes > 1 && options.team_size <= 1 && options.threads > 1) {
-    numa_plan =
-        make_numa_tile_plan(plan, ranks_.n_genes(), numa_nodes,
-                            options.threads, &cached_numa_layout());
-    options.numa = &numa_plan;
-  }
+  PassSetup setup;
+  prepare_pass(setup, plan, ranks_.n_genes(), config, statistic_,
+               ranks_.n_samples(), lane_model(config), options);
   const StagedRankMatrix* staged =
-      staged_ranks(config, pool, options.threads, numa_nodes);
+      staged_ranks(config, pool, options.threads, setup.numa_nodes);
 
   EdgeSink sink(threshold, options.threads);
   const std::vector<SweepCounters> counters = run_ranked_sweep(
@@ -203,7 +331,7 @@ GeneNetwork MiEngine::compute_network(double threshold,
 
   finalize_engine_pass(stats, panels, plan.count(), watch.seconds(), counters,
                        network.n_edges(), /*tiles_resumed=*/0,
-                       /*pairs_resumed=*/0);
+                       /*pairs_resumed=*/0, options.lanes);
   TINGE_ENSURES(total_pairs_swept(counters) == plan.total_pairs());
   return network;
 }
@@ -231,16 +359,11 @@ GeneNetwork MiEngine::compute_network_checkpointed(
       load_resume_state(checkpoint_path, signature, plan);
   options.skip = &resume.done;
 
-  const int numa_nodes = resolved_numa_nodes(config);
-  NumaTilePlan numa_plan;
-  if (numa_nodes > 1 && options.team_size <= 1 && options.threads > 1) {
-    numa_plan =
-        make_numa_tile_plan(plan, ranks_.n_genes(), numa_nodes,
-                            options.threads, &cached_numa_layout());
-    options.numa = &numa_plan;
-  }
+  PassSetup setup;
+  prepare_pass(setup, plan, ranks_.n_genes(), config, statistic_,
+               ranks_.n_samples(), lane_model(config), options);
   const StagedRankMatrix* staged =
-      staged_ranks(config, pool, options.threads, numa_nodes);
+      staged_ranks(config, pool, options.threads, setup.numa_nodes);
 
   // Rewrite the journal fresh (drops any torn tail), replaying prior tiles.
   CheckpointWriter writer(checkpoint_path, signature);
@@ -268,7 +391,7 @@ GeneNetwork MiEngine::compute_network_checkpointed(
 
   finalize_engine_pass(stats, panels, plan.count(), watch.seconds(), counters,
                        network.n_edges(), resume.records.size(),
-                       resume.pairs_resumed);
+                       resume.pairs_resumed, options.lanes);
   return network;
 }
 
@@ -295,15 +418,11 @@ std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
   const PanelPlan panels = statistic_.plan(config);
   SweepOptions options = sweep_options(config, pool);
 
-  const int numa_nodes = resolved_numa_nodes(config);
-  NumaTilePlan numa_plan;
-  if (numa_nodes > 1 && options.team_size <= 1 && options.threads > 1) {
-    numa_plan = make_numa_tile_plan(plan, n, numa_nodes, options.threads,
-                                    &cached_numa_layout());
-    options.numa = &numa_plan;
-  }
+  PassSetup setup;
+  prepare_pass(setup, plan, n, config, statistic_, ranks_.n_samples(),
+               lane_model(config), options);
   const StagedRankMatrix* staged =
-      staged_ranks(config, pool, options.threads, numa_nodes);
+      staged_ranks(config, pool, options.threads, setup.numa_nodes);
 
   DenseSink sink(mi_matrix.data(), n);
   const std::vector<SweepCounters> counters = run_ranked_sweep(
@@ -311,7 +430,7 @@ std::vector<float> MiEngine::compute_dense(const TingeConfig& config,
 
   finalize_engine_pass(stats, panels, plan.count(), watch.seconds(), counters,
                        /*edges_emitted=*/0, /*tiles_resumed=*/0,
-                       /*pairs_resumed=*/0);
+                       /*pairs_resumed=*/0, options.lanes);
   return mi_matrix;
 }
 

@@ -29,6 +29,7 @@
 #include "core/config.h"
 #include "core/pair_statistic.h"
 #include "core/tile.h"
+#include "device/perf_model.h"
 #include "graph/network.h"
 #include "mi/bspline_mi.h"
 #include "obs/metrics.h"
@@ -74,6 +75,38 @@ struct EngineStats {
   std::vector<std::uint64_t> tiles_per_thread;
   /// Pairs computed per pool context. Sums to pairs_computed - pairs_resumed.
   std::vector<std::uint64_t> pairs_per_thread;
+
+  /// Per-tile wall-time distribution over the computed (not resumed) tiles:
+  /// nearest-rank percentiles over every context's samples. Zero when no
+  /// tile was computed. The p95/p50 ratio is the straggler diagnosis the
+  /// lane scheduler acts on.
+  std::uint64_t tiles_timed = 0;
+  double tile_seconds_p50 = 0.0;
+  double tile_seconds_p95 = 0.0;
+  double tile_seconds_max = 0.0;
+
+  /// One heterogeneous executor lane's outcome (empty outside --hetero
+  /// runs). predicted_fraction is the perf model's seed share;
+  /// measured_fraction is the live-throughput share reconstructed from the
+  /// per-tile timings: rate_i = (pairs_i / busy_seconds_i) * threads_i,
+  /// normalized over lanes — the number the acceptance gate compares
+  /// against the prediction.
+  struct LaneStats {
+    std::string label;           ///< "simd:6"-style spec entry
+    const char* kernel = "?";    ///< resolved panel kernel name
+    int threads = 0;             ///< pool contexts the lane owned
+    double predicted_fraction = 0.0;
+    double measured_fraction = 0.0;
+    std::uint64_t tiles = 0;
+    std::uint64_t pairs = 0;
+    double busy_seconds = 0.0;   ///< summed per-tile wall time on the lane
+    double observed_gflops = 0.0;  ///< per-busy-thread modeled rate
+  };
+  std::vector<LaneStats> lanes;
+  /// Lane-ledger conservation outcome: grant batches issued / tiles moved
+  /// between lanes by end-game stealing.
+  std::size_t lane_leases = 0;
+  std::size_t lane_steals = 0;
 
   /// Average panel occupancy: computed pairs per sweep over the configured
   /// width (1.0 = every sweep ran at full width; ragged tile edges lower it).
@@ -176,6 +209,13 @@ class MiEngine {
                                        par::ThreadPool& pool, int threads,
                                        int numa_nodes) const;
 
+  /// The lane scheduler's perf model (null when config.hetero == "off").
+  /// Created on the first heterogeneous pass with the assumed-efficiency
+  /// calibration and kept for the engine's lifetime, so every later pass
+  /// (checkpoint resume legs, consensus resamples) starts from the tile
+  /// timings the earlier ones observed instead of the static constant.
+  PerfModel* lane_model(const TingeConfig& config) const;
+
   /// Set only by the B-spline convenience constructor (declared before
   /// statistic_ so the reference can bind to it during construction).
   std::unique_ptr<PairStatistic> owned_statistic_;
@@ -183,6 +223,8 @@ class MiEngine {
   const RankedMatrix& ranks_;
   mutable std::once_flag staged_once_;
   mutable std::unique_ptr<StagedRankMatrix> staged_;
+  mutable std::once_flag lane_model_once_;
+  mutable std::unique_ptr<PerfModel> lane_model_;
 };
 
 }  // namespace tinge

@@ -15,8 +15,10 @@ OffloadPlan plan_offload(const PerfModel& model, const DeviceSpec& host,
   TINGE_EXPECTS(host_rate > 0.0 && device_rate > 0.0);
 
   OffloadPlan plan;
-  plan.host_fraction = host_rate / (host_rate + device_rate);
-  plan.device_fraction = 1.0 - plan.host_fraction;
+  const std::vector<double> fractions =
+      plan_lane_split({host_rate, device_rate});
+  plan.host_fraction = fractions[0];
+  plan.device_fraction = fractions[1];
 
   MiWorkload host_share = workload;
   host_share.pairs =
@@ -34,6 +36,36 @@ OffloadPlan plan_offload(const PerfModel& model, const DeviceSpec& host,
   plan.speedup_vs_host =
       plan.combined_seconds > 0.0 ? host_only / plan.combined_seconds : 0.0;
   return plan;
+}
+
+std::vector<double> plan_lane_split(const std::vector<double>& lane_gflops) {
+  TINGE_EXPECTS(!lane_gflops.empty());
+  double total = 0.0;
+  for (const double rate : lane_gflops) {
+    TINGE_EXPECTS(rate > 0.0);
+    total += rate;
+  }
+  std::vector<double> fractions;
+  fractions.reserve(lane_gflops.size());
+  for (const double rate : lane_gflops) fractions.push_back(rate / total);
+  return fractions;
+}
+
+DeviceSpec lane_device(const DeviceSpec& host, MiKernel kernel) {
+  DeviceSpec device = host;
+  device.name = host.name + "/" + kernel_name(kernel);
+  switch (kernel) {
+    case MiKernel::Scalar:
+    case MiKernel::Unrolled:
+      device.vector_bits = 32;  // one f32 lane per issue
+      break;
+    case MiKernel::Simd:
+    case MiKernel::Replicated:
+    case MiKernel::Gather512:
+    case MiKernel::Auto:
+      break;  // full host vector width
+  }
+  return device;
 }
 
 }  // namespace tinge
