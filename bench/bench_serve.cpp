@@ -1,0 +1,202 @@
+// T2 (serve): load test of the tinge_serve query daemon.
+//
+// Builds a synthetic dataset's network once, starts the serve daemon
+// in-process on loopback, then hammers it with N concurrent clients, each
+// a real framed-TCP connection issuing a mixed query stream (MI pairs,
+// neighborhoods, top-k). Reports throughput and latency percentiles twice:
+// once measured client-side (wall clock around each round trip) and once
+// from the daemon's own serve.query.seconds histogram in the metrics
+// registry — the number a production deployment would scrape. Also reports
+// the tile-cache hit rate, the whole point of serving from a resident
+// planner instead of re-running the batch pipeline per question.
+//
+// Defaults finish in seconds; --clients=500 --queries=100 scales it up.
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "bench_common.h"
+#include "cluster/serve_client.h"
+#include "cluster/serve_server.h"
+#include "obs/metrics.h"
+#include "stats/rng.h"
+#include "synth/expression.h"
+#include "util/args.h"
+
+using namespace tinge;
+
+namespace {
+
+double nearest_rank(std::vector<double>& sorted_samples, double q) {
+  if (sorted_samples.empty()) return 0.0;
+  const std::size_t rank = std::min(
+      sorted_samples.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted_samples.size())));
+  return sorted_samples[rank];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add("genes", "genes in the synthetic dataset", "160");
+  args.add("samples", "experiments per gene", "128");
+  args.add("clients", "concurrent client connections", "100");
+  args.add("queries", "queries per client", "20");
+  args.add("pairs-per-query", "gene pairs per MI query", "4");
+  args.add("permutations", "null-distribution draws", "300");
+  args.add("flush-ms", "pair-batch window in milliseconds", "2");
+  args.add("cache-mb", "tile-cache budget in MiB", "64");
+  args.add("threads", "daemon sweep threads (0 = all)", "0");
+  args.add("seed", "workload RNG seed", "7");
+  args.add("json", "write BENCH_serve.json", "1");
+  args.parse(argc, argv);
+
+  const auto n_genes = static_cast<std::size_t>(args.get_int("genes"));
+  const auto n_samples = static_cast<std::size_t>(args.get_int("samples"));
+  const int n_clients = static_cast<int>(args.get_int("clients"));
+  const int n_queries = static_cast<int>(args.get_int("queries"));
+  const int pairs_per_query =
+      static_cast<int>(args.get_int("pairs-per-query"));
+
+  bench::print_header(
+      "T2 (serve): concurrent query load on the tinge_serve daemon",
+      strprintf("%d clients x %d queries, %zu genes x %zu samples",
+                n_clients, n_queries, n_genes, n_samples));
+
+  GrnParams grn;
+  grn.n_genes = n_genes;
+  ExpressionParams arrays;
+  arrays.n_samples = n_samples;
+  ExpressionMatrix expression =
+      simulate_expression(generate_grn(grn), arrays);
+
+  TingeConfig config;
+  config.permutations = static_cast<std::size_t>(args.get_int("permutations"));
+  config.threads = static_cast<int>(args.get_int("threads"));
+
+  cluster::ServeOptions options;
+  options.flush_deadline_ms = args.get_double("flush-ms");
+  options.cache_bytes = static_cast<std::size_t>(args.get_int("cache-mb"))
+                        << 20;
+
+  const Stopwatch build_watch;
+  cluster::ServeState state(std::move(expression), config, options);
+  cluster::ServeServer server(state, options);
+  std::printf("daemon up on port %d: %zu-gene network, %zu edges, %.2f s "
+              "build\n\n",
+              server.port(), state.n_genes(), state.network().n_edges(),
+              build_watch.seconds());
+
+  const std::size_t n = state.n_genes();
+  const auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t hits_before = state.cache().hits();
+  const std::uint64_t misses_before = state.cache().misses();
+
+  // Every client thread records its own per-query wall times; the vectors
+  // are preallocated so the measurement loop never allocates under timing.
+  std::vector<std::vector<double>> latencies(n_clients);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(n_clients);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const Stopwatch load_watch;
+  for (int c = 0; c < n_clients; ++c) {
+    latencies[c].reserve(n_queries);
+    clients.emplace_back([&, c] {
+      try {
+        cluster::ServeClient client("127.0.0.1", server.port());
+        Xoshiro256 rng(seed + static_cast<std::uint64_t>(c));
+        for (int q = 0; q < n_queries; ++q) {
+          const Stopwatch watch;
+          if (q % 5 == 4) {
+            // Every fifth query reads the built network instead of MI.
+            const auto gene =
+                static_cast<std::uint32_t>(rng() % n);
+            if (q % 10 == 4)
+              client.neighborhood(gene, 8);
+            else
+              client.top_edges(16);
+          } else {
+            std::vector<GenePair> pairs;
+            for (int i = 0; i < pairs_per_query; ++i) {
+              const auto a =
+                  static_cast<std::uint32_t>(rng() % n);
+              auto b = static_cast<std::uint32_t>(rng() % (n - 1));
+              if (b >= a) ++b;
+              pairs.push_back(GenePair{a, b});
+            }
+            client.mi_pairs(pairs);
+          }
+          latencies[c].push_back(watch.seconds());
+        }
+      } catch (const std::exception& error) {
+        failures.fetch_add(1);
+        std::fprintf(stderr, "client %d failed: %s\n", c, error.what());
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  const double wall = load_watch.seconds();
+
+  std::vector<double> all;
+  for (const auto& samples : latencies)
+    all.insert(all.end(), samples.begin(), samples.end());
+  std::sort(all.begin(), all.end());
+  const double qps = wall > 0.0 ? static_cast<double>(all.size()) / wall : 0.0;
+
+  const obs::MetricsSnapshot after = registry.snapshot();
+  const obs::HistogramSummary served =
+      after.histograms.at("serve.query.seconds");
+  const std::uint64_t hits = state.cache().hits() - hits_before;
+  const std::uint64_t misses = state.cache().misses() - misses_before;
+  server.stop();
+
+  Table table({"source", "queries", "qps", "p50 ms", "p95 ms", "p99 ms",
+               "max ms"});
+  table.add_row({"client wall clock", std::to_string(all.size()),
+                 strprintf("%.0f", qps),
+                 strprintf("%.3f", 1e3 * nearest_rank(all, 0.50)),
+                 strprintf("%.3f", 1e3 * nearest_rank(all, 0.95)),
+                 strprintf("%.3f", 1e3 * nearest_rank(all, 0.99)),
+                 strprintf("%.3f", all.empty() ? 0.0 : 1e3 * all.back())});
+  table.add_row({"metrics registry", std::to_string(served.count),
+                 strprintf("%.0f", qps), strprintf("%.3f", 1e3 * served.p50),
+                 strprintf("%.3f", 1e3 * served.p95),
+                 strprintf("%.3f", 1e3 * served.p99),
+                 strprintf("%.3f", 1e3 * served.max)});
+  table.print();
+  std::printf(
+      "\ntile cache: %llu hits / %llu misses (%.1f%% hit rate), "
+      "%d client failures\n",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses),
+      hits + misses > 0
+          ? 100.0 * static_cast<double>(hits) /
+                static_cast<double>(hits + misses)
+          : 0.0,
+      failures.load());
+
+  if (args.get_int("json") != 0) {
+    bench::BenchJson json("serve");
+    obs::Json row = obs::Json::object();
+    row["clients"] = obs::Json(n_clients);
+    row["queries"] = obs::Json(static_cast<double>(all.size()));
+    row["wall_seconds"] = obs::Json(wall);
+    row["qps"] = obs::Json(qps);
+    row["client_p50_s"] = obs::Json(nearest_rank(all, 0.50));
+    row["client_p95_s"] = obs::Json(nearest_rank(all, 0.95));
+    row["client_p99_s"] = obs::Json(nearest_rank(all, 0.99));
+    row["registry_p50_s"] = obs::Json(served.p50);
+    row["registry_p95_s"] = obs::Json(served.p95);
+    row["registry_p99_s"] = obs::Json(served.p99);
+    row["registry_count"] = obs::Json(static_cast<double>(served.count));
+    row["cache_hits"] = obs::Json(static_cast<double>(hits));
+    row["cache_misses"] = obs::Json(static_cast<double>(misses));
+    row["failures"] = obs::Json(failures.load());
+    json.add_row(std::move(row));
+    std::printf("wrote %s\n", json.write().c_str());
+  }
+  return failures.load() == 0 ? 0 : 1;
+}

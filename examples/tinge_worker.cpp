@@ -47,6 +47,10 @@ int main(int argc, char** argv) {
   args.add("cluster-rank", "this worker's rank", "0");
   args.add("cluster-size", "total ranks in the cluster", "1");
   args.add("rendezvous", "shared rendezvous directory for the TCP mesh");
+  args.add("rendezvous-nonce",
+           "run nonce stamped into/required of rendezvous port files "
+           "(0 = accept any; the launcher always sets one)",
+           "0");
   args.add("transport", "cluster transport: tcp (inproc only for size 1)",
            "tcp");
   args.add("connect-timeout", "seconds to wait for the mesh to assemble",
@@ -104,6 +108,8 @@ int main(int argc, char** argv) {
     if (args.has("rendezvous")) options.rendezvous_dir = args.get("rendezvous");
     options.connect_timeout_seconds = args.get_double("connect-timeout");
     options.recv_timeout_seconds = args.get_double("recv-timeout");
+    options.run_nonce =
+        static_cast<std::uint64_t>(args.get_int("rendezvous-nonce"));
 
     const std::unique_ptr<cluster::Transport> transport =
         cluster::make_transport(

@@ -1,0 +1,76 @@
+#include "cluster/framing.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+namespace tinge::cluster {
+
+SocketError::SocketError(const std::string& what, int errno_value)
+    : std::runtime_error(what + ": " + std::strerror(errno_value)),
+      errno_(errno_value) {}
+
+bool SocketError::peer_gone() const {
+  return errno_ == EPIPE || errno_ == ECONNRESET;
+}
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+void write_full(int fd, const void* data, std::size_t bytes) {
+  const char* cursor = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t sent = ::send(fd, cursor, bytes, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError("send failed", errno);
+    }
+    cursor += sent;
+    bytes -= static_cast<std::size_t>(sent);
+  }
+}
+
+bool read_full(int fd, void* data, std::size_t bytes) {
+  char* cursor = static_cast<char*>(data);
+  while (bytes > 0) {
+    const ssize_t got = ::recv(fd, cursor, bytes, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF: peer closed, possibly mid-frame.
+    cursor += got;
+    bytes -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+void write_frame(int fd, std::uint32_t kind, std::int32_t tag,
+                 const void* payload, std::size_t bytes) {
+  FrameHeader header;
+  header.kind = kind;
+  header.tag = tag;
+  header.bytes = bytes;
+  write_full(fd, &header, sizeof(header));
+  if (bytes > 0) write_full(fd, payload, bytes);
+}
+
+bool read_frame(int fd, FrameHeader& header, std::vector<std::byte>& payload,
+                std::size_t max_payload_bytes) {
+  if (!read_full(fd, &header, sizeof(header))) return false;
+  if (header.magic != kFrameMagic) return false;
+  if (header.bytes > max_payload_bytes) return false;
+  payload.resize(header.bytes);
+  if (header.bytes > 0 && !read_full(fd, payload.data(), payload.size())) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tinge::cluster

@@ -8,9 +8,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <random>
 #include <stdexcept>
 
 #include "util/str.h"
@@ -40,11 +42,54 @@ void remove_rendezvous_dir(const std::string& dir) {
   ::rmdir(dir.c_str());
 }
 
+namespace {
+
+bool ends_with(const std::string& value, const std::string& suffix) {
+  return value.size() >= suffix.size() &&
+         value.compare(value.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+}  // namespace
+
+void scrub_port_files(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return;
+  while (const dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (ends_with(name, ".port") || ends_with(name, ".port.tmp"))
+      ::unlink((dir + "/" + name).c_str());
+  }
+  ::closedir(handle);
+}
+
+std::uint64_t make_run_nonce() {
+  std::random_device device;
+  std::uint64_t nonce = (static_cast<std::uint64_t>(device()) << 32) ^
+                        static_cast<std::uint64_t>(device());
+  nonce ^= static_cast<std::uint64_t>(::getpid()) << 48;
+  nonce ^= static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  // Keep it in the positive signed-64 range: the nonce rides through a
+  // command-line flag parsed with a signed integer parser.
+  nonce &= (std::uint64_t(1) << 63) - 1;
+  // 0 means "accept any port file" to the transport, so a nonce must never
+  // be 0 — that would disable exactly the check it exists to arm.
+  return nonce != 0 ? nonce : 1;
+}
+
 std::vector<WorkerExit> launch_workers(
     const std::string& program, const std::vector<std::string>& common_args,
     int size, const std::string& rendezvous_dir) {
   std::vector<pid_t> pids(static_cast<std::size_t>(size), -1);
   std::vector<WorkerExit> exits(static_cast<std::size_t>(size));
+
+  // A reused rendezvous directory may still hold port files from a mesh
+  // that crashed before cleaning up; this run's workers must never read
+  // them. The nonce stamp is the second line of defense (a concurrently
+  // crashed run could re-litter after this scrub).
+  scrub_port_files(rendezvous_dir);
+  const std::uint64_t nonce = make_run_nonce();
 
   for (int rank = 0; rank < size; ++rank) {
     std::vector<std::string> args;
@@ -53,6 +98,8 @@ std::vector<WorkerExit> launch_workers(
     args.push_back(strprintf("--cluster-rank=%d", rank));
     args.push_back(strprintf("--cluster-size=%d", size));
     args.push_back("--rendezvous=" + rendezvous_dir);
+    args.push_back(strprintf("--rendezvous-nonce=%llu",
+                             static_cast<unsigned long long>(nonce)));
 
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
@@ -126,6 +173,10 @@ std::vector<WorkerExit> launch_workers(
         ::kill(pids[static_cast<std::size_t>(r)], SIGTERM);
     }
   }
+  // Abnormal exit: workers killed mid-rendezvous had no chance to tidy up,
+  // and their published ports are now dead. Scrub so a later run against
+  // the same directory starts clean even without the nonce check.
+  if (!all_workers_succeeded(exits)) scrub_port_files(rendezvous_dir);
   return exits;
 }
 

@@ -5,6 +5,7 @@
 // launcher hands it on the command line.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,19 @@ std::string make_rendezvous_dir();
 
 /// Best-effort removal of a rendezvous directory and the files inside it.
 void remove_rendezvous_dir(const std::string& dir);
+
+/// Best-effort removal of rendezvous debris (`*.port`, `*.port.tmp`) from
+/// `dir` without touching the directory itself or anything else in it.
+/// The launcher runs this before spawning a mesh into a reused directory
+/// (a crashed prior run leaves its port files behind) and again after an
+/// abnormal worker exit, so the next run never dials a dead port.
+void scrub_port_files(const std::string& dir);
+
+/// A fresh nonzero run nonce for stamping rendezvous port files
+/// (TransportOptions::run_nonce): mixes a system random source with the
+/// pid and clock so two runs — even back-to-back in one process — never
+/// share one.
+std::uint64_t make_run_nonce();
 
 /// Exit code a worker uses when it observed a *peer* failure
 /// (PeerFailureError / TimeoutError) rather than failing itself — lets the
@@ -45,11 +59,14 @@ struct WorkerExit {
 
 /// Spawns `size` copies of `program`, appending
 ///   --cluster-rank=<r> --cluster-size=<size> --rendezvous=<dir>
-/// to `common_args`, and reaps them all. If any worker fails, the
-/// survivors are SIGTERMed so a half-dead mesh cannot hang the launcher
-/// past the workers' own rendezvous timeout. Returns per-worker exits
-/// indexed by rank; ranks the launcher could not reap keep the
-/// kWorkerExitUnreaped sentinel.
+///   --rendezvous-nonce=<fresh nonce>
+/// to `common_args`, and reaps them all. Stale port files in `dir` are
+/// scrubbed before spawning, and scrubbed again after a failed run, so a
+/// crashed mesh never leaves port files a later run could dial. If any
+/// worker fails, the survivors are SIGTERMed so a half-dead mesh cannot
+/// hang the launcher past the workers' own rendezvous timeout. Returns
+/// per-worker exits indexed by rank; ranks the launcher could not reap
+/// keep the kWorkerExitUnreaped sentinel.
 std::vector<WorkerExit> launch_workers(
     const std::string& program, const std::vector<std::string>& common_args,
     int size, const std::string& rendezvous_dir);

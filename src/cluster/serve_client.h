@@ -1,0 +1,102 @@
+// Blocking client for the tinge_serve daemon (cluster/serve_protocol.h).
+//
+// One ServeClient is one TCP connection with request/response framing on
+// top. The API is synchronous — send a query, block for its response —
+// which is exactly what the CLI, the load bench's per-client threads and
+// the byte-identity tests need. Not thread-safe: one ServeClient per
+// thread (connections are cheap; the daemon is built for many of them).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/serve_protocol.h"
+#include "core/estimator_kind.h"
+#include "core/mi_query.h"
+
+namespace tinge::cluster {
+
+/// Final summary of a SweepJob (parsed from the daemon's JSON response).
+struct SweepJobResult {
+  std::size_t pairs = 0;
+  std::size_t edges = 0;
+  std::size_t tiles = 0;
+  std::size_t tiles_resumed = 0;
+  double seconds = 0.0;
+  std::string kernel;
+  std::string estimator;
+};
+
+class ServeClient {
+ public:
+  /// Connects to a daemon on the loopback interface. Throws
+  /// std::runtime_error if nobody is listening.
+  ServeClient(const std::string& host, int port);
+
+  /// Rendezvous through a daemon port file ("<port> <nonce>\n"); nonce 0
+  /// accepts any stamp. Throws if the file is missing or stale.
+  static ServeClient from_port_file(const std::string& path,
+                                    std::uint64_t expected_nonce = 0);
+
+  ~ServeClient();
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&&) = delete;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Liveness probe (round-trips an empty frame).
+  void ping();
+
+  /// MI for each pair, in request order — bit-identical to the batch
+  /// pipeline for the daemon's dataset/config. `estimator` defaults to
+  /// whatever the daemon was configured with.
+  std::vector<double> mi_pairs(std::span<const GenePair> pairs);
+  std::vector<double> mi_pairs(std::span<const GenePair> pairs,
+                               EstimatorKind estimator);
+
+  /// A gene's strongest network neighbors (weight-descending; k = 0 means
+  /// all of them).
+  std::vector<ServeEdge> neighborhood(std::uint32_t gene, std::uint32_t k);
+
+  /// The k heaviest edges of the whole network (k = 0 means every edge),
+  /// weight-descending.
+  std::vector<ServeEdge> top_edges(std::uint32_t k);
+
+  /// Every network edge with both endpoints in `genes`.
+  std::vector<ServeEdge> subgraph(std::span<const std::uint32_t> genes);
+
+  /// Live metrics-registry snapshot as a JSON document string.
+  std::string metrics_json();
+
+  /// Submits a sweep job and blocks until it completes; `on_event` (may be
+  /// empty) receives each streamed progress JSON string as it arrives.
+  SweepJobResult sweep_job(
+      const std::function<void(const std::string&)>& on_event = {});
+
+  /// Asks the daemon to exit its serve loop.
+  void shutdown_server();
+
+ private:
+  struct Reply {
+    ServeResponseHeader header;
+    std::vector<std::byte> body;  // payload after the response header
+  };
+
+  /// Sends one request and blocks for its response, dispatching any event
+  /// frames with the same tag to `on_event` along the way. Throws
+  /// std::runtime_error carrying the daemon's message on error status.
+  Reply roundtrip(QueryKind kind, std::uint32_t estimator, std::uint32_t k,
+                  std::span<const std::uint32_t> items,
+                  const std::function<void(const std::string&)>& on_event = {});
+
+  std::vector<ServeEdge> edge_query(QueryKind kind, std::uint32_t k,
+                                    std::span<const std::uint32_t> items);
+
+  int fd_ = -1;
+  std::int32_t next_tag_ = 1;
+};
+
+}  // namespace tinge::cluster

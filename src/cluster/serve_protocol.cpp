@@ -1,0 +1,19 @@
+#include "cluster/serve_protocol.h"
+
+namespace tinge::cluster {
+
+const char* query_kind_name(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::Ping: return "ping";
+    case QueryKind::MiPairs: return "mi_pairs";
+    case QueryKind::Neighborhood: return "neighborhood";
+    case QueryKind::TopEdges: return "top_edges";
+    case QueryKind::Subgraph: return "subgraph";
+    case QueryKind::SweepJob: return "sweep_job";
+    case QueryKind::Metrics: return "metrics";
+    case QueryKind::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+}  // namespace tinge::cluster

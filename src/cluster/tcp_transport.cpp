@@ -14,6 +14,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "cluster/framing.h"
 #include "cluster/launcher.h"
 #include "util/str.h"
 #include "util/timer.h"
@@ -22,60 +23,14 @@ namespace tinge::cluster {
 
 namespace {
 
-constexpr std::uint32_t kFrameMagic = 0x544E4758;  // "TNGX"
-constexpr std::uint32_t kFrameData = 0;
-constexpr std::uint32_t kFrameBarrierArrive = 1;
-constexpr std::uint32_t kFrameBarrierRelease = 2;
-constexpr std::uint32_t kFrameHello = 3;
-
 // Internal mailbox tags for control frames; the public API requires
 // tag >= 0, so these can never collide with algorithm traffic.
 constexpr int kTagBarrierArrive = -1;
 constexpr int kTagBarrierRelease = -2;
 
-struct FrameHeader {
-  std::uint32_t magic = kFrameMagic;
-  std::uint32_t kind = kFrameData;
-  std::int32_t tag = 0;
-  std::uint32_t reserved = 0;
-  std::uint64_t bytes = 0;
-};
-static_assert(sizeof(FrameHeader) == 24);
-static_assert(std::is_trivially_copyable_v<FrameHeader>);
-
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(
       strprintf("%s: %s", what.c_str(), std::strerror(errno)));
-}
-
-void write_full(int fd, const void* data, std::size_t bytes) {
-  const char* cursor = static_cast<const char*>(data);
-  while (bytes > 0) {
-    const ssize_t n = ::send(fd, cursor, bytes, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("tcp transport: send");
-    }
-    cursor += n;
-    bytes -= static_cast<std::size_t>(n);
-  }
-}
-
-/// Reads exactly `bytes`; false on EOF or error (a torn frame counts as a
-/// closed connection — the peer is gone mid-message).
-bool read_full(int fd, void* data, std::size_t bytes) {
-  char* cursor = static_cast<char*>(data);
-  std::size_t got = 0;
-  while (got < bytes) {
-    const ssize_t n = ::recv(fd, cursor + got, bytes - got, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;
-    got += static_cast<std::size_t>(n);
-  }
-  return true;
 }
 
 std::string port_file_path(const std::string& dir, int rank) {
@@ -86,11 +41,12 @@ std::string port_file_path(const std::string& dir, int rank) {
 /// a half-written port number. write_port_file verifies the write, so a
 /// full disk fails here with the real cause instead of renaming an empty
 /// file into place and letting peers spin until their connect timeout.
-void publish_port(const std::string& dir, int rank, int port) {
+void publish_port(const std::string& dir, int rank, int port,
+                  std::uint64_t nonce) {
   const std::string path = port_file_path(dir, rank);
   const std::string tmp = path + ".tmp";
   try {
-    write_port_file(tmp, port);
+    write_port_file(tmp, port, nonce);
   } catch (...) {
     std::remove(tmp.c_str());
     throw;
@@ -99,29 +55,38 @@ void publish_port(const std::string& dir, int rank, int port) {
     throw_errno("tcp rendezvous: rename " + path);
 }
 
-/// -1 while the peer has not published yet.
-int read_port(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "r");
-  if (file == nullptr) return -1;
-  int port = -1;
-  if (std::fscanf(file, "%d", &port) != 1) port = -1;
-  std::fclose(file);
-  return port;
-}
-
 }  // namespace
 
-void write_port_file(const std::string& path, int port) {
+void write_port_file(const std::string& path, int port, std::uint64_t nonce) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) throw_errno("tcp rendezvous: open " + path);
-  const bool wrote = std::fprintf(file, "%d\n", port) > 0 &&
-                     std::fflush(file) == 0;
+  const bool wrote =
+      std::fprintf(file, "%d %llu\n", port,
+                   static_cast<unsigned long long>(nonce)) > 0 &&
+      std::fflush(file) == 0;
   const int saved_errno = errno;
   const bool closed = std::fclose(file) == 0;
   if (!wrote || !closed) {
     errno = wrote ? errno : saved_errno;
     throw_errno("tcp rendezvous: write " + path);
   }
+}
+
+int read_port_file(const std::string& path, std::uint64_t expected_nonce) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return -1;
+  int port = -1;
+  unsigned long long nonce = 0;
+  const int fields = std::fscanf(file, "%d %llu", &port, &nonce);
+  std::fclose(file);
+  if (fields < 1) return -1;
+  // A file stamped by a different run (or an unstamped pre-nonce file when
+  // a nonce is required) is debris from a crashed prior mesh — its port is
+  // dead or, worse, now owned by an unrelated process. Never dial it.
+  if (expected_nonce != 0 &&
+      (fields < 2 || nonce != static_cast<unsigned long long>(expected_nonce)))
+    return -1;
+  return port;
 }
 
 TcpTransport::TcpTransport(const TransportOptions& options)
@@ -131,6 +96,10 @@ TcpTransport::TcpTransport(const TransportOptions& options)
       peers_(static_cast<std::size_t>(options.size)) {
   TINGE_EXPECTS(size_ >= 1);
   TINGE_EXPECTS(rank_ >= 0 && rank_ < size_);
+  // MSG_NOSIGNAL covers send(); this covers everything else (and any
+  // platform where the flag is advisory). A client that vanishes mid-write
+  // must surface as an error, never as a process-killing SIGPIPE.
+  ignore_sigpipe();
   for (Peer& peer : peers_) peer.send_mutex = std::make_unique<std::mutex>();
   if (size_ > 1 && options.rendezvous_dir.empty())
     throw std::invalid_argument(
@@ -169,7 +138,8 @@ void TcpTransport::rendezvous(const TransportOptions& options) {
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                     &addr_len) != 0)
     throw_errno("tcp rendezvous: getsockname");
-  publish_port(options.rendezvous_dir, rank_, ntohs(addr.sin_port));
+  publish_port(options.rendezvous_dir, rank_, ntohs(addr.sin_port),
+               options.run_nonce);
 
   // Dial every lower rank, polling for its port file and retrying refused
   // connections with exponential backoff — a worker that starts seconds
@@ -179,7 +149,8 @@ void TcpTransport::rendezvous(const TransportOptions& options) {
     int fd = -1;
     while (fd < 0) {
       const int port =
-          read_port(port_file_path(options.rendezvous_dir, peer));
+          read_port_file(port_file_path(options.rendezvous_dir, peer),
+                         options.run_nonce);
       if (port > 0) {
         fd = ::socket(AF_INET, SOCK_STREAM, 0);
         if (fd < 0) throw_errno("tcp rendezvous: socket");
@@ -340,16 +311,27 @@ void TcpTransport::send_frame(int dest, std::uint32_t frame_kind, int tag,
           rank_, dest);
     fd = peer.fd;
   }
-  FrameHeader header;
-  header.kind = frame_kind;
-  header.tag = tag;
-  header.bytes = bytes;
-  // One frame = one critical section: header and payload must hit the
-  // stream back-to-back or a concurrent sender's bytes land mid-frame.
-  std::lock_guard<std::mutex> send_lock(
-      *peers_[static_cast<std::size_t>(dest)].send_mutex);
-  write_full(fd, &header, sizeof(header));
-  if (bytes > 0) write_full(fd, data, bytes);
+  try {
+    // One frame = one critical section: header and payload must hit the
+    // stream back-to-back or a concurrent sender's bytes land mid-frame.
+    std::lock_guard<std::mutex> send_lock(
+        *peers_[static_cast<std::size_t>(dest)].send_mutex);
+    write_frame(fd, frame_kind, tag, data, bytes);
+  } catch (const SocketError& error) {
+    // The peer vanished mid-conversation (EPIPE/ECONNRESET under
+    // MSG_NOSIGNAL — without which this would have been a process-killing
+    // SIGPIPE). Retire the connection so later sends and recv waiters fail
+    // fast, and surface it in the transport's own failure taxonomy.
+    {
+      std::lock_guard<std::mutex> lock(mailbox_mutex_);
+      peers_[static_cast<std::size_t>(dest)].open = false;
+    }
+    mailbox_cv_.notify_all();
+    throw PeerFailureError(
+        strprintf("tcp transport: rank %d send to rank %d failed (%s)",
+                  rank_, dest, error.what()),
+        rank_, dest);
+  }
 }
 
 void TcpTransport::send(int dest, const void* data, std::size_t bytes,

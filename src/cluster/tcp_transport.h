@@ -117,11 +117,19 @@ class TcpTransport final : public Transport {
 std::unique_ptr<Cluster> make_loopback_tcp_cluster(
     int size, const TransportOptions& options);
 
-/// Writes "<port>\n" to exactly `path`, verifying every stdio call, and
-/// throws std::runtime_error carrying the real errno cause on failure (a
-/// full disk must not silently publish an empty port file). Exposed for
-/// the rendezvous code and its regression tests; the atomic publish path
-/// writes to a temp name through this and then renames.
-void write_port_file(const std::string& path, int port);
+/// Writes "<port> <nonce>\n" to exactly `path`, verifying every stdio
+/// call, and throws std::runtime_error carrying the real errno cause on
+/// failure (a full disk must not silently publish an empty port file).
+/// Exposed for the rendezvous code and its regression tests; the atomic
+/// publish path writes to a temp name through this and then renames.
+void write_port_file(const std::string& path, int port,
+                     std::uint64_t nonce = 0);
+
+/// Reads a published port file back. Returns the port, or -1 when the file
+/// is missing/unreadable or when `expected_nonce` != 0 and the file's
+/// stamped nonce differs — i.e. the file is debris from another run and
+/// its port must not be dialed. expected_nonce == 0 accepts any file
+/// (including pre-nonce files with no stamp).
+int read_port_file(const std::string& path, std::uint64_t expected_nonce);
 
 }  // namespace tinge::cluster

@@ -113,6 +113,12 @@ struct TransportOptions {
   /// peer. <= 0 disables the deadline (wait indefinitely — the historical
   /// behavior, and the library default; the CLI sets a finite one).
   double recv_timeout_seconds = 0.0;
+  /// Run nonce stamped into published port files and required of the port
+  /// files this endpoint reads. A crashed prior run can leave stale
+  /// `rank<r>.port` files in a reused rendezvous_dir; without the nonce a
+  /// new mesh dials those dead ports until its connect timeout. 0 = accept
+  /// any port file (single-run temp dirs; the launcher always sets one).
+  std::uint64_t run_nonce = 0;
 };
 
 /// One rank's endpoint: the pure transport interface. Methods are called

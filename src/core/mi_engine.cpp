@@ -339,7 +339,8 @@ GeneNetwork MiEngine::compute_network(double threshold,
 GeneNetwork MiEngine::compute_network_checkpointed(
     double threshold, const TingeConfig& config, par::ThreadPool& pool,
     const std::string& checkpoint_path, EngineStats* stats,
-    const std::function<void(std::size_t, std::size_t)>& progress) const {
+    const std::function<void(std::size_t, std::size_t)>& progress,
+    bool keep_checkpoint) const {
   config.validate();
   const Stopwatch watch;
   const SweepPlan plan =
@@ -387,7 +388,7 @@ GeneNetwork MiEngine::compute_network_checkpointed(
   GeneNetwork network(ranks_.gene_names());
   network.add_edges(final_state.all_edges());
   network.finalize();
-  std::remove(checkpoint_path.c_str());
+  if (!keep_checkpoint) std::remove(checkpoint_path.c_str());
 
   finalize_engine_pass(stats, panels, plan.count(), watch.seconds(), counters,
                        network.n_edges(), resume.records.size(),

@@ -170,7 +170,10 @@ class MiEngine {
   /// Checkpointed variant of compute_network: journals each completed tile
   /// to `checkpoint_path`; if a checkpoint with the identical run signature
   /// already exists there, completed tiles are loaded instead of recomputed.
-  /// The checkpoint file is removed on successful completion.
+  /// The checkpoint file is removed on successful completion unless
+  /// `keep_checkpoint` is set — a long-lived server keeps the completed
+  /// journal so a restart restores the network from it instead of
+  /// recomputing the whole triangle.
   ///
   /// `progress(done, total)` is called from worker threads (serialized) as
   /// tiles complete — throttled to at most once per
@@ -183,7 +186,8 @@ class MiEngine {
   GeneNetwork compute_network_checkpointed(
       double threshold, const TingeConfig& config, par::ThreadPool& pool,
       const std::string& checkpoint_path, EngineStats* stats = nullptr,
-      const std::function<void(std::size_t, std::size_t)>& progress = {}) const;
+      const std::function<void(std::size_t, std::size_t)>& progress = {},
+      bool keep_checkpoint = false) const;
 
   /// Team-mode variant: threads are grouped into teams of `team_size` (the
   /// Phi's hardware threads of one core); a team claims a tile together and

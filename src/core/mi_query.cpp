@@ -1,0 +1,213 @@
+#include "core/mi_query.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/sweep.h"
+#include "obs/metrics.h"
+#include "preprocess/rank_transform.h"
+#include "util/contracts.h"
+#include "util/str.h"
+
+namespace tinge {
+
+namespace {
+
+std::size_t hash_mix(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2));
+}
+
+/// Dense per-block writer for the query sweep. Each pair lands in exactly
+/// one block, each block's tile is claimed by exactly one sweep context,
+/// so writes never race; the block index itself is read-only during the
+/// sweep.
+class BlockSink {
+ public:
+  BlockSink(std::size_t tile_size,
+            const std::unordered_map<std::uint64_t, TileValues*>* blocks)
+      : tile_size_(tile_size), blocks_(blocks) {}
+
+  void tile_begin(int /*tid*/, std::size_t /*t*/) {}
+  void pair(int /*tid*/, std::size_t i, std::size_t j, double mi) {
+    const std::uint64_t id =
+        (static_cast<std::uint64_t>(i / tile_size_) << 32) |
+        static_cast<std::uint64_t>(j / tile_size_);
+    blocks_->at(id)->set(i, j, mi);
+  }
+  void tile_end(int /*tid*/, std::size_t /*t*/, int /*team_width*/) {}
+
+ private:
+  std::size_t tile_size_;
+  const std::unordered_map<std::uint64_t, TileValues*>* blocks_;
+};
+
+}  // namespace
+
+std::size_t TileCacheKeyHash::operator()(const TileCacheKey& key) const {
+  std::size_t seed = std::hash<std::string>{}(key.dataset);
+  seed = hash_mix(seed, static_cast<std::size_t>(key.estimator));
+  seed = hash_mix(seed, std::hash<std::string>{}(key.kernel));
+  seed = hash_mix(seed, key.block_row);
+  seed = hash_mix(seed, key.block_col);
+  return seed;
+}
+
+TileCache::TileCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::shared_ptr<const TileValues> TileCache::get(const TileCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->values;
+}
+
+void TileCache::put(const TileCacheKey& key,
+                    std::shared_ptr<const TileValues> values) {
+  if (max_bytes_ == 0 || values == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto existing = index_.find(key);
+  if (existing != index_.end()) {
+    // Same key computed twice (two requests raced past a miss): keep the
+    // incumbent — both computations are bit-identical by construction.
+    return;
+  }
+  bytes_ += values->bytes();
+  lru_.push_front(Entry{key, std::move(values)});
+  index_.emplace(key, lru_.begin());
+  while (bytes_ > max_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.values->bytes();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t TileCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t TileCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+MiQueryEngine::MiQueryEngine(const PairStatistic& statistic,
+                             const RankedMatrix& ranked,
+                             const TingeConfig& config, par::ThreadPool* pool,
+                             TileCache& cache, std::string dataset_id)
+    : statistic_(&statistic),
+      ranked_(&ranked),
+      config_(config),
+      panels_(statistic.plan(config)),
+      pool_(pool),
+      cache_(&cache),
+      dataset_(std::move(dataset_id)),
+      tile_size_(config.tile_size),
+      n_genes_(ranked.n_genes()) {
+  TINGE_EXPECTS(tile_size_ >= 1);
+}
+
+std::vector<double> MiQueryEngine::pair_values(
+    std::span<const GenePair> pairs) {
+  auto& registry = obs::MetricsRegistry::global();
+  const std::size_t T = tile_size_;
+
+  // Resolve every requested pair's block, pulling whatever the cache
+  // already holds and collecting the blocks that must be swept.
+  std::unordered_map<std::uint64_t, std::shared_ptr<const TileValues>> ready;
+  std::unordered_map<std::uint64_t, TileValues*> missing;  // filled below
+  std::vector<std::uint64_t> missing_order;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> normalized;
+  normalized.reserve(pairs.size());
+  for (const GenePair& pair : pairs) {
+    std::uint32_t a = pair.a, b = pair.b;
+    if (a > b) std::swap(a, b);
+    if (a == b || b >= n_genes_) {
+      throw ContractViolation(strprintf(
+          "mi query: pair (%u, %u) is not a valid gene pair of a %zu-gene "
+          "dataset",
+          pair.a, pair.b, n_genes_));
+    }
+    normalized.emplace_back(a, b);
+    const std::uint64_t id = (static_cast<std::uint64_t>(a / T) << 32) |
+                             static_cast<std::uint64_t>(b / T);
+    if (ready.count(id) != 0 || missing.count(id) != 0) continue;
+    TileCacheKey key{dataset_, statistic_->kind(), panels_.name, a / T, b / T};
+    if (std::shared_ptr<const TileValues> cached = cache_->get(key)) {
+      ready.emplace(id, std::move(cached));
+      registry.counter("serve.cache.hits").add(1);
+    } else {
+      missing.emplace(id, nullptr);
+      missing_order.push_back(id);
+      registry.counter("serve.cache.misses").add(1);
+    }
+  }
+
+  if (!missing_order.empty()) {
+    // Carve each missing block with the exact boundaries the batch
+    // triangular(0, n, T) plan used — multiples of T, clamped to n — so
+    // the panel grouping inside the tile, and therefore every resulting
+    // bit, matches the batch sweep.
+    std::vector<Tile> tiles;
+    std::vector<std::shared_ptr<TileValues>> fresh;
+    tiles.reserve(missing_order.size());
+    fresh.reserve(missing_order.size());
+    for (const std::uint64_t id : missing_order) {
+      const std::size_t block_row = static_cast<std::size_t>(id >> 32);
+      const std::size_t block_col =
+          static_cast<std::size_t>(id & 0xFFFFFFFFull);
+      Tile tile;
+      tile.row_begin = block_row * T;
+      tile.row_end = std::min(n_genes_, (block_row + 1) * T);
+      tile.col_begin = block_col * T;
+      tile.col_end = std::min(n_genes_, (block_col + 1) * T);
+      tiles.push_back(tile);
+      fresh.push_back(std::make_shared<TileValues>(tile));
+      missing[id] = fresh.back().get();
+    }
+
+    const SweepPlan plan = SweepPlan::from_tiles(std::move(tiles));
+    SweepOptions options;
+    options.threads =
+        (pool_ != nullptr && plan.count() > 1)
+            ? static_cast<int>(std::min<std::size_t>(
+                  static_cast<std::size_t>(pool_->max_threads()),
+                  plan.count()))
+            : 1;
+    BlockSink sink(T, &missing);
+    const auto row = [this](std::size_t g) {
+      return ranked_->ranks(g).data();
+    };
+    run_sweep(plan, *statistic_, row, panels_, pool_, options, sink);
+
+    tiles_swept_.fetch_add(missing_order.size(), std::memory_order_relaxed);
+    registry.counter("serve.planner.tiles_swept").add(missing_order.size());
+    registry.counter("serve.planner.pairs_swept").add(plan.total_pairs());
+    for (std::size_t b = 0; b < missing_order.size(); ++b) {
+      const std::uint64_t id = missing_order[b];
+      TileCacheKey key{dataset_, statistic_->kind(), panels_.name,
+                       static_cast<std::size_t>(id >> 32),
+                       static_cast<std::size_t>(id & 0xFFFFFFFFull)};
+      cache_->put(key, fresh[b]);
+      ready.emplace(id, std::move(fresh[b]));
+    }
+  }
+
+  std::vector<double> out;
+  out.reserve(normalized.size());
+  for (const auto& [a, b] : normalized) {
+    const std::uint64_t id = (static_cast<std::uint64_t>(a / T) << 32) |
+                             static_cast<std::uint64_t>(b / T);
+    out.push_back(ready.at(id)->at(a, b));
+  }
+  return out;
+}
+
+}  // namespace tinge

@@ -1,0 +1,181 @@
+// The MI query planner (DESIGN.md §6j): on-demand pair values over the
+// batch executor, with a tile cache.
+//
+// The serve daemon answers "MI(x, y)?" long after the batch network was
+// built. Recomputing a single pair through eval_pair would be easy but
+// wrong twice over: it abandons the panel kernels' row reuse (the entire
+// perf story), and it opens a second code path whose bits would have to be
+// proven equal to the batch sweep's forever. Instead the planner maps each
+// requested pair to the T x T tile that contained it in the batch pass
+// (identical block boundaries: multiples of config.tile_size), sweeps just
+// the missing tiles through run_sweep with the same statistic and resolved
+// kernel plan, and caches whole tiles keyed by
+// (dataset, estimator, kernel, block) in a byte-budgeted LRU. Same tiles,
+// same panels, same kernel — so every value handed back is bit-identical
+// to the batch pipeline's, test-enforced, and a warm pair costs a hash
+// lookup instead of a panel sweep (cache-hit counters make that
+// observable and test-enforceable).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/pair_statistic.h"
+#include "core/tile.h"
+
+namespace tinge {
+
+class RankedMatrix;
+namespace par {
+class ThreadPool;
+}
+
+/// One requested gene pair. Order does not matter (MI is symmetric); the
+/// planner normalizes to a < b. a == b is a contract violation.
+struct GenePair {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// Identity of one cached tile: which dataset, which estimator, which
+/// resolved kernel variant, which T x T block of the upper triangle.
+/// Kernel is part of the key not because variants disagree (they are
+/// bit-identical, test-enforced) but because the key must never be wider
+/// than the guarantee: two daemons with different resolved plans sharing a
+/// cache file someday must not mix entries silently.
+struct TileCacheKey {
+  std::string dataset;
+  EstimatorKind estimator = EstimatorKind::Bspline;
+  std::string kernel;
+  std::size_t block_row = 0;
+  std::size_t block_col = 0;
+
+  bool operator==(const TileCacheKey& other) const = default;
+};
+
+struct TileCacheKeyHash {
+  std::size_t operator()(const TileCacheKey& key) const;
+};
+
+/// All pair values of one tile, dense over the block's rectangle (cells
+/// with i >= j in a diagonal block stay 0 and are never read back).
+class TileValues {
+ public:
+  explicit TileValues(const Tile& tile)
+      : tile_(tile),
+        cols_(tile.col_end - tile.col_begin),
+        values_((tile.row_end - tile.row_begin) * cols_, 0.0) {}
+
+  const Tile& tile() const { return tile_; }
+
+  double at(std::size_t i, std::size_t j) const {
+    return values_[(i - tile_.row_begin) * cols_ + (j - tile_.col_begin)];
+  }
+  void set(std::size_t i, std::size_t j, double value) {
+    values_[(i - tile_.row_begin) * cols_ + (j - tile_.col_begin)] = value;
+  }
+
+  /// Resident footprint charged against the cache budget.
+  std::size_t bytes() const {
+    return sizeof(TileValues) + values_.size() * sizeof(double);
+  }
+
+ private:
+  Tile tile_;
+  std::size_t cols_;
+  std::vector<double> values_;
+};
+
+/// Byte-budgeted LRU over computed tiles. Thread-safe (the serve daemon
+/// has one batcher thread per dataset today, but nothing in the interface
+/// should bake that in). Values are shared_ptr so an entry evicted while a
+/// request still holds it stays valid for that request.
+class TileCache {
+ public:
+  /// max_bytes == 0 disables caching entirely (every get misses, puts are
+  /// dropped) — the cold-path baseline the byte-identity tests compare
+  /// against.
+  explicit TileCache(std::size_t max_bytes);
+
+  std::shared_ptr<const TileValues> get(const TileCacheKey& key);
+  void put(const TileCacheKey& key, std::shared_ptr<const TileValues> values);
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::size_t bytes() const;
+  std::size_t entries() const;
+
+ private:
+  struct Entry {
+    TileCacheKey key;
+    std::shared_ptr<const TileValues> values;
+  };
+
+  std::size_t max_bytes_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<TileCacheKey, std::list<Entry>::iterator,
+                     TileCacheKeyHash>
+      index_;
+  std::size_t bytes_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// Plans and executes pair queries for one (dataset, estimator) pair:
+/// resolves the statistic's kernel plan once, then answers pair batches
+/// from the shared tile cache, sweeping only the missing tiles. One
+/// MiQueryEngine per estimator the daemon serves; they share one
+/// TileCache (the key carries the estimator).
+///
+/// Not internally synchronized: the serve daemon funnels all pair queries
+/// for a dataset through one batcher thread, which is the intended caller.
+class MiQueryEngine {
+ public:
+  /// `statistic`, `ranked`, `cache` and `pool` must outlive the engine.
+  /// `pool` may be null (tiles then sweep inline on the calling thread).
+  MiQueryEngine(const PairStatistic& statistic, const RankedMatrix& ranked,
+                const TingeConfig& config, par::ThreadPool* pool,
+                TileCache& cache, std::string dataset_id);
+
+  /// MI for each requested pair, in request order. Bit-identical to the
+  /// batch pipeline's value for the same dataset/config, cold or warm.
+  std::vector<double> pair_values(std::span<const GenePair> pairs);
+
+  /// Tiles actually swept (cache misses that hit run_sweep) since
+  /// construction — frozen between calls means the cache answered alone.
+  std::uint64_t tiles_swept() const {
+    return tiles_swept_.load(std::memory_order_relaxed);
+  }
+
+  const char* kernel_name() const { return panels_.name; }
+  EstimatorKind estimator() const { return statistic_->kind(); }
+
+ private:
+  const PairStatistic* statistic_;
+  const RankedMatrix* ranked_;
+  TingeConfig config_;
+  PanelPlan panels_;
+  par::ThreadPool* pool_;
+  TileCache* cache_;
+  std::string dataset_;
+  std::size_t tile_size_;
+  std::size_t n_genes_;
+  std::atomic<std::uint64_t> tiles_swept_{0};
+};
+
+}  // namespace tinge

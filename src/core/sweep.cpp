@@ -28,6 +28,13 @@ SweepPlan SweepPlan::rectangular(std::size_t row_begin, std::size_t row_end,
   return plan;
 }
 
+SweepPlan SweepPlan::from_tiles(std::vector<Tile> tiles) {
+  SweepPlan plan;
+  plan.tiles_ = std::move(tiles);
+  for (const Tile& tile : plan.tiles_) plan.total_pairs_ += tile.pair_count();
+  return plan;
+}
+
 PanelPlan plan_panels(const BsplineMi& estimator, const TingeConfig& config) {
   const WeightTable& table = estimator.table();
   const int width = config.panel_width > 0

@@ -79,6 +79,13 @@ class SweepPlan {
                                std::size_t col_begin, std::size_t col_end,
                                std::size_t tile_size);
 
+  /// An explicit tile list, in the given order. The query planner uses
+  /// this to sweep just the tiles a pair batch touches — each tile carved
+  /// with the same boundaries triangular() would produce, so the per-pair
+  /// panel grouping (and therefore every bit of every MI value) matches
+  /// the batch pass that swept the whole triangle.
+  static SweepPlan from_tiles(std::vector<Tile> tiles);
+
   std::size_t count() const { return tiles_.size(); }
   const Tile& tile(std::size_t index) const {
     TINGE_EXPECTS(index < tiles_.size());

@@ -35,6 +35,7 @@ Json metrics_to_json(const MetricsSnapshot& snapshot) {
     h["max"] = summary.max;
     h["p50"] = summary.p50;
     h["p90"] = summary.p90;
+    h["p95"] = summary.p95;
     h["p99"] = summary.p99;
     histograms[name] = std::move(h);
   }

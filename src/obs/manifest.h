@@ -21,7 +21,7 @@ namespace tinge::obs {
 Json span_to_json(const SpanNode& node);
 
 /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
-/// min, max, p50, p90, p99}}} with keys in lexicographic order.
+/// min, max, p50, p90, p95, p99}}} with keys in lexicographic order.
 Json metrics_to_json(const MetricsSnapshot& snapshot);
 
 /// Writes `document.dump()` to `path` atomically (temp file + fsync +

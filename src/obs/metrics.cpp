@@ -7,13 +7,25 @@ namespace tinge::obs {
 
 void Histogram::record(double value) {
   std::lock_guard<std::mutex> lock(mutex_);
-  samples_.push_back(value);
+  min_ = count_ == 0 ? value : std::min(min_, value);
+  max_ = count_ == 0 ? value : std::max(max_, value);
+  ++count_;
   sum_ += value;
+  if (samples_.size() < kReservoirCapacity) {
+    samples_.push_back(value);
+    return;
+  }
+  // Vitter's algorithm R: keep each of the count_ values with equal
+  // probability capacity/count_. The LCG is seeded by a constant, so a
+  // given record() sequence always retains the same subsample.
+  rng_state_ = rng_state_ * 6364136223846793005ull + 1442695040888963407ull;
+  const std::uint64_t slot = (rng_state_ >> 11) % count_;
+  if (slot < samples_.size()) samples_[static_cast<std::size_t>(slot)] = value;
 }
 
 std::uint64_t Histogram::count() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return samples_.size();
+  return count_;
 }
 
 double Histogram::sum() const {
@@ -46,22 +58,20 @@ double Histogram::quantile(double q) const {
 }
 
 HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
   std::vector<double> copy;
-  double total = 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     copy = samples_;
-    total = sum_;
+    s.count = count_;
+    s.sum = sum_;
+    s.min = min_;
+    s.max = max_;
   }
-  HistogramSummary s;
-  s.count = copy.size();
-  s.sum = total;
   if (!copy.empty()) {
-    const auto [lo, hi] = std::minmax_element(copy.begin(), copy.end());
-    s.min = *lo;
-    s.max = *hi;
     s.p50 = nearest_rank(copy, 0.50);
     s.p90 = nearest_rank(copy, 0.90);
+    s.p95 = nearest_rank(copy, 0.95);
     s.p99 = nearest_rank(copy, 0.99);
   }
   return s;
@@ -106,12 +116,32 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Enumerate under the registry lock, read outside it. Instrument
+  // references are valid for the registry's lifetime, counter/gauge reads
+  // are atomic, and Histogram::summary() takes the histogram's own mutex —
+  // so a live snapshot (the serve path takes one per progress request)
+  // never holds the registry lock across O(reservoir) summarization work,
+  // and never stalls a writer calling get-or-create concurrently.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_)
+      counters.emplace_back(name, counter.get());
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_)
+      gauges.emplace_back(name, gauge.get());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_)
+      histograms.emplace_back(name, histogram.get());
+  }
   MetricsSnapshot snap;
-  for (const auto& [name, counter] : counters_)
+  for (const auto& [name, counter] : counters)
     snap.counters[name] = counter->value();
-  for (const auto& [name, gauge] : gauges_) snap.gauges[name] = gauge->value();
-  for (const auto& [name, histogram] : histograms_)
+  for (const auto& [name, gauge] : gauges) snap.gauges[name] = gauge->value();
+  for (const auto& [name, histogram] : histograms)
     snap.histograms[name] = histogram->summary();
   return snap;
 }

@@ -63,16 +63,29 @@ struct HistogramSummary {
   double max = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
 };
 
-/// Sample distribution (stage latencies, per-tile durations). Keeps the raw
-/// samples — callers record per-pass values, not per-pair ones, so the
-/// retained set stays small.
+/// Sample distribution (stage latencies, per-tile durations, per-query
+/// serve latencies). count/sum/min/max are exact over everything ever
+/// recorded; quantiles come from a bounded reservoir (uniform subsample,
+/// deterministic replacement), so a long-lived server recording per-query
+/// values holds O(kReservoirCapacity) memory per histogram instead of
+/// growing without bound — and summary() stays O(capacity), not O(lifetime
+/// queries), which matters because the serve path reads summaries live
+/// while writers keep recording.
 class Histogram {
  public:
+  /// Samples retained for quantile estimation. Below this many recordings
+  /// the quantiles are exact; past it they are estimates over a uniform
+  /// subsample (Vitter's algorithm R with a fixed-seed LCG — deterministic
+  /// for a given record() sequence).
+  static constexpr std::size_t kReservoirCapacity = 4096;
+
   void record(double value);
 
+  /// Total recordings ever (exact, not the retained-sample count).
   std::uint64_t count() const;
   double sum() const;
   /// Nearest-rank quantile, q in [0, 1]; 0.0 on an empty histogram.
@@ -81,8 +94,12 @@ class Histogram {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<double> samples_;
+  std::vector<double> samples_;  // bounded reservoir (quantiles only)
+  std::uint64_t count_ = 0;
   double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
 };
 
 /// Records elapsed seconds into a histogram on destruction.
@@ -120,6 +137,10 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Safe to call while writers are live (the serve path reads it
+  /// per-request for progress streaming): the registry lock is held only
+  /// to enumerate the instruments, never across histogram summarization,
+  /// so a snapshot cannot stall concurrent get-or-create or record calls.
   MetricsSnapshot snapshot() const;
 
   /// The process-wide registry every instrumented layer emits into.

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -138,6 +139,50 @@ TEST(ClusterLauncherTest, EchildLeavesFailureSentinels) {
     EXPECT_EQ(exit.exit_code, kWorkerExitUnreaped);
   }
   ASSERT_NE(first_failure(exits), nullptr);
+}
+
+TEST(ClusterLauncherTest, ScrubPortFilesRemovesOnlyPortArtifacts) {
+  // Stale rendezvous state from a crashed run is exactly *.port and
+  // *.port.tmp; anything else in the directory is not ours to delete.
+  const std::string dir = make_rendezvous_dir();
+  for (const char* name : {"rank-0.port", "rank-1.port", "rank-2.port.tmp"})
+    ASSERT_TRUE(std::ofstream(dir + "/" + name) << "1234\n");
+  ASSERT_TRUE(std::ofstream(dir + "/notes.txt") << "keep me\n");
+
+  scrub_port_files(dir);
+  EXPECT_NE(::access((dir + "/rank-0.port").c_str(), F_OK), 0);
+  EXPECT_NE(::access((dir + "/rank-1.port").c_str(), F_OK), 0);
+  EXPECT_NE(::access((dir + "/rank-2.port.tmp").c_str(), F_OK), 0);
+  EXPECT_EQ(::access((dir + "/notes.txt").c_str(), F_OK), 0);
+
+  scrub_port_files(dir + "/does-not-exist");  // quietly a no-op
+  remove_rendezvous_dir(dir);
+}
+
+TEST(ClusterLauncherTest, RunNoncesAreNonzeroAndDistinct) {
+  // Zero means "unstamped" on the wire, so a real nonce must never be 0,
+  // and it is parsed back through a signed CLI integer, so the top bit
+  // must stay clear.
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t nonce = make_run_nonce();
+    EXPECT_NE(nonce, 0u);
+    EXPECT_EQ(nonce >> 63, 0u);
+  }
+  EXPECT_NE(make_run_nonce(), make_run_nonce());
+}
+
+TEST(ClusterLauncherTest, FailedLaunchScrubsStalePortFiles) {
+  // A launch over a directory holding a crashed run's port files must
+  // scrub them before spawning (so workers can't rendezvous with a
+  // corpse) and leave the directory clean after the failure too.
+  const std::string dir = make_rendezvous_dir();
+  ASSERT_TRUE(std::ofstream(dir + "/rank-0.port") << "4242 999\n");
+
+  const std::vector<WorkerExit> exits =
+      launch_workers("/bin/false", {}, /*size=*/2, dir);
+  EXPECT_FALSE(all_workers_succeeded(exits));
+  EXPECT_NE(::access((dir + "/rank-0.port").c_str(), F_OK), 0);
+  remove_rendezvous_dir(dir);
 }
 
 TEST(ClusterLauncherTest, SiblingBinaryPathResolvesNextToThisBinary) {

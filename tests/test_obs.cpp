@@ -4,8 +4,11 @@
 // manifest and the golden-run regression test are built on.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <thread>
+#include <vector>
 
 #include "obs/json.h"
 #include "obs/manifest.h"
@@ -292,6 +295,43 @@ TEST(Manifest, MetricsSnapshotSerializesAllThreeKinds) {
   EXPECT_EQ(json.at("gauges").at("g.width").as_double(), 8.0);
   EXPECT_EQ(json.at("histograms").at("h.seconds").at("count").as_int(), 1);
   EXPECT_EQ(json.at("histograms").at("h.seconds").at("max").as_double(), 0.25);
+}
+
+TEST(Metrics, SnapshotIsSafeAgainstConcurrentWriters) {
+  // The serve daemon snapshots the registry per metrics query and per
+  // sweep-progress event while every handler thread is still recording.
+  // Writers deliberately hammer the *same* instrument names so the
+  // get-or-create path races with enumeration; under TSan this is the
+  // regression test for snapshot synchronization.
+  MetricsRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kIterations = 2000;
+  std::atomic<int> running{kWriters};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&registry, &running, w] {
+      for (std::uint64_t i = 0; i < kIterations; ++i) {
+        registry.counter("race.count").add();
+        registry.gauge("race.level").set(static_cast<double>(w));
+        registry.histogram("race.seconds")
+            .record(static_cast<double>(i) * 1e-6);
+      }
+      running.fetch_sub(1);
+    });
+  while (running.load() > 0) {
+    const MetricsSnapshot snap = registry.snapshot();
+    // A torn read would show a counter above the final total.
+    const auto it = snap.counters.find("race.count");
+    if (it != snap.counters.end()) {
+      EXPECT_LE(it->second, kWriters * kIterations);
+    }
+  }
+  for (std::thread& writer : writers) writer.join();
+  const MetricsSnapshot final_snap = registry.snapshot();
+  EXPECT_EQ(final_snap.counters.at("race.count"), kWriters * kIterations);
+  EXPECT_EQ(final_snap.histograms.at("race.seconds").count,
+            kWriters * kIterations);
 }
 
 TEST(Manifest, JsonFileRoundTrip) {

@@ -4,10 +4,13 @@
 // payloads, reusable barriers, and exact payload byte accounting. The
 // same test body runs against the in-process and the TCP backend.
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -378,6 +381,98 @@ TEST(TcpTransportTest, ConcurrentSendersKeepFramesIntact) {
   });
   EXPECT_EQ(cluster->messages_sent(),
             static_cast<std::uint64_t>(kSenders) * kPerSender);
+}
+
+TEST(TcpTransportTest, SendToDepartedPeerFailsCleanlyInsteadOfSigpipe) {
+  // A peer closing its end mid-conversation must surface as
+  // PeerFailureError on the sender, never as SIGPIPE killing the process
+  // (the transport sends with MSG_NOSIGNAL and ignores the signal at
+  // init). Rank 1 leaves immediately; rank 0 keeps pushing large frames
+  // until the kernel reports the dead connection mid-frame.
+  const auto cluster = make_cluster(TransportKind::Tcp, 2);
+  EXPECT_THROW(cluster->run([](Comm& comm) {
+                 if (comm.rank() == 1) return;  // closes its end right away
+                 const std::vector<int> chunk(1 << 18, 7);  // 1 MiB frames
+                 for (int i = 0; i < 1000; ++i)
+                   comm.send_vector(1, chunk, /*tag=*/i);
+               }),
+               PeerFailureError);
+}
+
+TEST(TcpTransportTest, PortFileNonceRoundtrip) {
+  const std::string dir = make_rendezvous_dir();
+  const std::string path = dir + "/rank-0.port";
+  write_port_file(path, 4242, /*nonce=*/77);
+  EXPECT_EQ(read_port_file(path, 77), 4242);   // matching stamp
+  EXPECT_EQ(read_port_file(path, 78), -1);     // stale: another run's file
+  EXPECT_EQ(read_port_file(path, 0), 4242);    // caller opted out of check
+  EXPECT_EQ(read_port_file(dir + "/absent.port", 77), -1);
+  remove_rendezvous_dir(dir);
+}
+
+TEST(TcpTransportTest, LegacyUnstampedPortFileStillReads) {
+  // Port files written before nonce stamping hold just "<port>\n". They
+  // must stay readable when no nonce is expected, and be rejected as
+  // unverifiable when one is.
+  const std::string dir = make_rendezvous_dir();
+  const std::string path = dir + "/rank-0.port";
+  {
+    std::ofstream out(path);
+    out << "1234\n";
+  }
+  EXPECT_EQ(read_port_file(path, 0), 1234);
+  EXPECT_EQ(read_port_file(path, 77), -1);
+  remove_rendezvous_dir(dir);
+}
+
+TEST(TcpTransportTest, StalePortFileFromCrashedRunIsIgnoredByTheMesh) {
+  // A prior run crashed and left its port file behind, pointing at a port
+  // where nothing (useful) listens. A new run stamped with its own nonce
+  // must skip the stale file and keep polling until the real listener
+  // publishes — instead of dialing the corpse and hanging.
+  const std::string dir = make_rendezvous_dir();
+
+  // The decoy: a socket that listens but never speaks the handshake, on
+  // the port the stale file advertises.
+  const int decoy = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(decoy, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(decoy, reinterpret_cast<sockaddr*>(&address),
+                   sizeof(address)),
+            0);
+  ASSERT_EQ(::listen(decoy, 1), 0);
+  socklen_t length = sizeof(address);
+  ASSERT_EQ(::getsockname(decoy, reinterpret_cast<sockaddr*>(&address),
+                          &length),
+            0);
+  write_port_file(dir + "/rank-0.port", ntohs(address.sin_port),
+                  /*nonce=*/999);  // the crashed run's stamp
+
+  TransportOptions base;
+  base.size = 2;
+  base.rendezvous_dir = dir;
+  base.connect_timeout_seconds = 10.0;
+  base.run_nonce = 1000;  // this run's stamp: 999 must not match
+  std::thread dialer([&base] {
+    TransportOptions options = base;
+    options.rank = 1;
+    TcpTransport transport(options);  // must wait out the stale file
+    Comm comm(transport);
+    EXPECT_EQ(comm.recv_vector<int>(0, 3).at(0), 11);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  TransportOptions options = base;
+  options.rank = 0;
+  {
+    TcpTransport transport(options);  // republishes rank-0.port, nonce 1000
+    Comm comm(transport);
+    comm.send_vector(1, std::vector<int>{11}, 3);
+    dialer.join();
+  }
+  ::close(decoy);
+  remove_rendezvous_dir(dir);
 }
 
 TEST(TcpTransportTest, PortFileWriteFailureIsDetected) {
